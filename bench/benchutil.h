@@ -1,0 +1,59 @@
+// Shared helpers for the experiment benches: compile+verify a kernel under
+// a compiler configuration and fail loudly if the generated code does not
+// match the golden model (no unverified number is ever printed).
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "codegen/baseline.h"
+#include "codegen/pipeline.h"
+#include "dfl/frontend.h"
+#include "dspstone/harness.h"
+#include "dspstone/kernels.h"
+#include "target/asmtext.h"
+
+namespace record::bench {
+
+struct Measured {
+  int size = 0;
+  int64_t cycles = 0;
+};
+
+/// Compile `prog` with (cfg, opt), verify against the golden model on the
+/// kernel's stimulus, and return size/cycles. Aborts on any mismatch.
+inline Measured measureCompiled(const Program& prog, const TargetConfig& cfg,
+                                const CodegenOptions& opt, int ticks,
+                                const char* what) {
+  RecordCompiler rc(cfg, opt);
+  auto res = rc.compile(prog);
+  auto m = runAndCompare(res.prog, prog, defaultStimulus(prog, 1, ticks));
+  if (!m.ok) {
+    std::fprintf(stderr, "FATAL: %s failed verification: %s\n", what,
+                 m.error.c_str());
+    std::exit(1);
+  }
+  return {m.sizeWords, m.cycles};
+}
+
+/// Assemble + verify the hand-written reference of a kernel.
+inline Measured measureReference(const Kernel& k, const Program& prog,
+                                 const TargetConfig& cfg) {
+  auto tp = assembleOrDie(k.refAsm, cfg);
+  auto m = runAndCompare(tp, prog, defaultStimulus(prog, 1, k.ticks));
+  if (!m.ok) {
+    std::fprintf(stderr, "FATAL: reference %s failed verification: %s\n",
+                 k.name.c_str(), m.error.c_str());
+    std::exit(1);
+  }
+  return {m.sizeWords, m.cycles};
+}
+
+inline void hr() {
+  std::printf(
+      "-----------------------------------------------------------------"
+      "---------------\n");
+}
+
+}  // namespace record::bench

@@ -1,0 +1,58 @@
+// DSP-language demo (§3.2 requirement 5: "high-level languages which
+// support delayed signals"): a 3-tap FIR written with the DFL delay operator
+// x@k, compiled and streamed sample-by-sample through the simulator.
+//
+//   $ ./examples/delay_line_filter
+#include <cstdio>
+#include <vector>
+
+#include "codegen/baseline.h"
+#include "codegen/pipeline.h"
+#include "dfl/frontend.h"
+#include "ir/interp.h"
+#include "sim/machine.h"
+
+int main() {
+  using namespace record;
+
+  // y[t] = 2*x[t] + 3*x[t-1] - x[t-2], expressed with delayed signals.
+  const char* source = R"(
+    program fir3;
+    input x delay 2 : fix;
+    output y : fix;
+    begin
+      y := x*2 + x@1 * 3 - x@2;
+    end
+  )";
+  Program prog = dfl::parseDflOrDie(source);
+
+  TargetConfig cfg;
+  RecordCompiler compiler(cfg, recordOptions());
+  auto res = compiler.compile(prog);
+  std::printf("compiled fir3: %d words\n%s\n", res.stats.sizeWords,
+              res.prog.listing().c_str());
+
+  std::vector<int64_t> samples = {4, 0, -2, 7, 1, 1, -5, 3};
+  Machine machine(res.prog);
+  Interp gold(prog);
+  gold.setStream("x", samples);
+
+  std::printf("  t   x[t]   y (sim)   y (golden)\n");
+  bool allMatch = true;
+  for (size_t t = 0; t < samples.size(); ++t) {
+    machine.writeSymbol("x", 0, samples[t]);  // feed the new sample
+    machine.run();
+    gold.run(1);
+    int64_t sim = machine.readSymbol("y");
+    int64_t ref = gold.trace("y")[t];
+    std::printf("%3zu %6lld %9lld %12lld %s\n", t,
+                static_cast<long long>(samples[t]),
+                static_cast<long long>(sim), static_cast<long long>(ref),
+                sim == ref ? "" : "  <-- MISMATCH");
+    allMatch &= (sim == ref);
+    machine.reset(false);  // next tick; delay-line state lives in memory
+  }
+  std::printf(allMatch ? "\nall samples match the golden model\n"
+                       : "\nMISMATCH\n");
+  return allMatch ? 0 : 1;
+}

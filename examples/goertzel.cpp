@@ -1,0 +1,86 @@
+// Goertzel tone detection -- a realistic single-frequency DSP workload (the
+// DTMF building block) written in the DFL subset with delayed feedback
+// signals, compiled with RECORD and streamed sample-by-sample through the
+// simulator against the golden model.
+//
+// The resonator is  s[t] = x[t] + ((c * s[t-1]) >> 13) - s[t-2]
+// with c = 2*cos(2*pi*f/fs) in Q13; the magnitude proxy tracks |s|.
+//
+//   $ ./examples/goertzel
+#include <cmath>
+#include <cstdio>
+#include <vector>
+
+#include "codegen/baseline.h"
+#include "codegen/pipeline.h"
+#include "dfl/frontend.h"
+#include "ir/interp.h"
+#include "sim/machine.h"
+
+int main() {
+  using namespace record;
+
+  const char* source = R"(
+    program goertzel;
+    input x : fix;
+    input c : fix;          // 2*cos(w) in Q13
+    var s delay 2 : fix;
+    output mag : fix;
+    begin
+      s := x + ((c * s@1) >> 13) - s@2;
+      mag := (s >> 6) * (s >> 6) + (s@1 >> 6) * (s@1 >> 6);
+    end
+  )";
+  Program prog = dfl::parseDflOrDie(source);
+
+  TargetConfig cfg;
+  RecordCompiler compiler(cfg, recordOptions());
+  auto res = compiler.compile(prog);
+  std::printf("compiled goertzel resonator: %d words\n%s\n",
+              res.stats.sizeWords, res.prog.listing().c_str());
+
+  // Probe frequency f = fs/8. Feed (a) a matching tone, (b) an off-bin tone.
+  const double w = 2.0 * M_PI / 8.0;
+  const int64_t c = static_cast<int64_t>(std::lround(2.0 * std::cos(w) *
+                                                     8192.0));  // Q13
+  auto runTone = [&](double toneW, const char* label) {
+    Machine machine(res.prog);
+    Interp gold(prog);
+    machine.reset(true);
+    int64_t lastSim = 0, lastGold = 0;
+    const int n = 24;
+    std::vector<int64_t> xs;
+    for (int t = 0; t < n; ++t)
+      xs.push_back(static_cast<int64_t>(std::lround(
+          90.0 * std::sin(toneW * t))));
+    gold.setStream("x", xs);
+    gold.setStream("c", std::vector<int64_t>(n, c));
+    for (int t = 0; t < n; ++t) {
+      machine.writeSymbol("x", 0, xs[static_cast<size_t>(t)]);
+      machine.writeSymbol("c", 0, c);
+      machine.run();
+      gold.run(1);
+      lastSim = machine.readSymbol("mag");
+      lastGold = gold.trace("mag")[static_cast<size_t>(t)];
+      if (lastSim != lastGold) {
+        std::printf("MISMATCH at t=%d: sim %lld vs golden %lld\n", t,
+                    static_cast<long long>(lastSim),
+                    static_cast<long long>(lastGold));
+        std::exit(1);
+      }
+      machine.reset(false);
+    }
+    std::printf("%-18s final |s|^2 proxy = %6lld  (sim == golden)\n", label,
+                static_cast<long long>(lastSim));
+    return lastSim;
+  };
+
+  int64_t onBin = runTone(w, "tone at f0:");
+  int64_t offBin = runTone(2.0 * M_PI / 3.0, "tone off-bin:");
+  std::printf("\ndetector %s the probe frequency (on-bin %lld vs off-bin "
+              "%lld)\n",
+              onBin > 4 * offBin ? "SELECTS" : "does not separate",
+              static_cast<long long>(onBin),
+              static_cast<long long>(offBin));
+  return onBin > offBin ? 0 : 1;
+}

@@ -1,0 +1,162 @@
+// recordc -- a command-line driver for the retargetable compiler: the tool a
+// downstream user would actually run.
+//
+//   recordc [options] file.dfl
+//   recordc --kernel fir              (compile a built-in DSPStone kernel)
+//
+// Options:
+//   --baseline            use the target-specific baseline configuration
+//   --naive               use the deliberately naive configuration
+//   --cycles              optimize for cycles instead of size
+//   --no-rewrite          disable algebraic tree rewriting
+//   --rewrite-budget N    variants tried per statement (default 48)
+//   --ars N               number of address registers (1..8)
+//   --no-mac              core without multiplier datapath
+//   --dual-mul            dual-operand multiplier + 2 memory banks
+//   --no-sat --no-rpt --no-dmov      strip core features
+//   --emit-isd            print the core's instruction-set description
+//   --isd FILE            retarget: compile against an ISD text file
+//   --run                 execute on the simulator with zero inputs
+//   --stats               print compilation statistics
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "codegen/baseline.h"
+#include "codegen/pipeline.h"
+#include "dfl/frontend.h"
+#include "dspstone/kernels.h"
+#include "sim/machine.h"
+#include "target/tdsp.h"
+
+int main(int argc, char** argv) {
+  using namespace record;
+  TargetConfig cfg;
+  CodegenOptions opt = recordOptions();
+  std::string file, kernel, isdFile;
+  bool run = false, stats = false, emitIsd = false;
+
+  for (int i = 1; i < argc; ++i) {
+    std::string a = argv[i];
+    auto intArg = [&](int def) {
+      return i + 1 < argc ? std::atoi(argv[++i]) : def;
+    };
+    if (a == "--baseline") opt = baselineOptions();
+    else if (a == "--naive") opt = naiveOptions();
+    else if (a == "--cycles") opt.cost = CostKind::Cycles;
+    else if (a == "--no-rewrite") opt.rewriteBudget = 1;
+    else if (a == "--rewrite-budget") opt.rewriteBudget = intArg(48);
+    else if (a == "--ars") cfg.numAddrRegs = intArg(8);
+    else if (a == "--no-mac") cfg.hasMac = false;
+    else if (a == "--dual-mul") { cfg.hasDualMul = true; cfg.memBanks = 2; }
+    else if (a == "--no-sat") cfg.hasSat = false;
+    else if (a == "--no-rpt") cfg.hasRpt = false;
+    else if (a == "--no-dmov") cfg.hasDmov = false;
+    else if (a == "--run") run = true;
+    else if (a == "--stats") stats = true;
+    else if (a == "--emit-isd") emitIsd = true;
+    else if (a == "--isd") isdFile = i + 1 < argc ? argv[++i] : "";
+    else if (a == "--kernel") kernel = i + 1 < argc ? argv[++i] : "";
+    else if (a[0] == '-') {
+      std::fprintf(stderr, "unknown option %s\n", a.c_str());
+      return 2;
+    } else {
+      file = a;
+    }
+  }
+
+  if (emitIsd) {
+    std::printf("%s", buildTdspRules(cfg).str().c_str());
+    return 0;
+  }
+
+  std::string source;
+  if (!kernel.empty()) {
+    try {
+      source = kernelByName(kernel).dfl;
+    } catch (const std::exception&) {
+      std::fprintf(stderr, "unknown kernel '%s'; available:", kernel.c_str());
+      for (const auto& k : dspstoneKernels())
+        std::fprintf(stderr, " %s", k.name.c_str());
+      std::fprintf(stderr, "\n");
+      return 2;
+    }
+  } else if (!file.empty()) {
+    std::ifstream in(file);
+    if (!in) {
+      std::fprintf(stderr, "cannot open %s\n", file.c_str());
+      return 2;
+    }
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    source = ss.str();
+  } else {
+    std::fprintf(stderr,
+                 "usage: recordc [options] file.dfl | --kernel NAME\n");
+    return 2;
+  }
+
+  DiagEngine diag;
+  auto prog = dfl::parseDfl(source, diag);
+  if (!prog) {
+    std::fprintf(stderr, "%s", diag.str().c_str());
+    return 1;
+  }
+
+  try {
+    std::optional<RecordCompiler> compilerStorage;
+    if (!isdFile.empty()) {
+      std::ifstream in(isdFile);
+      if (!in) {
+        std::fprintf(stderr, "cannot open %s\n", isdFile.c_str());
+        return 2;
+      }
+      std::ostringstream ss;
+      ss << in.rdbuf();
+      DiagEngine isdDiag;
+      auto rules = parseIsd(ss.str(), isdDiag);
+      if (!rules) {
+        std::fprintf(stderr, "%s", isdDiag.str().c_str());
+        return 1;
+      }
+      rules->config = cfg;
+      compilerStorage.emplace(std::move(*rules), opt);
+    } else {
+      compilerStorage.emplace(cfg, opt);
+    }
+    RecordCompiler& compiler = *compilerStorage;
+    auto res = compiler.compile(*prog);
+    std::printf("%s", res.prog.listing().c_str());
+    if (stats) {
+      std::printf(
+          "; stats: %d words, %d statements, %d variants tried, %d "
+          "patterns,\n;        %d promotions, %d merges, %d mode switches, "
+          "%d RPT conversions\n",
+          res.stats.sizeWords, res.stats.statements,
+          res.stats.variantsTried, res.stats.patternsUsed,
+          res.stats.promote.promotions, res.stats.compacted.merges,
+          res.stats.modes.switchesInserted,
+          res.stats.loops.rptConversions);
+    }
+    if (run) {
+      Machine m(res.prog);
+      auto rr = m.run();
+      std::printf("; run: %s, %lld cycles, %lld instructions\n",
+                  rr.halted ? "halted" : rr.trapReason.c_str(),
+                  static_cast<long long>(rr.cycles),
+                  static_cast<long long>(rr.instructions));
+      for (const auto& s : prog->symbols.all()) {
+        if (s->kind != SymKind::Output) continue;
+        if (s->isArray()) continue;
+        std::printf(";   %s = %lld\n", s->name.c_str(),
+                    static_cast<long long>(m.readSymbol(s->name)));
+      }
+    }
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "compilation failed: %s\n", e.what());
+    return 1;
+  }
+  return 0;
+}

@@ -1,0 +1,63 @@
+// Retargeting demo (§4.2): the same source program and the same compiler,
+// pointed at different ASIP variants of the tdsp core by changing only the
+// generic parameters -- the hardware/software codesign exploration loop the
+// paper motivates.
+//
+//   $ ./examples/retarget_asip
+#include <cstdio>
+
+#include "codegen/baseline.h"
+#include "codegen/pipeline.h"
+#include "dfl/frontend.h"
+#include "dspstone/harness.h"
+
+int main() {
+  using namespace record;
+
+  const char* source = R"(
+    program mac8;
+    const N = 8;
+    input x[N] : fix;
+    input h[N] : fix;
+    output y : fix;
+    var acc : fix;
+    begin
+      acc := 0;
+      for i := 0 to N-1 do
+        acc := acc + x[i]*h[i];
+      endfor
+      y := acc;
+    end
+  )";
+  Program prog = dfl::parseDflOrDie(source);
+
+  struct Variant {
+    const char* note;
+    TargetConfig cfg;
+  };
+  Variant variants[3];
+  variants[0].note = "a full DSP core";
+  variants[1].note = "a dual-multiplier, dual-bank ASSP";
+  variants[1].cfg.hasDualMul = true;
+  variants[1].cfg.memBanks = 2;
+  variants[2].note = "a cost-reduced controller core without multiplier";
+  variants[2].cfg.hasMac = false;
+
+  for (const auto& v : variants) {
+    RecordCompiler compiler(v.cfg, recordOptions());
+    auto res = compiler.compile(prog);
+    auto m = runAndCompare(res.prog, prog, defaultStimulus(prog, 3, 1));
+    std::printf("=== %s: %s ===\n", v.cfg.describe().c_str(), v.note);
+    if (!m.ok) {
+      std::printf("verification FAILED: %s\n", m.error.c_str());
+      return 1;
+    }
+    std::printf("verified OK; %d words, %lld cycles\n", m.sizeWords,
+                static_cast<long long>(m.cycles));
+    std::printf("%s\n", res.prog.listing().c_str());
+  }
+  std::printf(
+      "Same compiler, three cores: only the processor description "
+      "changed.\n");
+  return 0;
+}

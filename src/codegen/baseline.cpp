@@ -1,0 +1,41 @@
+#include "codegen/baseline.h"
+
+namespace record {
+
+CodegenOptions baselineOptions() {
+  CodegenOptions o;
+  o.cost = CostKind::Size;
+  o.rewriteBudget = 1;       // no algebraic exploration
+  o.foldConstants = true;    // the one standard optimization RECORD lacks
+  o.useStreams = false;      // arrays indexed through memory index vars
+  o.arLoopCounters = false;  // loop counters in memory
+  o.unrollThreshold = 1;
+  o.accPromote = false;
+  o.compaction = CompactMode::List;  // knows the LTA/LTP idioms
+  o.modeOpt = false;                 // switches modes at every use
+  o.memBankOpt = false;
+  o.loopTransforms = false;
+  o.peephole = true;
+  return o;
+}
+
+CodegenOptions recordOptions() { return CodegenOptions{}; }
+
+CodegenOptions naiveOptions() {
+  CodegenOptions o;
+  o.rewriteBudget = 1;
+  o.foldConstants = false;
+  o.atomizeExprs = true;
+  o.useStreams = false;
+  o.arLoopCounters = false;
+  o.unrollThreshold = 1;
+  o.accPromote = false;
+  o.compaction = CompactMode::None;
+  o.modeOpt = false;
+  o.memBankOpt = false;
+  o.loopTransforms = false;
+  o.peephole = false;
+  return o;
+}
+
+}  // namespace record

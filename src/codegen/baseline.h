@@ -1,0 +1,39 @@
+// The "target-specific compiler" of the Table 1 comparison. It models a
+// solid early-90s C compiler for an accumulator DSP: standard optimizations
+// (constant folding, tree-pattern selection with the full instruction set,
+// local combining peepholes) but none of the embedded-specific techniques of
+// §3.3/§4.3: no algebraic-variant search, no AR array streaming, no
+// accumulator promotion across loop iterations, no hardware-loop conversion,
+// no mode-change minimization, no memory-bank assignment.
+#pragma once
+
+#include "codegen/pipeline.h"
+
+namespace record {
+
+/// Options implementing the baseline compiler.
+CodegenOptions baselineOptions();
+
+/// Options implementing the full RECORD configuration (the defaults, made
+/// explicit for readability in benches).
+CodegenOptions recordOptions();
+
+/// A deliberately naive compiler used for the §3.1 overhead measurements
+/// (a pre-optimization-era compiler: no folding, no combining, everything
+/// through memory).
+CodegenOptions naiveOptions();
+
+class BaselineCompiler {
+ public:
+  explicit BaselineCompiler(TargetConfig cfg)
+      : impl_(std::move(cfg), baselineOptions()) {}
+
+  CompileResult compile(const Program& prog) const {
+    return impl_.compile(prog);
+  }
+
+ private:
+  RecordCompiler impl_;
+};
+
+}  // namespace record

@@ -1,0 +1,688 @@
+#include "codegen/pipeline.h"
+
+#include <cassert>
+#include <map>
+#include <stdexcept>
+#include <tuple>
+
+#include "codegen/binder.h"
+#include "codegen/layout.h"
+#include "regalloc/arfile.h"
+#include "rewrite/enumerate.h"
+#include "target/tdsp.h"
+
+namespace record {
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// Helpers over expression trees
+// ---------------------------------------------------------------------------
+
+bool exprMentions(const ExprPtr& e, const Symbol* sym) {
+  if ((e->op == Op::Ref || e->op == Op::ArrayRef) && e->sym == sym)
+    return true;
+  for (const auto& k : e->kids)
+    if (exprMentions(k, sym)) return true;
+  return false;
+}
+
+bool stmtsMention(const std::vector<Stmt>& body, const Symbol* sym) {
+  for (const auto& s : body) {
+    if (s.kind == Stmt::Kind::Assign) {
+      if (exprMentions(s.rhs, sym)) return true;
+      if (s.lhsIndex && exprMentions(s.lhsIndex, sym)) return true;
+    } else {
+      if (stmtsMention(s.body, sym)) return true;
+    }
+  }
+  return false;
+}
+
+bool containsOp(const ExprPtr& e, Op op) {
+  if (e->op == op) return true;
+  for (const auto& k : e->kids)
+    if (containsOp(k, op)) return true;
+  return false;
+}
+
+bool programUsesSat(const std::vector<Stmt>& body) {
+  for (const auto& s : body) {
+    if (s.kind == Stmt::Kind::Assign) {
+      if (containsOp(s.rhs, Op::SatAdd) || containsOp(s.rhs, Op::SatSub))
+        return true;
+    } else if (programUsesSat(s.body)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+/// Substitute an induction variable in a whole statement (for unrolling).
+Stmt substStmt(const Stmt& s, const Symbol* ivar, int64_t v) {
+  if (s.kind == Stmt::Kind::Assign) {
+    return Stmt::assign(s.lhs, substInduction(s.rhs, ivar, v),
+                        s.lhsIndex ? substInduction(s.lhsIndex, ivar, v)
+                                   : nullptr);
+  }
+  Stmt out = s;
+  std::vector<Stmt> body;
+  for (const auto& b : s.body) body.push_back(substStmt(b, ivar, v));
+  out.body = std::move(body);
+  return out;
+}
+
+/// Affine analysis: idx as a function of ivar. Returns (coeff, valueAtZero)
+/// when idx = coeff*ivar + c exactly (checked at three points).
+std::optional<std::pair<int64_t, int64_t>> affineIndex(const ExprPtr& idx,
+                                                       const Symbol* ivar) {
+  auto at = [&](int64_t v) -> std::optional<int64_t> {
+    auto e = substInduction(idx, ivar, v);
+    if (e->op != Op::Const) return std::nullopt;
+    return e->value;
+  };
+  auto c0 = at(0), c1 = at(1), c2 = at(2);
+  if (!c0 || !c1 || !c2) return std::nullopt;
+  int64_t k = *c1 - *c0;
+  if (*c2 - *c1 != k) return std::nullopt;
+  return std::make_pair(k, *c0);
+}
+
+// ---------------------------------------------------------------------------
+// The emitter
+// ---------------------------------------------------------------------------
+
+struct StreamGroup {
+  const Symbol* arraySym = nullptr;
+  int64_t coeff = 0;   // +1 or -1
+  int64_t c0 = 0;      // index at ivar = 0
+  int occurrences = 0;
+  int ar = -1;
+  PostMod post = PostMod::None;
+  Symbol* streamSym = nullptr;
+};
+
+class Emitter {
+ public:
+  Emitter(const TargetConfig& cfg, const CodegenOptions& opt,
+          const RuleSet& rules, const Program& prog,
+          const BankAssignment* banks)
+      : cfg_(cfg),
+        opt_(opt),
+        matcher_(rules, opt.cost),
+        layout_(prog, cfg, banks),
+        arfile_(cfg.numAddrRegs),
+        binder_(layout_, cfg, arfile_),
+        prog_(prog) {}
+
+  CompileResult run() {
+    emitStmts(prog_.body);
+    emitDelayShifts();
+    appendRaw(Opcode::HALT, Operand::none(), Operand::none());
+
+    auto mcode = std::move(code_);
+    if (opt_.accPromote)
+      mcode = promoteAccumulators(
+          mcode, &stats_.promote,
+          [this](int addr) { return layout_.inArrayRegion(addr); });
+    auto icode = resolveModes(mcode, cfg_, opt_.modeOpt, &stats_.modes);
+    icode = compact(icode, cfg_, opt_.compaction, &stats_.compacted);
+    if (opt_.loopTransforms)
+      icode = applyLoopTransforms(icode, cfg_,
+                                  opt_.cost == CostKind::Cycles,
+                                  &stats_.loops);
+    if (opt_.peephole) icode = peephole(icode, cfg_, &stats_.peep);
+
+    CompileResult res;
+    res.prog.config = cfg_;
+    res.prog.code = std::move(icode);
+    res.prog.symbolAddr = layout_.symbolTable();
+    res.prog.dataInit = layout_.dataInit();
+    res.stats = stats_;
+    res.stats.sizeWords = res.prog.sizeWords();
+    return res;
+  }
+
+ private:
+  // ---- low-level emission -------------------------------------------------
+  void append(MInstr mi) {
+    if (!pendingLabel_.empty() && mi.instr.label.empty()) {
+      mi.instr.label = pendingLabel_;
+      pendingLabel_.clear();
+    }
+    code_.push_back(std::move(mi));
+  }
+
+  void appendRaw(Opcode op, Operand a, Operand b, ModeReq need = {},
+                 std::string target = {}) {
+    MInstr mi;
+    mi.instr.op = op;
+    mi.instr.a = a;
+    mi.instr.b = b;
+    mi.instr.targetLabel = std::move(target);
+    mi.need = need;
+    append(std::move(mi));
+  }
+
+  std::string freshLabel() { return "L" + std::to_string(labelN_++); }
+  void defineLabel(std::string l) {
+    assert(pendingLabel_.empty());
+    pendingLabel_ = std::move(l);
+  }
+
+  Symbol* newSynth(const std::string& name, Type type = Type::Fix) {
+    auto s = std::make_unique<Symbol>();
+    s->name = name;
+    s->kind = SymKind::Var;
+    s->type = type;
+    synths_.push_back(std::move(s));
+    return synths_.back().get();
+  }
+
+  /// Synthetic variable with a scratch data word already bound.
+  Symbol* newSynthVar(const std::string& name) {
+    Symbol* s = newSynth(name);
+    binder_.addSyntheticAddr(s, layout_.allocScratch(name));
+    return s;
+  }
+
+  void emitLoadAccConst(int64_t v) {
+    if (v >= -128 && v <= 127)
+      appendRaw(Opcode::LACK, Operand::imm(static_cast<int>(v)),
+                Operand::none());
+    else
+      appendRaw(Opcode::LAC,
+                Operand::direct(layout_.constAddr(
+                    static_cast<int16_t>(wrap16(v)))),
+                Operand::none());
+  }
+
+  void emitLoadArConst(int ar, int64_t v) {
+    if (v >= 0 && v <= 255)
+      appendRaw(Opcode::LARK, Operand::imm(ar),
+                Operand::imm(static_cast<int>(v)));
+    else
+      appendRaw(Opcode::LAR, Operand::imm(ar),
+                Operand::direct(layout_.constAddr(
+                    static_cast<int16_t>(wrap16(v)))));
+  }
+
+  // ---- statement selection -------------------------------------------------
+  void selectAndEmit(const ExprPtr& storeTree) {
+    std::vector<ExprPtr> variants =
+        opt_.rewriteBudget > 1
+            ? enumerateVariants(storeTree, opt_.rewriteBudget)
+            : std::vector<ExprPtr>{storeTree};
+    int bestCost = -1;
+    size_t bestIdx = 0;
+    for (size_t i = 0; i < variants.size(); ++i) {
+      auto c = matcher_.matchCost(variants[i], Nonterm::Stmt, binder_);
+      if (!c) continue;
+      if (bestCost < 0 || *c < bestCost) {
+        bestCost = *c;
+        bestIdx = i;
+      }
+    }
+    if (bestCost < 0)
+      throw std::runtime_error("no instruction cover for: " +
+                               storeTree->str() + " on " + cfg_.describe());
+    stats_.variantsTried += static_cast<int>(variants.size());
+    auto res = matcher_.reduce(variants[bestIdx], Nonterm::Stmt, binder_);
+    assert(res.ok);
+    stats_.patternsUsed += res.patternsUsed;
+    for (auto& mi : res.code) append(std::move(mi));
+    ++stats_.statements;
+  }
+
+  /// Is `e` usable directly as a mem/imm leaf *without* setup code (i.e.
+  /// without touching the scratch address register)? Zero-cost bindings
+  /// only: a dynamic array access costs setup instructions and would
+  /// clobber the scratch AR holding a pending store destination.
+  bool isSimpleLeaf(const ExprPtr& e) {
+    auto mem = binder_.leafCost(*e, Nonterm::Mem);
+    if (mem && *mem == 0) return true;
+    auto imm = binder_.leafCost(*e, Nonterm::Imm16);
+    return imm && *imm == 0;
+  }
+
+  /// Hoist non-simple dynamic array indexes into scratch variables, emitting
+  /// the index computations as separate statements.
+  ExprPtr hoistIndexes(const ExprPtr& e) {
+    if (opIsLeaf(e->op)) return e;
+    std::vector<ExprPtr> kids;
+    for (const auto& k : e->kids) kids.push_back(hoistIndexes(k));
+    ExprPtr out;
+    if (e->op == Op::ArrayRef) {
+      ExprPtr idx = kids[0];
+      bool simpleIdx =
+          idx->op == Op::Const ||
+          (idx->op == Op::Ref &&
+           binder_.leafCost(*idx, Nonterm::Mem).has_value());
+      if (!simpleIdx) {
+        Symbol* t = newSynthVar("$idx" + std::to_string(synthN_++));
+        selectAndEmit(
+            Expr::binary(Op::Store, Expr::ref(t), idx));
+        idx = Expr::ref(t);
+      }
+      out = Expr::arrayRef(e->sym, idx);
+    } else if (kids.size() == 1) {
+      out = Expr::unary(e->op, kids[0]);
+    } else {
+      out = Expr::binary(e->op, kids[0], kids[1]);
+    }
+    return out;
+  }
+
+  /// Software multiplication for cores without a multiplier: replaces every
+  /// Mul by an inline shift-add loop through scratch storage.
+  ExprPtr legalizeMuls(const ExprPtr& e) {
+    if (opIsLeaf(e->op)) return e;
+    std::vector<ExprPtr> kids;
+    for (const auto& k : e->kids) kids.push_back(legalizeMuls(k));
+    if (e->op == Op::Mul) {
+      Symbol* res = newSynthVar("$mul" + std::to_string(synthN_++));
+      emitSoftMul(kids[0], kids[1], res);
+      return Expr::ref(res);
+    }
+    if (e->op == Op::ArrayRef) return Expr::arrayRef(e->sym, kids[0]);
+    if (kids.size() == 1) return Expr::unary(e->op, kids[0]);
+    return Expr::binary(e->op, kids[0], kids[1]);
+  }
+
+  void emitSoftMul(const ExprPtr& a, const ExprPtr& b, Symbol* res) {
+    // ta/tb working copies; 16-bit product (documented limitation).
+    Symbol* ta = newSynthVar("$sm_a" + std::to_string(synthN_));
+    Symbol* tb = newSynthVar("$sm_b" + std::to_string(synthN_++));
+    selectAndEmit(Expr::binary(Op::Store, Expr::ref(ta), a));
+    selectAndEmit(Expr::binary(Op::Store, Expr::ref(tb), b));
+    int taA = binder_.addrFor(ta);
+    int tbA = binder_.addrFor(tb);
+    int resA = binder_.addrFor(res);
+    appendRaw(Opcode::ZAC, Operand::none(), Operand::none());
+    appendRaw(Opcode::SACL, Operand::direct(resA), Operand::none());
+    std::string top = freshLabel();
+    std::string skip = freshLabel();
+    auto ctr = arfile_.alloc();
+    int cntAddr = -1;
+    if (ctr) {
+      emitLoadArConst(*ctr, 15);
+    } else {
+      cntAddr = layout_.allocScratch("$sm_cnt");
+      emitLoadAccConst(15);
+      appendRaw(Opcode::SACL, Operand::direct(cntAddr), Operand::none());
+    }
+    defineLabel(top);
+    appendRaw(Opcode::LAC, Operand::direct(tbA), Operand::none());
+    appendRaw(Opcode::ANDK, Operand::imm(1), Operand::none());
+    appendRaw(Opcode::BZ, Operand::none(), Operand::none(), {}, skip);
+    appendRaw(Opcode::LAC, Operand::direct(resA), Operand::none());
+    appendRaw(Opcode::ADD, Operand::direct(taA), Operand::none(), {0, -1});
+    appendRaw(Opcode::SACL, Operand::direct(resA), Operand::none());
+    defineLabel(skip);
+    appendRaw(Opcode::LAC, Operand::direct(taA), Operand::none());
+    appendRaw(Opcode::SFL, Operand::none(), Operand::none());
+    appendRaw(Opcode::SACL, Operand::direct(taA), Operand::none());
+    appendRaw(Opcode::LAC, Operand::direct(tbA), Operand::none());
+    appendRaw(Opcode::SFR, Operand::none(), Operand::none(), {-1, 0});
+    appendRaw(Opcode::SACL, Operand::direct(tbA), Operand::none());
+    if (ctr) {
+      appendRaw(Opcode::BANZ, Operand::imm(*ctr), Operand::none(), {}, top);
+      arfile_.free(*ctr);
+    } else {
+      appendRaw(Opcode::LAC, Operand::direct(cntAddr), Operand::none());
+      appendRaw(Opcode::SUBK, Operand::imm(1), Operand::none());
+      appendRaw(Opcode::SACL, Operand::direct(cntAddr), Operand::none());
+      appendRaw(Opcode::BGEZ, Operand::none(), Operand::none(), {}, top);
+    }
+  }
+
+  /// Pre-optimization-era codegen: every interior operation lands in its
+  /// own memory temporary.
+  ExprPtr atomize(const ExprPtr& e, bool isRoot) {
+    if (opIsLeaf(e->op)) return e;
+    std::vector<ExprPtr> kids;
+    for (const auto& k : e->kids) kids.push_back(atomize(k, false));
+    ExprPtr out;
+    if (e->op == Op::ArrayRef)
+      out = Expr::arrayRef(e->sym, kids[0]);
+    else if (kids.size() == 1)
+      out = Expr::unary(e->op, kids[0]);
+    else
+      out = Expr::binary(e->op, kids[0], kids[1]);
+    if (isRoot || e->op == Op::ArrayRef) return out;
+    Symbol* t = newSynthVar("$a" + std::to_string(synthN_++));
+    selectAndEmit(Expr::binary(Op::Store, Expr::ref(t), out));
+    return Expr::ref(t);
+  }
+
+  void emitAssign(const Stmt& s) {
+    binder_.beginStatement();
+    ExprPtr rhs = s.rhs;
+    if (opt_.foldConstants) rhs = foldConstants(rhs);
+    if (!cfg_.hasMac && !cfg_.hasDualMul) rhs = legalizeMuls(rhs);
+    rhs = hoistIndexes(rhs);
+    if (opt_.atomizeExprs) rhs = atomize(rhs, true);
+
+    ExprPtr dest;
+    bool dynamicDest = false;
+    if (s.lhsIndex) {
+      ExprPtr idx = s.lhsIndex;
+      if (opt_.foldConstants) idx = foldConstants(idx);
+      if (!cfg_.hasMac && !cfg_.hasDualMul) idx = legalizeMuls(idx);
+      idx = hoistIndexes(idx);
+      bool simpleIdx =
+          idx->op == Op::Const ||
+          (idx->op == Op::Ref &&
+           binder_.leafCost(*idx, Nonterm::Mem).has_value());
+      if (!simpleIdx) {
+        Symbol* t = newSynthVar("$idx" + std::to_string(synthN_++));
+        selectAndEmit(Expr::binary(Op::Store, Expr::ref(t), idx));
+        idx = Expr::ref(t);
+      }
+      dynamicDest = idx->op != Op::Const &&
+                    !(idx->op == Op::Ref &&
+                      idx->sym->kind == SymKind::Const);
+      dest = Expr::arrayRef(s.lhs, idx);
+    } else {
+      dest = Expr::ref(s.lhs);
+    }
+    // A dynamically addressed store needs a simple rhs, or the rhs's own
+    // dynamic accesses would clobber the scratch address register.
+    if (dynamicDest && !isSimpleLeaf(rhs)) {
+      Symbol* t = newSynthVar("$val" + std::to_string(synthN_++));
+      selectAndEmit(Expr::binary(Op::Store, Expr::ref(t), rhs));
+      rhs = Expr::ref(t);
+    }
+    selectAndEmit(Expr::binary(Op::Store, dest, rhs));
+    binder_.endStatement();
+  }
+
+  // ---- streams -------------------------------------------------------------
+  // Keyed by (symbol name, coefficient, offset) so AR allocation order is
+  // deterministic across runs.
+  using StreamKey = std::tuple<std::string, int64_t, int64_t>;
+
+  /// Any array access in `e` that can NOT become a stream of `ivar` and is
+  /// not a loop-invariant constant index (i.e. will need the scratch AR)?
+  bool hasNonStreamArrayRef(const ExprPtr& e, const Symbol* ivar) {
+    if (e->op == Op::ArrayRef) {
+      auto aff = affineIndex(e->kids[0], ivar);
+      // coeff 0 = constant index after substitution: direct addressing.
+      if (aff && aff->first >= -1 && aff->first <= 1) return false;
+      return true;
+    }
+    for (const auto& k : e->kids)
+      if (hasNonStreamArrayRef(k, ivar)) return true;
+    return false;
+  }
+
+  void addStreamOccurrence(const Symbol* sym, int64_t coeff, int64_t c0,
+                           std::map<StreamKey, StreamGroup>& groups) {
+    if (coeff != 1 && coeff != -1) return;
+    auto& g = groups[StreamKey{sym->name, coeff, c0}];
+    g.arraySym = sym;
+    g.coeff = coeff;
+    g.c0 = c0;
+    ++g.occurrences;
+  }
+
+  void findStreamsInExpr(const ExprPtr& e, const Symbol* ivar,
+                         std::map<StreamKey, StreamGroup>& groups) {
+    if (e->op == Op::ArrayRef) {
+      if (auto aff = affineIndex(e->kids[0], ivar)) {
+        addStreamOccurrence(e->sym, aff->first, aff->second, groups);
+        return;  // index contains only ivar+consts; no deeper refs
+      }
+    }
+    for (const auto& k : e->kids) findStreamsInExpr(k, ivar, groups);
+  }
+
+  ExprPtr replaceStreams(const ExprPtr& e, const Symbol* ivar,
+                         const std::map<StreamKey, StreamGroup>& groups) {
+    if (e->op == Op::ArrayRef) {
+      if (auto aff = affineIndex(e->kids[0], ivar)) {
+        auto it =
+            groups.find(StreamKey{e->sym->name, aff->first, aff->second});
+        if (it != groups.end() && it->second.streamSym)
+          return Expr::ref(it->second.streamSym);
+      }
+    }
+    if (opIsLeaf(e->op)) return e;
+    std::vector<ExprPtr> kids;
+    for (const auto& k : e->kids)
+      kids.push_back(replaceStreams(k, ivar, groups));
+    if (e->op == Op::ArrayRef) return Expr::arrayRef(e->sym, kids[0]);
+    if (kids.size() == 1) return Expr::unary(e->op, kids[0]);
+    return Expr::binary(e->op, kids[0], kids[1]);
+  }
+
+  // ---- loops ----------------------------------------------------------------
+  void emitFor(const Stmt& s) {
+    int64_t n = s.tripCount();
+    if (n == 0) return;
+    if (n <= opt_.unrollThreshold) {
+      for (int64_t v = s.lo; (s.step > 0) ? v <= s.hi : v >= s.hi;
+           v += s.step) {
+        for (const auto& b : s.body) emitStmt(substStmt(b, s.ivar, v));
+      }
+      return;
+    }
+
+    bool bodyAllAssign = true;
+    for (const auto& b : s.body)
+      if (b.kind != Stmt::Kind::Assign) bodyAllAssign = false;
+
+    // 1. Stream detection and AR allocation.
+    std::map<StreamKey, StreamGroup> groups;
+    bool useScratch = false;
+    if (opt_.useStreams && bodyAllAssign && s.step == 1) {
+      bool leftoverDynamic = false;  // array access that will NOT stream
+      for (const auto& b : s.body) {
+        findStreamsInExpr(b.rhs, s.ivar, groups);
+        leftoverDynamic |= hasNonStreamArrayRef(b.rhs, s.ivar);
+        if (b.lhsIndex) {
+          // The write access itself is a stream candidate...
+          if (auto aff = affineIndex(b.lhsIndex, s.ivar)) {
+            addStreamOccurrence(b.lhs, aff->first, aff->second, groups);
+            if (aff->first != 1 && aff->first != -1) leftoverDynamic = true;
+          } else {
+            // ...and a non-affine index may contain streamable reads.
+            findStreamsInExpr(b.lhsIndex, s.ivar, groups);
+            leftoverDynamic = true;
+          }
+          leftoverDynamic |= hasNonStreamArrayRef(b.lhsIndex, s.ivar);
+        }
+      }
+      // The reserved scratch AR may join the pool when this loop provably
+      // performs no dynamic (non-stream) array access: every candidate
+      // group then binds purely through its own AR.
+      int wanted = static_cast<int>(groups.size()) +
+                   (opt_.arLoopCounters ? 1 : 0);
+      useScratch = !leftoverDynamic && !arfile_.scratchLeased() &&
+                   wanted <= arfile_.available() + 1;
+      for (auto it = groups.begin(); it != groups.end();) {
+        auto ar = arfile_.alloc(useScratch);
+        if (!ar) {
+          it = groups.erase(it);
+          continue;
+        }
+        StreamGroup& g = it->second;
+        g.ar = *ar;
+        g.post = g.occurrences == 1
+                     ? (g.coeff > 0 ? PostMod::Inc : PostMod::Dec)
+                     : PostMod::None;
+        g.streamSym =
+            newSynth(g.arraySym->name + "$s" + std::to_string(synthN_++));
+        ++it;
+      }
+    }
+
+    // 2. Rewrite the body with stream references.
+    std::vector<Stmt> body;
+    for (const auto& b : s.body) {
+      if (b.kind != Stmt::Kind::Assign || groups.empty()) {
+        body.push_back(b);
+        continue;
+      }
+      const Symbol* streamLhs = nullptr;
+      ExprPtr lhsIndex = b.lhsIndex;
+      if (b.lhsIndex) {
+        if (auto aff = affineIndex(b.lhsIndex, s.ivar)) {
+          auto it = groups.find(
+              StreamKey{b.lhs->name, aff->first, aff->second});
+          if (it != groups.end() && it->second.streamSym) {
+            streamLhs = it->second.streamSym;
+            lhsIndex = nullptr;
+          }
+        }
+      }
+      Stmt nb = Stmt::assign(streamLhs ? streamLhs : b.lhs,
+                             replaceStreams(b.rhs, s.ivar, groups),
+                             streamLhs ? nullptr : lhsIndex);
+      body.push_back(std::move(nb));
+    }
+
+    // 3. Materialize the induction variable if the body still needs it.
+    bool needIvar = stmtsMention(body, s.ivar);
+    if (needIvar) {
+      int addr = layout_.allocScratch(s.ivar->name);
+      binder_.addSyntheticAddr(s.ivar, addr);
+      emitLoadAccConst(s.lo);
+      appendRaw(Opcode::SACL, Operand::direct(addr), Operand::none());
+    }
+
+    // 4. Loop counter.
+    std::optional<int> ctrAr;
+    if (opt_.arLoopCounters) ctrAr = arfile_.alloc(useScratch);
+    int cntAddr = -1;
+    if (ctrAr) {
+      emitLoadArConst(*ctrAr, n - 1);
+    } else {
+      cntAddr = layout_.allocScratch("$cnt" + std::to_string(synthN_++));
+      emitLoadAccConst(n - 1);
+      appendRaw(Opcode::SACL, Operand::direct(cntAddr), Operand::none());
+    }
+
+    // 5. Stream address-register initialization; binder registration.
+    for (auto& [key, g] : groups) {
+      int64_t startIdx = g.c0 + g.coeff * s.lo;
+      emitLoadArConst(g.ar, layout_.addrOf(g.arraySym) + startIdx);
+      binder_.setStream(g.streamSym, {g.ar, g.post});
+    }
+
+    // 6. Body.
+    std::string top = freshLabel();
+    defineLabel(top);
+    // Assigns whose destination was rewritten to a stream symbol work
+    // through the ordinary path: the binder resolves Ref(streamSym) to the
+    // indirect AR operand.
+    for (const auto& b : body) emitStmt(b);
+
+    // 7. Epilogue: explicit stepping for multi-occurrence streams, ivar
+    // update, back branch.
+    for (auto& [key, g] : groups) {
+      if (g.post != PostMod::None) continue;
+      appendRaw(g.coeff > 0 ? Opcode::ADRK : Opcode::SBRK,
+                Operand::imm(g.ar), Operand::imm(1));
+    }
+    if (needIvar) {
+      int addr = binder_.addrFor(s.ivar);
+      appendRaw(Opcode::LAC, Operand::direct(addr), Operand::none());
+      if (s.step >= -128 && s.step <= 127) {
+        int mag = static_cast<int>(s.step >= 0 ? s.step : -s.step);
+        appendRaw(s.step >= 0 ? Opcode::ADDK : Opcode::SUBK,
+                  Operand::imm(mag), Operand::none());
+      } else {
+        appendRaw(Opcode::ADD,
+                  Operand::direct(layout_.constAddr(
+                      static_cast<int16_t>(wrap16(s.step)))),
+                  Operand::none());
+      }
+      appendRaw(Opcode::SACL, Operand::direct(addr), Operand::none());
+    }
+    if (ctrAr) {
+      appendRaw(Opcode::BANZ, Operand::imm(*ctrAr), Operand::none(), {},
+                top);
+      arfile_.free(*ctrAr);
+    } else {
+      appendRaw(Opcode::LAC, Operand::direct(cntAddr), Operand::none());
+      appendRaw(Opcode::SUBK, Operand::imm(1), Operand::none());
+      appendRaw(Opcode::SACL, Operand::direct(cntAddr), Operand::none());
+      appendRaw(Opcode::BGEZ, Operand::none(), Operand::none(), {}, top);
+    }
+
+    // 8. Cleanup.
+    for (auto& [key, g] : groups) {
+      binder_.clearStream(g.streamSym);
+      arfile_.free(g.ar);
+    }
+  }
+
+  void emitStmt(const Stmt& s) {
+    if (s.kind == Stmt::Kind::Assign)
+      emitAssign(s);
+    else
+      emitFor(s);
+  }
+
+  void emitStmts(const std::vector<Stmt>& body) {
+    for (const auto& s : body) emitStmt(s);
+  }
+
+  void emitDelayShifts() {
+    for (const Symbol* sym : prog_.storageSymbols()) {
+      if (sym->delayDepth <= 0) continue;
+      int base = layout_.addrOf(sym);
+      for (int k = sym->delayDepth; k >= 1; --k) {
+        if (cfg_.hasDmov) {
+          appendRaw(Opcode::DMOV, Operand::direct(base + k - 1),
+                    Operand::none());
+        } else {
+          appendRaw(Opcode::LAC, Operand::direct(base + k - 1),
+                    Operand::none());
+          appendRaw(Opcode::SACL, Operand::direct(base + k),
+                    Operand::none());
+        }
+      }
+    }
+  }
+
+  const TargetConfig& cfg_;
+  const CodegenOptions& opt_;
+  BursMatcher matcher_;
+  DataLayout layout_;
+  ArFile arfile_;
+  CodegenBinder binder_;
+  const Program& prog_;
+  std::vector<std::unique_ptr<Symbol>> synths_;
+  std::vector<MInstr> code_;
+  std::string pendingLabel_;
+  int labelN_ = 0;
+  int synthN_ = 0;
+  CompileStats stats_;
+};
+
+}  // namespace
+
+RecordCompiler::RecordCompiler(TargetConfig cfg, CodegenOptions opt)
+    : cfg_(std::move(cfg)), opt_(opt), rules_(buildTdspRules(cfg_)) {}
+
+RecordCompiler::RecordCompiler(RuleSet rules, CodegenOptions opt)
+    : cfg_(rules.config), opt_(opt), rules_(std::move(rules)) {}
+
+CompileResult RecordCompiler::compile(const Program& prog) const {
+  if (!cfg_.hasSat && programUsesSat(prog.body))
+    throw std::runtime_error(
+        "program uses saturating arithmetic but target " + cfg_.describe() +
+        " has no saturation mode");
+  BankAssignment banks;
+  const BankAssignment* banksPtr = nullptr;
+  if (opt_.memBankOpt && cfg_.hasDualMul && cfg_.memBanks >= 2) {
+    banks = assignBanks(collectMulPairs(prog));
+    banksPtr = &banks;
+  }
+  Emitter em(cfg_, opt_, rules_, prog, banksPtr);
+  return em.run();
+}
+
+}  // namespace record

@@ -1,0 +1,94 @@
+// The RECORD compilation pipeline (Fig. 2 of the paper):
+//
+//   DFL program --(frontend)--> data-flow trees
+//     --(algebraic rewriting x BURS matching, pick cheapest cover)-->
+//   sequential code
+//     --(accumulator promotion, mode minimization, compaction,
+//        loop transforms, peephole; bank-aware layout)-->
+//   executable tdsp program
+//
+// All pieces are options so the same driver realizes both the RECORD
+// configuration and the target-specific "baseline" compiler of the Table 1
+// comparison (see baseline.h), plus every ablation of the benches.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "ir/program.h"
+#include "isel/burs.h"
+#include "opt/accpromote.h"
+#include "opt/compact.h"
+#include "opt/looptrans.h"
+#include "opt/membank.h"
+#include "opt/modeopt.h"
+#include "opt/peephole.h"
+#include "target/config.h"
+#include "target/isd.h"
+
+namespace record {
+
+struct CodegenOptions {
+  CostKind cost = CostKind::Size;
+  /// Max algebraically equivalent trees tried per statement (<=1 disables
+  /// rewriting -- §4.3.3's optimization loop).
+  int rewriteBudget = 48;
+  /// Fold constant subexpressions before selection. RECORD famously does
+  /// NOT do this (§4.3.5); the baseline compiler does.
+  bool foldConstants = false;
+  /// Route every intermediate result through memory (one operation per
+  /// statement) -- models pre-optimization-era compilers that map source
+  /// temporaries to memory "virtual registers" (the §3.1 overhead story).
+  bool atomizeExprs = false;
+  bool useStreams = true;       // AR-based array streaming in loops
+  bool arLoopCounters = true;   // BANZ counter in an AR vs. memory counter
+  int unrollThreshold = 2;      // fully unroll loops up to this trip count
+  bool accPromote = true;       // keep loop-carried scalars in ACC
+  CompactMode compaction = CompactMode::List;
+  bool modeOpt = true;          // minimized vs. naive mode switching
+  bool memBankOpt = true;       // dual-bank variable assignment
+  bool loopTransforms = true;   // RPT conversion / MAC pipelining
+  bool peephole = true;
+};
+
+struct CompileStats {
+  int sizeWords = 0;
+  int statements = 0;
+  int variantsTried = 0;
+  int patternsUsed = 0;
+  AccPromoteStats promote;
+  ModeOptStats modes;
+  CompactStats compacted;
+  LoopTransStats loops;
+  PeepholeStats peep;
+};
+
+struct CompileResult {
+  TargetProgram prog;
+  CompileStats stats;
+};
+
+class RecordCompiler {
+ public:
+  explicit RecordCompiler(TargetConfig cfg, CodegenOptions opt = {});
+
+  /// Retarget from an explicit instruction-set description (e.g. parsed
+  /// from ISD text or derived by instruction-set extraction) instead of the
+  /// built-in tdsp rules -- the paper's "the target model must be explicit".
+  RecordCompiler(RuleSet rules, CodegenOptions opt);
+
+  /// Compile a lowered DFL program. Throws std::runtime_error on
+  /// target-capability violations (e.g. saturating ops without hasSat).
+  CompileResult compile(const Program& prog) const;
+
+  const TargetConfig& config() const { return cfg_; }
+  const CodegenOptions& options() const { return opt_; }
+  const RuleSet& rules() const { return rules_; }
+
+ private:
+  TargetConfig cfg_;
+  CodegenOptions opt_;
+  RuleSet rules_;
+};
+
+}  // namespace record

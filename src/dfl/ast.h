@@ -1,0 +1,65 @@
+// Untyped syntax tree produced by the parser; the lowering pass resolves
+// names, evaluates constant expressions and emits the typed IR Program.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "dfl/token.h"
+#include "ir/type.h"
+
+namespace record::dfl {
+
+struct AstExpr;
+using AstExprPtr = std::unique_ptr<AstExpr>;
+
+struct AstExpr {
+  enum class Kind : uint8_t { Number, Name, Index, Delay, Unary, Binary };
+
+  Kind kind = Kind::Number;
+  SourceLoc loc;
+  int64_t number = 0;   // Number value; Delay depth
+  std::string name;     // Name / Index / Delay
+  Tok op = Tok::Plus;   // Unary / Binary operator token
+  AstExprPtr lhs;       // Unary operand; Binary lhs; Index subscript
+  AstExprPtr rhs;       // Binary rhs
+};
+
+struct AstStmt {
+  enum class Kind : uint8_t { Assign, For };
+
+  Kind kind = Kind::Assign;
+  SourceLoc loc;
+
+  // Assign
+  std::string lhsName;
+  AstExprPtr lhsIndex;  // null for scalar targets
+  AstExprPtr rhs;
+
+  // For
+  std::string ivar;
+  AstExprPtr lo, hi, step;  // step may be null (defaults to 1)
+  std::vector<AstStmt> body;
+};
+
+struct AstDecl {
+  enum class Kind : uint8_t { Input, Output, Var, Const };
+
+  Kind kind = Kind::Var;
+  SourceLoc loc;
+  std::string name;
+  AstExprPtr arraySize;  // null for scalars
+  AstExprPtr delay;      // null if no delay-line declaration
+  Type type = Type::Fix;
+  AstExprPtr constInit;  // Kind::Const only
+};
+
+struct AstProgram {
+  std::string name;
+  std::vector<AstDecl> decls;
+  std::vector<AstStmt> body;
+};
+
+}  // namespace record::dfl

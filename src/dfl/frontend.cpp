@@ -1,0 +1,29 @@
+#include "dfl/frontend.h"
+
+#include <stdexcept>
+
+#include "dfl/lexer.h"
+#include "dfl/lower.h"
+#include "dfl/parser.h"
+
+namespace record::dfl {
+
+std::optional<Program> parseDfl(const std::string& source, DiagEngine& diag) {
+  Lexer lex(source, diag);
+  auto toks = lex.lexAll();
+  if (diag.hasErrors()) return std::nullopt;
+  Parser parser(std::move(toks), diag);
+  auto ast = parser.parseProgram();
+  if (!ast) return std::nullopt;
+  return lower(*ast, diag);
+}
+
+Program parseDflOrDie(const std::string& source) {
+  DiagEngine diag;
+  auto prog = parseDfl(source, diag);
+  if (!prog)
+    throw std::runtime_error("DFL compilation failed:\n" + diag.str());
+  return std::move(*prog);
+}
+
+}  // namespace record::dfl

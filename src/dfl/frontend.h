@@ -1,0 +1,22 @@
+// One-call facade over lexer + parser + lowering: DFL source text in,
+// IR Program out.
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "ir/program.h"
+#include "support/diag.h"
+
+namespace record::dfl {
+
+/// Compile DFL source into an IR program. Returns nullopt on any error;
+/// diagnostics describe what went wrong.
+std::optional<Program> parseDfl(const std::string& source, DiagEngine& diag);
+
+/// Convenience wrapper that throws std::runtime_error with the rendered
+/// diagnostics on failure. Used by tests, benches and examples where a
+/// malformed built-in kernel is a programming error.
+Program parseDflOrDie(const std::string& source);
+
+}  // namespace record::dfl

@@ -1,0 +1,221 @@
+#include "dfl/lexer.h"
+
+#include <cctype>
+#include <map>
+
+namespace record::dfl {
+
+const char* tokName(Tok t) {
+  switch (t) {
+    case Tok::End: return "<eof>";
+    case Tok::Ident: return "identifier";
+    case Tok::Number: return "number";
+    case Tok::KwProgram: return "'program'";
+    case Tok::KwInput: return "'input'";
+    case Tok::KwOutput: return "'output'";
+    case Tok::KwVar: return "'var'";
+    case Tok::KwConst: return "'const'";
+    case Tok::KwDelay: return "'delay'";
+    case Tok::KwFix: return "'fix'";
+    case Tok::KwInt: return "'int'";
+    case Tok::KwBegin: return "'begin'";
+    case Tok::KwEnd: return "'end'";
+    case Tok::KwFor: return "'for'";
+    case Tok::KwTo: return "'to'";
+    case Tok::KwStep: return "'step'";
+    case Tok::KwDo: return "'do'";
+    case Tok::KwEndfor: return "'endfor'";
+    case Tok::Semi: return "';'";
+    case Tok::Colon: return "':'";
+    case Tok::Assign: return "':='";
+    case Tok::Comma: return "','";
+    case Tok::LParen: return "'('";
+    case Tok::RParen: return "')'";
+    case Tok::LBracket: return "'['";
+    case Tok::RBracket: return "']'";
+    case Tok::Plus: return "'+'";
+    case Tok::Minus: return "'-'";
+    case Tok::Star: return "'*'";
+    case Tok::PlusSat: return "'+|'";
+    case Tok::MinusSat: return "'-|'";
+    case Tok::Shl: return "'<<'";
+    case Tok::Shr: return "'>>'";
+    case Tok::Shru: return "'>>>'";
+    case Tok::At: return "'@'";
+    case Tok::Eq: return "'='";
+    case Tok::Amp: return "'&'";
+    case Tok::Pipe: return "'|'";
+    case Tok::Caret: return "'^'";
+  }
+  return "?";
+}
+
+namespace {
+const std::map<std::string, Tok>& keywords() {
+  static const std::map<std::string, Tok> kw = {
+      {"program", Tok::KwProgram}, {"input", Tok::KwInput},
+      {"output", Tok::KwOutput},   {"var", Tok::KwVar},
+      {"const", Tok::KwConst},     {"delay", Tok::KwDelay},
+      {"fix", Tok::KwFix},         {"int", Tok::KwInt},
+      {"begin", Tok::KwBegin},     {"end", Tok::KwEnd},
+      {"for", Tok::KwFor},         {"to", Tok::KwTo},
+      {"step", Tok::KwStep},       {"do", Tok::KwDo},
+      {"endfor", Tok::KwEndfor},
+  };
+  return kw;
+}
+}  // namespace
+
+Lexer::Lexer(std::string source, DiagEngine& diag)
+    : src_(std::move(source)), diag_(diag) {}
+
+char Lexer::peek(int ahead) const {
+  size_t i = pos_ + static_cast<size_t>(ahead);
+  return i < src_.size() ? src_[i] : '\0';
+}
+
+char Lexer::advance() {
+  char c = src_[pos_++];
+  if (c == '\n') {
+    ++line_;
+    col_ = 1;
+  } else {
+    ++col_;
+  }
+  return c;
+}
+
+bool Lexer::atEnd() const { return pos_ >= src_.size(); }
+
+SourceLoc Lexer::here() const { return {line_, col_}; }
+
+Token Lexer::next() {
+  // Skip whitespace and comments.
+  while (!atEnd()) {
+    char c = peek();
+    if (c == ' ' || c == '\t' || c == '\r' || c == '\n') {
+      advance();
+    } else if (c == '/' && peek(1) == '/') {
+      while (!atEnd() && peek() != '\n') advance();
+    } else {
+      break;
+    }
+  }
+  Token t;
+  t.loc = here();
+  if (atEnd()) {
+    t.kind = Tok::End;
+    return t;
+  }
+  char c = advance();
+  if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+    std::string id(1, c);
+    while (!atEnd() && (std::isalnum(static_cast<unsigned char>(peek())) ||
+                        peek() == '_'))
+      id.push_back(advance());
+    auto it = keywords().find(id);
+    t.kind = it != keywords().end() ? it->second : Tok::Ident;
+    t.text = std::move(id);
+    return t;
+  }
+  if (std::isdigit(static_cast<unsigned char>(c))) {
+    int64_t v = c - '0';
+    // Hex literals: 0x...
+    if (v == 0 && (peek() == 'x' || peek() == 'X')) {
+      advance();
+      int64_t h = 0;
+      bool any = false;
+      while (!atEnd() &&
+             std::isxdigit(static_cast<unsigned char>(peek()))) {
+        char d = advance();
+        any = true;
+        h = h * 16 + (std::isdigit(static_cast<unsigned char>(d))
+                          ? d - '0'
+                          : std::tolower(d) - 'a' + 10);
+      }
+      if (!any) diag_.error(t.loc, "hex literal with no digits");
+      t.kind = Tok::Number;
+      t.number = h;
+      return t;
+    }
+    while (!atEnd() && std::isdigit(static_cast<unsigned char>(peek())))
+      v = v * 10 + (advance() - '0');
+    t.kind = Tok::Number;
+    t.number = v;
+    return t;
+  }
+  switch (c) {
+    case ';': t.kind = Tok::Semi; return t;
+    case ',': t.kind = Tok::Comma; return t;
+    case '(': t.kind = Tok::LParen; return t;
+    case ')': t.kind = Tok::RParen; return t;
+    case '[': t.kind = Tok::LBracket; return t;
+    case ']': t.kind = Tok::RBracket; return t;
+    case '*': t.kind = Tok::Star; return t;
+    case '@': t.kind = Tok::At; return t;
+    case '=': t.kind = Tok::Eq; return t;
+    case '&': t.kind = Tok::Amp; return t;
+    case '|': t.kind = Tok::Pipe; return t;
+    case '^': t.kind = Tok::Caret; return t;
+    case ':':
+      if (peek() == '=') {
+        advance();
+        t.kind = Tok::Assign;
+      } else {
+        t.kind = Tok::Colon;
+      }
+      return t;
+    case '+':
+      if (peek() == '|') {
+        advance();
+        t.kind = Tok::PlusSat;
+      } else {
+        t.kind = Tok::Plus;
+      }
+      return t;
+    case '-':
+      if (peek() == '|') {
+        advance();
+        t.kind = Tok::MinusSat;
+      } else {
+        t.kind = Tok::Minus;
+      }
+      return t;
+    case '<':
+      if (peek() == '<') {
+        advance();
+        t.kind = Tok::Shl;
+        return t;
+      }
+      break;
+    case '>':
+      if (peek() == '>') {
+        advance();
+        if (peek() == '>') {
+          advance();
+          t.kind = Tok::Shru;
+        } else {
+          t.kind = Tok::Shr;
+        }
+        return t;
+      }
+      break;
+    default:
+      break;
+  }
+  diag_.error(t.loc, std::string("unexpected character '") + c + "'");
+  return next();
+}
+
+std::vector<Token> Lexer::lexAll() {
+  std::vector<Token> out;
+  for (;;) {
+    Token t = next();
+    bool end = (t.kind == Tok::End);
+    out.push_back(std::move(t));
+    if (end) break;
+  }
+  return out;
+}
+
+}  // namespace record::dfl

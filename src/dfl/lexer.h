@@ -1,0 +1,34 @@
+// Hand-written lexer for the DFL subset. Comments: `//` to end of line.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "dfl/token.h"
+#include "support/diag.h"
+
+namespace record::dfl {
+
+class Lexer {
+ public:
+  Lexer(std::string source, DiagEngine& diag);
+
+  /// Tokenize the whole input. On lexical errors, diagnostics are recorded
+  /// and the offending characters skipped.
+  std::vector<Token> lexAll();
+
+ private:
+  Token next();
+  char peek(int ahead = 0) const;
+  char advance();
+  bool atEnd() const;
+  SourceLoc here() const;
+
+  std::string src_;
+  size_t pos_ = 0;
+  int line_ = 1;
+  int col_ = 1;
+  DiagEngine& diag_;
+};
+
+}  // namespace record::dfl

@@ -1,0 +1,266 @@
+#include "dfl/lower.h"
+
+#include <map>
+#include <memory>
+
+namespace record::dfl {
+
+namespace {
+
+class Lowerer {
+ public:
+  Lowerer(const AstProgram& ast, DiagEngine& diag) : ast_(ast), diag_(diag) {}
+
+  std::optional<Program> run() {
+    prog_ = std::make_unique<Program>();
+    prog_->name = ast_.name;
+    for (const auto& d : ast_.decls) lowerDecl(d);
+    for (const auto& s : ast_.body) {
+      auto st = lowerStmt(s);
+      if (st) prog_->body.push_back(std::move(*st));
+    }
+    if (diag_.hasErrors()) return std::nullopt;
+    return std::move(*prog_);
+  }
+
+ private:
+  // ---- constant expression evaluation (decl sizes, loop bounds) ----------
+  std::optional<int64_t> evalConst(const AstExpr& e) {
+    switch (e.kind) {
+      case AstExpr::Kind::Number:
+        return e.number;
+      case AstExpr::Kind::Name: {
+        const Symbol* s = prog_->symbols.lookup(e.name);
+        if (s && s->kind == SymKind::Const) return s->constValue;
+        diag_.error(e.loc, "'" + e.name + "' is not a compile-time constant");
+        return std::nullopt;
+      }
+      case AstExpr::Kind::Unary: {
+        auto v = evalConst(*e.lhs);
+        if (!v) return std::nullopt;
+        return -*v;
+      }
+      case AstExpr::Kind::Binary: {
+        auto a = evalConst(*e.lhs);
+        auto b = evalConst(*e.rhs);
+        if (!a || !b) return std::nullopt;
+        switch (e.op) {
+          case Tok::Plus:
+          case Tok::PlusSat: return *a + *b;
+          case Tok::Minus:
+          case Tok::MinusSat: return *a - *b;
+          case Tok::Star: return *a * *b;
+          case Tok::Shl: return *a << (*b & 31);
+          case Tok::Shr: return *a >> (*b & 31);
+          case Tok::Shru:
+            return static_cast<int64_t>(
+                (static_cast<uint64_t>(*a) & 0xffffffffull) >> (*b & 31));
+          default: break;
+        }
+        diag_.error(e.loc, "operator not allowed in constant expression");
+        return std::nullopt;
+      }
+      default:
+        diag_.error(e.loc, "not a constant expression");
+        return std::nullopt;
+    }
+  }
+
+  void lowerDecl(const AstDecl& d) {
+    if (prog_->symbols.lookup(d.name)) {
+      diag_.error(d.loc, "redefinition of '" + d.name + "'");
+      return;
+    }
+    Symbol sym;
+    sym.name = d.name;
+    sym.type = d.type;
+    switch (d.kind) {
+      case AstDecl::Kind::Input: sym.kind = SymKind::Input; break;
+      case AstDecl::Kind::Output: sym.kind = SymKind::Output; break;
+      case AstDecl::Kind::Var: sym.kind = SymKind::Var; break;
+      case AstDecl::Kind::Const: {
+        sym.kind = SymKind::Const;
+        sym.type = Type::Int;
+        auto v = evalConst(*d.constInit);
+        if (v) sym.constValue = *v;
+        prog_->symbols.define(std::move(sym));
+        return;
+      }
+    }
+    if (d.arraySize) {
+      auto n = evalConst(*d.arraySize);
+      if (n) {
+        if (*n <= 0 || *n > 4096)
+          diag_.error(d.loc, "array size out of range (1..4096)");
+        else
+          sym.arraySize = static_cast<int>(*n);
+      }
+    }
+    if (d.delay) {
+      auto n = evalConst(*d.delay);
+      if (n) {
+        if (*n <= 0 || *n > 256)
+          diag_.error(d.loc, "delay depth out of range (1..256)");
+        else if (sym.isArray())
+          diag_.error(d.loc, "arrays cannot be delayed signals");
+        else
+          sym.delayDepth = static_cast<int>(*n);
+      }
+    }
+    prog_->symbols.define(std::move(sym));
+  }
+
+  ExprPtr lowerExpr(const AstExpr& e) {
+    switch (e.kind) {
+      case AstExpr::Kind::Number:
+        return Expr::constant(e.number, Type::Int);
+      case AstExpr::Kind::Name: {
+        const Symbol* s = prog_->symbols.lookup(e.name);
+        if (!s) {
+          diag_.error(e.loc, "undeclared identifier '" + e.name + "'");
+          return Expr::constant(0);
+        }
+        if (s->isArray()) {
+          diag_.error(e.loc, "array '" + e.name + "' used without index");
+          return Expr::constant(0);
+        }
+        // Constants resolve at lowering time (name resolution, not an
+        // optimization): index arithmetic and shift amounts must see them.
+        if (s->kind == SymKind::Const)
+          return Expr::constant(s->constValue, Type::Int);
+        return Expr::ref(s);
+      }
+      case AstExpr::Kind::Index: {
+        const Symbol* s = prog_->symbols.lookup(e.name);
+        if (!s) {
+          diag_.error(e.loc, "undeclared identifier '" + e.name + "'");
+          return Expr::constant(0);
+        }
+        if (!s->isArray()) {
+          diag_.error(e.loc, "'" + e.name + "' is not an array");
+          return Expr::constant(0);
+        }
+        auto idx = lowerExpr(*e.lhs);
+        if (idx->op == Op::Const &&
+            (idx->value < 0 || idx->value >= s->arraySize))
+          diag_.error(e.loc, "constant index out of bounds for '" + e.name +
+                                 "'");
+        return Expr::arrayRef(s, std::move(idx));
+      }
+      case AstExpr::Kind::Delay: {
+        const Symbol* s = prog_->symbols.lookup(e.name);
+        if (!s) {
+          diag_.error(e.loc, "undeclared identifier '" + e.name + "'");
+          return Expr::constant(0);
+        }
+        if (e.number < 1 || e.number > s->delayDepth) {
+          diag_.error(e.loc, "'" + e.name + "@" + std::to_string(e.number) +
+                                 "' exceeds declared delay depth " +
+                                 std::to_string(s->delayDepth));
+          return Expr::constant(0);
+        }
+        return Expr::ref(s, static_cast<int>(e.number));
+      }
+      case AstExpr::Kind::Unary:
+        return Expr::unary(Op::Neg, lowerExpr(*e.lhs));
+      case AstExpr::Kind::Binary: {
+        auto a = lowerExpr(*e.lhs);
+        auto b = lowerExpr(*e.rhs);
+        Op op;
+        switch (e.op) {
+          case Tok::Plus: op = Op::Add; break;
+          case Tok::Minus: op = Op::Sub; break;
+          case Tok::Star: op = Op::Mul; break;
+          case Tok::PlusSat: op = Op::SatAdd; break;
+          case Tok::MinusSat: op = Op::SatSub; break;
+          case Tok::Shl: op = Op::Shl; break;
+          case Tok::Shr: op = Op::Shr; break;
+          case Tok::Shru: op = Op::Shru; break;
+          case Tok::Amp: op = Op::And; break;
+          case Tok::Pipe: op = Op::Or; break;
+          case Tok::Caret: op = Op::Xor; break;
+          default:
+            diag_.error(e.loc, "bad binary operator");
+            return a;
+        }
+        if ((op == Op::Shl || op == Op::Shr || op == Op::Shru) &&
+            b->op != Op::Const)
+          diag_.error(e.loc, "shift amount must be a constant");
+        return Expr::binary(op, std::move(a), std::move(b));
+      }
+    }
+    return Expr::constant(0);
+  }
+
+  std::optional<Stmt> lowerStmt(const AstStmt& s) {
+    if (s.kind == AstStmt::Kind::Assign) {
+      const Symbol* lhs = prog_->symbols.lookup(s.lhsName);
+      if (!lhs) {
+        diag_.error(s.loc, "undeclared identifier '" + s.lhsName + "'");
+        return std::nullopt;
+      }
+      if (lhs->kind == SymKind::Input || lhs->kind == SymKind::Const ||
+          lhs->kind == SymKind::Induction) {
+        diag_.error(s.loc, "cannot assign to " + symKindName(lhs->kind) +
+                               " '" + s.lhsName + "'");
+        return std::nullopt;
+      }
+      ExprPtr idx;
+      if (s.lhsIndex) {
+        if (!lhs->isArray()) {
+          diag_.error(s.loc, "'" + s.lhsName + "' is not an array");
+          return std::nullopt;
+        }
+        idx = lowerExpr(*s.lhsIndex);
+      } else if (lhs->isArray()) {
+        diag_.error(s.loc, "array '" + s.lhsName + "' assigned without index");
+        return std::nullopt;
+      }
+      return Stmt::assign(lhs, lowerExpr(*s.rhs), std::move(idx));
+    }
+    // For loop: bounds must be compile-time constants.
+    auto lo = evalConst(*s.lo);
+    auto hi = evalConst(*s.hi);
+    int64_t step = 1;
+    if (s.step) {
+      auto st = evalConst(*s.step);
+      if (st) step = *st;
+      if (step == 0) {
+        diag_.error(s.loc, "loop step must be nonzero");
+        step = 1;
+      }
+    }
+    if (!lo || !hi) return std::nullopt;
+    if (prog_->symbols.lookup(s.ivar)) {
+      diag_.error(s.loc, "loop variable '" + s.ivar + "' shadows declaration");
+      return std::nullopt;
+    }
+    Symbol iv;
+    iv.name = s.ivar;
+    iv.kind = SymKind::Induction;
+    iv.type = Type::Int;
+    Symbol* ivar = prog_->symbols.define(std::move(iv));
+    std::vector<Stmt> body;
+    for (const auto& b : s.body) {
+      auto st = lowerStmt(b);
+      if (st) body.push_back(std::move(*st));
+    }
+    // Induction variable stays defined (it is referenced by the body), but
+    // rename it so a later loop can reuse the source name.
+    ivar->name = s.ivar + "." + std::to_string(loopCounter_++);
+    return Stmt::forLoop(ivar, *lo, *hi, step, std::move(body));
+  }
+
+  const AstProgram& ast_;
+  DiagEngine& diag_;
+  std::unique_ptr<Program> prog_;
+  int loopCounter_ = 0;
+};
+
+}  // namespace
+
+std::optional<Program> lower(const AstProgram& ast, DiagEngine& diag) {
+  return Lowerer(ast, diag).run();
+}
+
+}  // namespace record::dfl

@@ -1,0 +1,18 @@
+// Semantic analysis + lowering: resolves names, evaluates compile-time
+// constant expressions (array sizes, delays, loop bounds), checks delayed
+// accesses against declared delay depths, and produces the typed IR Program.
+#pragma once
+
+#include <optional>
+
+#include "dfl/ast.h"
+#include "ir/program.h"
+#include "support/diag.h"
+
+namespace record::dfl {
+
+/// Lower a parsed program. Returns nullopt (with diagnostics) on semantic
+/// errors. The returned Program owns its symbol table.
+std::optional<Program> lower(const AstProgram& ast, DiagEngine& diag);
+
+}  // namespace record::dfl

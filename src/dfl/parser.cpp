@@ -1,0 +1,262 @@
+#include "dfl/parser.h"
+
+#include <utility>
+
+namespace record::dfl {
+
+namespace {
+AstExprPtr mkNumber(int64_t v, SourceLoc loc) {
+  auto e = std::make_unique<AstExpr>();
+  e->kind = AstExpr::Kind::Number;
+  e->number = v;
+  e->loc = loc;
+  return e;
+}
+}  // namespace
+
+Parser::Parser(std::vector<Token> tokens, DiagEngine& diag)
+    : toks_(std::move(tokens)), diag_(diag) {
+  if (toks_.empty()) toks_.push_back(Token{});
+}
+
+const Token& Parser::peek(int ahead) const {
+  size_t i = pos_ + static_cast<size_t>(ahead);
+  return i < toks_.size() ? toks_[i] : toks_.back();
+}
+
+const Token& Parser::advance() {
+  const Token& t = toks_[pos_];
+  if (pos_ + 1 < toks_.size()) ++pos_;
+  return t;
+}
+
+bool Parser::match(Tok k) {
+  if (check(k)) {
+    advance();
+    return true;
+  }
+  return false;
+}
+
+bool Parser::expect(Tok k, const char* context) {
+  if (match(k)) return true;
+  diag_.error(peek().loc, std::string("expected ") + tokName(k) + " " +
+                              context + ", found " + tokName(peek().kind));
+  return false;
+}
+
+std::optional<AstProgram> Parser::parseProgram() {
+  AstProgram prog;
+  expect(Tok::KwProgram, "at start of program");
+  if (check(Tok::Ident)) prog.name = advance().text;
+  else diag_.error(peek().loc, "expected program name");
+  expect(Tok::Semi, "after program name");
+
+  while (check(Tok::KwInput) || check(Tok::KwOutput) || check(Tok::KwVar) ||
+         check(Tok::KwConst)) {
+    prog.decls.push_back(parseDecl());
+  }
+  expect(Tok::KwBegin, "before statements");
+  while (!check(Tok::KwEnd) && !check(Tok::End)) {
+    prog.body.push_back(parseStmt());
+    if (diag_.hasErrors() && check(Tok::End)) break;
+  }
+  expect(Tok::KwEnd, "at end of program");
+  if (diag_.hasErrors()) return std::nullopt;
+  return prog;
+}
+
+AstDecl Parser::parseDecl() {
+  AstDecl d;
+  d.loc = peek().loc;
+  switch (peek().kind) {
+    case Tok::KwInput: d.kind = AstDecl::Kind::Input; break;
+    case Tok::KwOutput: d.kind = AstDecl::Kind::Output; break;
+    case Tok::KwVar: d.kind = AstDecl::Kind::Var; break;
+    case Tok::KwConst: d.kind = AstDecl::Kind::Const; break;
+    default: break;
+  }
+  advance();
+  if (check(Tok::Ident)) d.name = advance().text;
+  else diag_.error(peek().loc, "expected declaration name");
+
+  if (d.kind == AstDecl::Kind::Const) {
+    expect(Tok::Eq, "in const declaration");
+    d.constInit = parseExpr();
+    expect(Tok::Semi, "after const declaration");
+    return d;
+  }
+  if (match(Tok::LBracket)) {
+    d.arraySize = parseExpr();
+    expect(Tok::RBracket, "after array size");
+  }
+  if (match(Tok::KwDelay)) d.delay = parseExpr();
+  expect(Tok::Colon, "before type");
+  if (match(Tok::KwFix)) d.type = Type::Fix;
+  else if (match(Tok::KwInt)) d.type = Type::Int;
+  else diag_.error(peek().loc, "expected type 'fix' or 'int'");
+  expect(Tok::Semi, "after declaration");
+  return d;
+}
+
+AstStmt Parser::parseStmt() {
+  AstStmt s;
+  s.loc = peek().loc;
+  if (match(Tok::KwFor)) {
+    s.kind = AstStmt::Kind::For;
+    if (check(Tok::Ident)) s.ivar = advance().text;
+    else diag_.error(peek().loc, "expected loop variable");
+    expect(Tok::Assign, "in for header");
+    s.lo = parseExpr();
+    expect(Tok::KwTo, "in for header");
+    s.hi = parseExpr();
+    if (match(Tok::KwStep)) s.step = parseExpr();
+    expect(Tok::KwDo, "after for header");
+    while (!check(Tok::KwEndfor) && !check(Tok::End)) {
+      s.body.push_back(parseStmt());
+      if (diag_.hasErrors() && check(Tok::End)) break;
+    }
+    expect(Tok::KwEndfor, "at end of loop");
+    match(Tok::Semi);
+    return s;
+  }
+  s.kind = AstStmt::Kind::Assign;
+  if (check(Tok::Ident)) s.lhsName = advance().text;
+  else {
+    diag_.error(peek().loc, "expected statement");
+    advance();
+    return s;
+  }
+  if (match(Tok::LBracket)) {
+    s.lhsIndex = parseExpr();
+    expect(Tok::RBracket, "after store index");
+  }
+  expect(Tok::Assign, "in assignment");
+  s.rhs = parseExpr();
+  expect(Tok::Semi, "after assignment");
+  return s;
+}
+
+AstExprPtr Parser::parseExpr() {
+  auto lhs = parseAdd();
+  while (check(Tok::Amp) || check(Tok::Caret) || check(Tok::Pipe)) {
+    Tok op = advance().kind;
+    auto rhs = parseAdd();
+    auto e = std::make_unique<AstExpr>();
+    e->kind = AstExpr::Kind::Binary;
+    e->op = op;
+    e->loc = lhs ? lhs->loc : peek().loc;
+    e->lhs = std::move(lhs);
+    e->rhs = std::move(rhs);
+    lhs = std::move(e);
+  }
+  return lhs;
+}
+
+AstExprPtr Parser::parseAdd() {
+  auto lhs = parseMul();
+  while (check(Tok::Plus) || check(Tok::Minus) || check(Tok::PlusSat) ||
+         check(Tok::MinusSat)) {
+    Tok op = advance().kind;
+    auto rhs = parseMul();
+    auto e = std::make_unique<AstExpr>();
+    e->kind = AstExpr::Kind::Binary;
+    e->op = op;
+    e->loc = lhs ? lhs->loc : peek().loc;
+    e->lhs = std::move(lhs);
+    e->rhs = std::move(rhs);
+    lhs = std::move(e);
+  }
+  return lhs;
+}
+
+AstExprPtr Parser::parseMul() {
+  auto lhs = parseShift();
+  while (check(Tok::Star)) {
+    Tok op = advance().kind;
+    auto rhs = parseShift();
+    auto e = std::make_unique<AstExpr>();
+    e->kind = AstExpr::Kind::Binary;
+    e->op = op;
+    e->loc = lhs ? lhs->loc : peek().loc;
+    e->lhs = std::move(lhs);
+    e->rhs = std::move(rhs);
+    lhs = std::move(e);
+  }
+  return lhs;
+}
+
+AstExprPtr Parser::parseShift() {
+  auto lhs = parseUnary();
+  while (check(Tok::Shl) || check(Tok::Shr) || check(Tok::Shru)) {
+    Tok op = advance().kind;
+    auto rhs = parseUnary();
+    auto e = std::make_unique<AstExpr>();
+    e->kind = AstExpr::Kind::Binary;
+    e->op = op;
+    e->loc = lhs ? lhs->loc : peek().loc;
+    e->lhs = std::move(lhs);
+    e->rhs = std::move(rhs);
+    lhs = std::move(e);
+  }
+  return lhs;
+}
+
+AstExprPtr Parser::parseUnary() {
+  if (check(Tok::Minus)) {
+    SourceLoc loc = advance().loc;
+    auto e = std::make_unique<AstExpr>();
+    e->kind = AstExpr::Kind::Unary;
+    e->op = Tok::Minus;
+    e->loc = loc;
+    e->lhs = parseUnary();
+    return e;
+  }
+  return parsePrimary();
+}
+
+AstExprPtr Parser::parsePrimary() {
+  const Token& t = peek();
+  if (check(Tok::Number)) {
+    advance();
+    return mkNumber(t.number, t.loc);
+  }
+  if (check(Tok::LParen)) {
+    advance();
+    auto e = parseExpr();
+    expect(Tok::RParen, "after parenthesized expression");
+    return e;
+  }
+  if (check(Tok::Ident)) {
+    Token id = advance();
+    if (match(Tok::LBracket)) {
+      auto e = std::make_unique<AstExpr>();
+      e->kind = AstExpr::Kind::Index;
+      e->name = id.text;
+      e->loc = id.loc;
+      e->lhs = parseExpr();
+      expect(Tok::RBracket, "after array index");
+      return e;
+    }
+    if (match(Tok::At)) {
+      auto e = std::make_unique<AstExpr>();
+      e->kind = AstExpr::Kind::Delay;
+      e->name = id.text;
+      e->loc = id.loc;
+      if (check(Tok::Number)) e->number = advance().number;
+      else diag_.error(peek().loc, "expected delay depth after '@'");
+      return e;
+    }
+    auto e = std::make_unique<AstExpr>();
+    e->kind = AstExpr::Kind::Name;
+    e->name = id.text;
+    e->loc = id.loc;
+    return e;
+  }
+  diag_.error(t.loc, std::string("expected expression, found ") +
+                         tokName(t.kind));
+  advance();
+  return mkNumber(0, t.loc);
+}
+
+}  // namespace record::dfl

@@ -1,0 +1,55 @@
+// Recursive-descent parser for the DFL subset.
+//
+// Grammar sketch:
+//   program  := 'program' ident ';' { decl } 'begin' { stmt } 'end'
+//   decl     := kind ident [ '[' cexpr ']' ] [ 'delay' cexpr ] ':' type ';'
+//             | 'const' ident '=' cexpr ';'
+//   stmt     := ident [ '[' expr ']' ] ':=' expr ';'
+//             | 'for' ident ':=' cexpr 'to' cexpr [ 'step' cexpr ]
+//               'do' { stmt } 'endfor' [';']
+//   expr     := band { ('&'|'^'|'|') band }   (bitwise, lowest, no mixing)
+//   band     := mul { ('+'|'-'|'+|'|'-|') mul }
+//   mul      := shift { '*' shift }
+//   shift    := unary { ('<<'|'>>'|'>>>') unary }
+//   unary    := '-' unary | primary
+//   primary  := number | ident [ '[' expr ']' | '@' number ] | '(' expr ')'
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "dfl/ast.h"
+#include "dfl/token.h"
+#include "support/diag.h"
+
+namespace record::dfl {
+
+class Parser {
+ public:
+  Parser(std::vector<Token> tokens, DiagEngine& diag);
+
+  /// Parse a whole program. Returns nullopt if any syntax error occurred.
+  std::optional<AstProgram> parseProgram();
+
+ private:
+  const Token& peek(int ahead = 0) const;
+  const Token& advance();
+  bool check(Tok k) const { return peek().kind == k; }
+  bool match(Tok k);
+  bool expect(Tok k, const char* context);
+
+  AstDecl parseDecl();
+  AstStmt parseStmt();
+  AstExprPtr parseExpr();
+  AstExprPtr parseAdd();
+  AstExprPtr parseMul();
+  AstExprPtr parseShift();
+  AstExprPtr parseUnary();
+  AstExprPtr parsePrimary();
+
+  std::vector<Token> toks_;
+  size_t pos_ = 0;
+  DiagEngine& diag_;
+};
+
+}  // namespace record::dfl

@@ -1,0 +1,65 @@
+// Tokens of the DFL subset (the DSP-specific source language of RECORD's
+// frontend, Fig. 2 of the paper).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "support/diag.h"
+
+namespace record::dfl {
+
+enum class Tok : uint8_t {
+  End,
+  Ident,
+  Number,
+  // keywords
+  KwProgram,
+  KwInput,
+  KwOutput,
+  KwVar,
+  KwConst,
+  KwDelay,
+  KwFix,
+  KwInt,
+  KwBegin,
+  KwEnd,
+  KwFor,
+  KwTo,
+  KwStep,
+  KwDo,
+  KwEndfor,
+  // punctuation / operators
+  Semi,       // ;
+  Colon,      // :
+  Assign,     // :=
+  Comma,      // ,
+  LParen,     // (
+  RParen,     // )
+  LBracket,   // [
+  RBracket,   // ]
+  Plus,       // +
+  Minus,      // -
+  Star,       // *
+  PlusSat,    // +| saturating add
+  MinusSat,   // -| saturating subtract
+  Shl,        // <<
+  Shr,        // >> (arithmetic)
+  Shru,       // >>> (logical)
+  At,         // @ delayed signal access
+  Eq,         // =
+  Amp,        // & bitwise and
+  Pipe,       // | bitwise or
+  Caret,      // ^ bitwise xor
+};
+
+const char* tokName(Tok t);
+
+struct Token {
+  Tok kind = Tok::End;
+  std::string text;
+  int64_t number = 0;
+  SourceLoc loc;
+};
+
+}  // namespace record::dfl

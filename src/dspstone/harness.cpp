@@ -1,0 +1,96 @@
+#include "dspstone/harness.h"
+
+#include "ir/interp.h"
+#include "sim/machine.h"
+#include "support/strings.h"
+
+namespace record {
+
+Measurement runAndCompare(const TargetProgram& tp, const Program& prog,
+                          const Stimulus& stim) {
+  Measurement m;
+  m.sizeWords = tp.sizeWords();
+
+  // Golden model.
+  Interp gold(prog);
+  for (const auto& [name, vals] : stim.arrays) gold.setArray(name, vals);
+  for (const auto& [name, vals] : stim.scalars) gold.setStream(name, vals);
+
+  Machine mach(tp);
+  // Preload arrays / initial values.
+  for (const auto& [name, vals] : stim.arrays) {
+    if (tp.addrOf(name) < 0) {
+      m.error = "target program lacks symbol '" + name + "'";
+      return m;
+    }
+    for (size_t i = 0; i < vals.size(); ++i)
+      mach.writeSymbol(name, static_cast<int>(i), vals[i]);
+  }
+
+  for (int t = 0; t < stim.ticks; ++t) {
+    // Per-tick scalar inputs.
+    for (const auto& [name, vals] : stim.scalars) {
+      int64_t v = vals.empty()
+                      ? 0
+                      : vals[std::min<size_t>(static_cast<size_t>(t),
+                                              vals.size() - 1)];
+      mach.writeSymbol(name, 0, v);
+    }
+    gold.run(1);
+    auto rr = mach.run();
+    if (!rr.halted) {
+      m.error = formatv("tick %d: simulator did not halt (%s)", t,
+                        rr.trapReason.c_str());
+      return m;
+    }
+    m.cycles += rr.cycles;
+    m.instructions += rr.instructions;
+    // Compare output symbols after every tick.
+    for (const auto& sym : prog.symbols.all()) {
+      if (sym->kind != SymKind::Output) continue;
+      int words = sym->isArray() ? sym->arraySize : 1;
+      for (int i = 0; i < words; ++i) {
+        int64_t want = sym->isArray() ? gold.array(sym->name)[static_cast<size_t>(i)]
+                                      : gold.scalar(sym->name);
+        int64_t got = mach.readSymbol(sym->name, i);
+        if (want != got) {
+          m.error = formatv("tick %d: %s[%d] = %lld, golden model says %lld",
+                            t, sym->name.c_str(), i,
+                            static_cast<long long>(got),
+                            static_cast<long long>(want));
+          return m;
+        }
+      }
+    }
+    // Re-arm for the next tick without clearing data memory.
+    mach.reset(false);
+  }
+  m.ok = true;
+  return m;
+}
+
+Stimulus defaultStimulus(const Program& prog, uint32_t seed, int ticks) {
+  Stimulus stim;
+  stim.ticks = ticks;
+  uint32_t state = seed * 2654435761u + 12345u;
+  auto next = [&state]() {
+    state = state * 1664525u + 1013904223u;
+    // Small values: products and short accumulations stay within 16 bits.
+    return static_cast<int64_t>((state >> 16) % 21) - 10;
+  };
+  for (const auto& sym : prog.symbols.all()) {
+    if (sym->kind != SymKind::Input) continue;
+    if (sym->isArray()) {
+      std::vector<int64_t> vals(static_cast<size_t>(sym->arraySize));
+      for (auto& v : vals) v = next();
+      stim.arrays[sym->name] = std::move(vals);
+    } else {
+      std::vector<int64_t> vals(static_cast<size_t>(ticks));
+      for (auto& v : vals) v = next();
+      stim.scalars[sym->name] = std::move(vals);
+    }
+  }
+  return stim;
+}
+
+}  // namespace record

@@ -1,0 +1,47 @@
+// Measurement & verification harness shared by tests and benches: runs a
+// compiled (or hand-written) tdsp program against the IR golden-model
+// interpreter on the same stimulus and reports size/cycles plus any
+// mismatch. This is how every Table-1 number in the benches is validated
+// before being reported.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "ir/program.h"
+#include "target/isa.h"
+
+namespace record {
+
+struct Stimulus {
+  // Array inputs (and initial var contents), by symbol name.
+  std::map<std::string, std::vector<int64_t>> arrays;
+  // Scalar input streams: element t is the value at tick t. A single-element
+  // vector acts as a constant input.
+  std::map<std::string, std::vector<int64_t>> scalars;
+  int ticks = 1;
+};
+
+struct Measurement {
+  bool ok = false;          // simulated outputs match the golden model
+  std::string error;        // first mismatch / trap description
+  int sizeWords = 0;        // program-memory words
+  int64_t cycles = 0;       // total simulator cycles over all ticks
+  int64_t instructions = 0;
+};
+
+/// Run `tp` against the golden model of `prog` on `stim`. The target
+/// program must lay out every program symbol by name (compiled programs and
+/// the in-tree reference assemblies both do).
+Measurement runAndCompare(const TargetProgram& tp, const Program& prog,
+                          const Stimulus& stim);
+
+/// Deterministic pseudo-random stimulus for a program: fills every input
+/// with small values (safe against 16-bit accumulation overflow) derived
+/// from `seed`.
+Stimulus defaultStimulus(const Program& prog, uint32_t seed = 1,
+                         int ticks = 4);
+
+}  // namespace record

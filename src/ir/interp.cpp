@@ -1,0 +1,172 @@
+#include "ir/interp.h"
+
+#include <cassert>
+#include <stdexcept>
+
+namespace record {
+
+Interp::Interp(const Program& prog) : prog_(prog) {
+  for (const auto& s : prog.symbols.all()) {
+    if (s->kind == SymKind::Const || s->kind == SymKind::Induction) continue;
+    size_t n = s->isArray() ? static_cast<size_t>(s->arraySize)
+                            : static_cast<size_t>(1 + s->delayDepth);
+    store_[s.get()] = std::vector<int64_t>(n, 0);
+  }
+}
+
+std::vector<int64_t>& Interp::cells(const Symbol* s) {
+  auto it = store_.find(s);
+  if (it == store_.end()) throw std::runtime_error("no storage: " + s->name);
+  return it->second;
+}
+
+const std::vector<int64_t>& Interp::cells(const Symbol* s) const {
+  auto it = store_.find(s);
+  if (it == store_.end()) throw std::runtime_error("no storage: " + s->name);
+  return it->second;
+}
+
+void Interp::setArray(const std::string& name,
+                      const std::vector<int64_t>& vals) {
+  const Symbol* s = prog_.symbols.lookup(name);
+  if (!s) throw std::runtime_error("unknown symbol: " + name);
+  auto& c = cells(s);
+  for (size_t i = 0; i < c.size(); ++i)
+    c[i] = i < vals.size() ? wrap16(vals[i]) : 0;
+}
+
+void Interp::setScalar(const std::string& name, int64_t v) {
+  const Symbol* s = prog_.symbols.lookup(name);
+  if (!s) throw std::runtime_error("unknown symbol: " + name);
+  cells(s)[0] = wrap16(v);
+}
+
+void Interp::setStream(const std::string& name, std::vector<int64_t> perTick) {
+  streams_[name] = std::move(perTick);
+}
+
+int64_t Interp::eval(const ExprPtr& e) const {
+  switch (e->op) {
+    case Op::Const:
+      return e->value;
+    case Op::Ref: {
+      if (e->sym->kind == SymKind::Const) return e->sym->constValue;
+      if (e->sym->kind == SymKind::Induction) {
+        auto it = inductionVals_.find(e->sym);
+        if (it == inductionVals_.end())
+          throw std::runtime_error("induction var outside loop: " +
+                                   e->sym->name);
+        return it->second;
+      }
+      const auto& c = cells(e->sym);
+      auto d = static_cast<size_t>(e->value);
+      if (d >= c.size())
+        throw std::runtime_error("delay out of range: " + e->sym->name);
+      return c[d];
+    }
+    case Op::ArrayRef: {
+      int64_t idx = eval(e->kids[0]);
+      const auto& c = cells(e->sym);
+      if (idx < 0 || static_cast<size_t>(idx) >= c.size())
+        throw std::runtime_error("array index out of range: " + e->sym->name);
+      return c[static_cast<size_t>(idx)];
+    }
+    case Op::Add: return wrap32(eval(e->kids[0]) + eval(e->kids[1]));
+    case Op::Sub: return wrap32(eval(e->kids[0]) - eval(e->kids[1]));
+    case Op::Mul: return wrap32(eval(e->kids[0]) * eval(e->kids[1]));
+    case Op::Neg: return wrap32(-eval(e->kids[0]));
+    case Op::SatAdd: return sat32(eval(e->kids[0]) + eval(e->kids[1]));
+    case Op::SatSub: return sat32(eval(e->kids[0]) - eval(e->kids[1]));
+    case Op::Shl: return wrap32(eval(e->kids[0]) << (eval(e->kids[1]) & 31));
+    case Op::Shr: return eval(e->kids[0]) >> (eval(e->kids[1]) & 31);
+    case Op::Shru:
+      return static_cast<int64_t>(
+          (static_cast<uint64_t>(eval(e->kids[0])) & 0xffffffffull) >>
+          (eval(e->kids[1]) & 31));
+    case Op::And:
+      return eval(e->kids[0]) & (eval(e->kids[1]) & 0xffff);
+    case Op::Or:
+      return wrap32(eval(e->kids[0]) | (eval(e->kids[1]) & 0xffff));
+    case Op::Xor:
+      return wrap32(eval(e->kids[0]) ^ (eval(e->kids[1]) & 0xffff));
+    case Op::Store:
+      break;  // pattern-tree only; never evaluated
+  }
+  throw std::runtime_error("bad op");
+}
+
+void Interp::exec(const std::vector<Stmt>& body) {
+  for (const auto& s : body) {
+    if (s.kind == Stmt::Kind::Assign) {
+      int64_t v = wrap16(eval(s.rhs));
+      auto& c = cells(s.lhs);
+      if (s.lhsIndex) {
+        int64_t idx = eval(s.lhsIndex);
+        if (idx < 0 || static_cast<size_t>(idx) >= c.size())
+          throw std::runtime_error("store index out of range: " +
+                                   s.lhs->name);
+        c[static_cast<size_t>(idx)] = v;
+      } else {
+        c[0] = v;
+      }
+    } else {
+      for (int64_t v = s.lo; (s.step > 0) ? v <= s.hi : v >= s.hi;
+           v += s.step) {
+        inductionVals_[s.ivar] = v;
+        exec(s.body);
+      }
+      inductionVals_.erase(s.ivar);
+    }
+  }
+}
+
+void Interp::run(int ticks) {
+  for (int t = 0; t < ticks; ++t) {
+    // Feed scalar streams.
+    for (const auto& [name, vals] : streams_) {
+      const Symbol* s = prog_.symbols.lookup(name);
+      if (s && static_cast<size_t>(tick_) < vals.size())
+        cells(s)[0] = wrap16(vals[static_cast<size_t>(tick_)]);
+    }
+    exec(prog_.body);
+    // Record output traces.
+    for (const auto& sym : prog_.symbols.all()) {
+      if (sym->kind == SymKind::Output && sym->isScalar())
+        traces_[sym->name].push_back(cells(sym.get())[0]);
+    }
+    // Shift delay lines: cell k becomes the value that was at k-1.
+    for (auto& [sym, c] : store_) {
+      if (sym->delayDepth > 0) {
+        for (size_t k = c.size() - 1; k >= 1; --k) c[k] = c[k - 1];
+      }
+    }
+    ++tick_;
+  }
+}
+
+int64_t Interp::scalar(const std::string& name) const {
+  const Symbol* s = prog_.symbols.lookup(name);
+  if (!s) throw std::runtime_error("unknown symbol: " + name);
+  return cells(s)[0];
+}
+
+int64_t Interp::delayed(const std::string& name, int delay) const {
+  const Symbol* s = prog_.symbols.lookup(name);
+  if (!s) throw std::runtime_error("unknown symbol: " + name);
+  return cells(s).at(static_cast<size_t>(delay));
+}
+
+std::vector<int64_t> Interp::array(const std::string& name) const {
+  const Symbol* s = prog_.symbols.lookup(name);
+  if (!s) throw std::runtime_error("unknown symbol: " + name);
+  return cells(s);
+}
+
+const std::vector<int64_t>& Interp::trace(const std::string& name) const {
+  auto it = traces_.find(name);
+  if (it == traces_.end())
+    throw std::runtime_error("no trace for: " + name);
+  return it->second;
+}
+
+}  // namespace record

@@ -1,0 +1,56 @@
+// Golden-model interpreter for lowered programs. Every compiled kernel is
+// checked against this model by running the target simulator on the same
+// stimulus (tests/integration). Semantics deliberately mirror the tdsp
+// datapath: 32-bit accumulator intermediates (wrapping, or saturating for
+// sat ops) and 16-bit wrapped stores.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "ir/program.h"
+
+namespace record {
+
+class Interp {
+ public:
+  explicit Interp(const Program& prog);
+
+  /// Preload an array input/var. Shorter vectors zero-fill the tail.
+  void setArray(const std::string& name, const std::vector<int64_t>& vals);
+  /// Set a scalar's current value.
+  void setScalar(const std::string& name, int64_t v);
+  /// Provide a per-tick stream for a scalar input (tick i reads element i).
+  void setStream(const std::string& name, std::vector<int64_t> perTick);
+
+  /// Execute the program body `ticks` times, shifting delay lines between
+  /// ticks and recording output scalars per tick.
+  void run(int ticks = 1);
+
+  int64_t scalar(const std::string& name) const;
+  /// Current value of x@delay.
+  int64_t delayed(const std::string& name, int delay) const;
+  std::vector<int64_t> array(const std::string& name) const;
+  /// Per-tick trace of an output scalar (one entry per tick run so far).
+  const std::vector<int64_t>& trace(const std::string& name) const;
+
+ private:
+  int64_t eval(const ExprPtr& e) const;
+  void exec(const std::vector<Stmt>& body);
+  std::vector<int64_t>& cells(const Symbol* s);
+  const std::vector<int64_t>& cells(const Symbol* s) const;
+
+  const Program& prog_;
+  // Storage: arrays have arraySize cells; scalars have 1 + delayDepth cells,
+  // cell k holding the value k ticks ago.
+  std::map<const Symbol*, std::vector<int64_t>> store_;
+  std::map<std::string, std::vector<int64_t>> streams_;
+  std::map<std::string, std::vector<int64_t>> traces_;
+  // Induction variable bindings during loop execution.
+  std::map<const Symbol*, int64_t> inductionVals_;
+  int tick_ = 0;
+};
+
+}  // namespace record

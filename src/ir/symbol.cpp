@@ -1,0 +1,22 @@
+#include "ir/symbol.h"
+
+namespace record {
+
+Symbol* SymbolTable::define(Symbol sym) {
+  syms_.push_back(std::make_unique<Symbol>(std::move(sym)));
+  return syms_.back().get();
+}
+
+Symbol* SymbolTable::lookup(const std::string& name) {
+  for (auto& s : syms_)
+    if (s->name == name) return s.get();
+  return nullptr;
+}
+
+const Symbol* SymbolTable::lookup(const std::string& name) const {
+  for (const auto& s : syms_)
+    if (s->name == name) return s.get();
+  return nullptr;
+}
+
+}  // namespace record

@@ -1,0 +1,66 @@
+// Symbols: named storage objects of a DFL program (scalars, arrays, delay
+// lines, constants, loop induction variables).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "ir/type.h"
+
+namespace record {
+
+enum class SymKind : uint8_t {
+  Input,      // read by the program, written by the environment
+  Output,     // written by the program, read by the environment
+  Var,        // program-local storage
+  Const,      // compile-time constant (no storage)
+  Induction,  // loop induction variable (no target storage; folded away)
+};
+
+inline std::string symKindName(SymKind k) {
+  switch (k) {
+    case SymKind::Input: return "input";
+    case SymKind::Output: return "output";
+    case SymKind::Var: return "var";
+    case SymKind::Const: return "const";
+    case SymKind::Induction: return "induction";
+  }
+  return "?";
+}
+
+/// One named object. Owned by a Program's SymbolTable; referenced by raw
+/// pointer from expressions (stable for the life of the Program).
+struct Symbol {
+  std::string name;
+  SymKind kind = SymKind::Var;
+  Type type = Type::Fix;
+  int arraySize = 0;    // 0 = scalar; >0 = array of that many words
+  int delayDepth = 0;   // >0: scalar signal with history x@1..x@delayDepth
+  int64_t constValue = 0;  // for SymKind::Const
+
+  bool isScalar() const { return arraySize == 0; }
+  bool isArray() const { return arraySize > 0; }
+  /// Number of 16-bit words of target storage this symbol needs.
+  int storageWords() const {
+    if (kind == SymKind::Const || kind == SymKind::Induction) return 0;
+    return isArray() ? arraySize : 1 + delayDepth;
+  }
+};
+
+/// Owning container with lookup by name. Pointers to contained symbols remain
+/// valid for the table's lifetime.
+class SymbolTable {
+ public:
+  Symbol* define(Symbol sym);
+  Symbol* lookup(const std::string& name);
+  const Symbol* lookup(const std::string& name) const;
+
+  const std::vector<std::unique_ptr<Symbol>>& all() const { return syms_; }
+
+ private:
+  std::vector<std::unique_ptr<Symbol>> syms_;
+};
+
+}  // namespace record

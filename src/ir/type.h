@@ -1,0 +1,53 @@
+// Value types of the DFL subset. The target is a 16-bit fixed-point DSP, so
+// everything is carried in 16-bit words; `Fix` and `Int` differ only in the
+// shift/extension semantics they demand from the target (SXM mode).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace record {
+
+enum class Type : uint8_t {
+  Fix,   // 16-bit two's-complement fixed point (Q15-style), arithmetic shifts
+  Int,   // 16-bit integer, logical right shifts
+  Bool,  // condition values (loop/branch internals)
+};
+
+inline std::string typeName(Type t) {
+  switch (t) {
+    case Type::Fix: return "fix";
+    case Type::Int: return "int";
+    case Type::Bool: return "bool";
+  }
+  return "?";
+}
+
+/// Width in bits of a stored value of type `t` on the tdsp target.
+inline int typeBits(Type t) { return t == Type::Bool ? 1 : 16; }
+
+/// Wrap a 64-bit intermediate to signed 16-bit two's complement.
+inline int64_t wrap16(int64_t v) {
+  return static_cast<int16_t>(static_cast<uint64_t>(v) & 0xffff);
+}
+
+/// Saturate a 64-bit intermediate to the signed 16-bit range.
+inline int64_t sat16(int64_t v) {
+  if (v > 32767) return 32767;
+  if (v < -32768) return -32768;
+  return v;
+}
+
+/// Wrap to signed 32-bit (accumulator width).
+inline int64_t wrap32(int64_t v) {
+  return static_cast<int32_t>(static_cast<uint64_t>(v) & 0xffffffff);
+}
+
+/// Saturate to signed 32-bit (accumulator width, OVM=1 behaviour).
+inline int64_t sat32(int64_t v) {
+  if (v > 2147483647LL) return 2147483647LL;
+  if (v < -2147483648LL) return -2147483648LL;
+  return v;
+}
+
+}  // namespace record

@@ -1,0 +1,311 @@
+#include "ise/bridge.h"
+
+#include <functional>
+#include <sstream>
+
+#include "netlist/rtlsim.h"
+#include "support/strings.h"
+
+namespace record::ise {
+
+namespace {
+
+/// Structural classification of an extracted expression against the
+/// accumulator conventions. Neutral elements are simplified on the fly
+/// (add(0, x) == x), which is how "load" emerges from an ALU with a zero
+/// operand mux.
+struct Shape {
+  enum class Leaf : uint8_t { None, Acc, Mem, Imm, Zero };
+  Leaf a = Leaf::None, b = Leaf::None;
+  nl::AluOp op = nl::AluOp::PassB;
+  bool isOp = false;
+  std::string operandField;  // mem raddr or imm field
+};
+
+Shape::Leaf classifyLeaf(const IseExpr& e, const std::string& acc,
+                         const std::string& mem, std::string* field) {
+  switch (e.kind) {
+    case IseExpr::Kind::StorageRead:
+      if (e.storage == acc) return Shape::Leaf::Acc;
+      if (e.storage == mem) {
+        *field = e.addrField;
+        return Shape::Leaf::Mem;
+      }
+      return Shape::Leaf::None;
+    case IseExpr::Kind::Field:
+      *field = e.field;
+      return Shape::Leaf::Imm;
+    case IseExpr::Kind::Const:
+      return e.cval == 0 ? Shape::Leaf::Zero : Shape::Leaf::None;
+    case IseExpr::Kind::Op:
+      return Shape::Leaf::None;
+  }
+  return Shape::Leaf::None;
+}
+
+}  // namespace
+
+const char* genRuleKindName(GenRuleKind k) {
+  switch (k) {
+    case GenRuleKind::LoadMem: return "acc := mem[#]";
+    case GenRuleKind::LoadImm: return "acc := #imm";
+    case GenRuleKind::AddMem: return "acc := acc + mem[#]";
+    case GenRuleKind::SubMem: return "acc := acc - mem[#]";
+    case GenRuleKind::AndMem: return "acc := acc & mem[#]";
+    case GenRuleKind::AddImm: return "acc := acc + #imm";
+    case GenRuleKind::SubImm: return "acc := acc - #imm";
+    case GenRuleKind::AndImm: return "acc := acc & #imm";
+    case GenRuleKind::StoreAcc: return "mem[#] := acc";
+  }
+  return "?";
+}
+
+GeneratedCompiler::GeneratedCompiler(const nl::Netlist& nl,
+                                     std::vector<IsePattern> patterns,
+                                     std::string accStorage,
+                                     std::string memStorage)
+    : nl_(nl), acc_(std::move(accStorage)), mem_(std::move(memStorage)) {
+  auto add = [&](GenRuleKind kind, const IsePattern& p,
+                 const std::string& field) {
+    // Keep the first (typically cheapest / least-constrained) pattern.
+    for (const auto& r : rules_)
+      if (r.kind == kind) return;
+    GenRule r;
+    r.kind = kind;
+    r.baseWord = p.encode(nl_);
+    r.operandField = field;
+    r.source = p;
+    rules_.push_back(std::move(r));
+  };
+
+  for (const auto& p : patterns) {
+    std::string fieldA, fieldB;
+    if (p.destStorage == mem_) {
+      // Store: mem[waddr] := acc (possibly through pass/add-zero).
+      const IseExpr* e = &p.expr;
+      // Unwrap add(zero, acc) / pass chains encoded as ops with Zero.
+      if (e->kind == IseExpr::Kind::Op && !e->isMult &&
+          e->op == nl::AluOp::Add && e->kids.size() == 2) {
+        std::string f;
+        if (classifyLeaf(e->kids[0], acc_, mem_, &f) == Shape::Leaf::Zero)
+          e = &e->kids[1];
+        else if (classifyLeaf(e->kids[1], acc_, mem_, &f) ==
+                 Shape::Leaf::Zero)
+          e = &e->kids[0];
+      }
+      std::string f;
+      if (classifyLeaf(*e, acc_, mem_, &f) == Shape::Leaf::Acc)
+        add(GenRuleKind::StoreAcc, p, p.destAddrField);
+      continue;
+    }
+    if (p.destStorage != acc_) continue;
+
+    // Accumulator destination.
+    const IseExpr& e = p.expr;
+    std::string f;
+    Shape::Leaf leaf = classifyLeaf(e, acc_, mem_, &f);
+    if (leaf == Shape::Leaf::Mem) {
+      add(GenRuleKind::LoadMem, p, f);
+      continue;
+    }
+    if (leaf == Shape::Leaf::Imm) {
+      add(GenRuleKind::LoadImm, p, f);
+      continue;
+    }
+    if (e.kind != IseExpr::Kind::Op || e.isMult || e.kids.size() != 2)
+      continue;
+    Shape::Leaf a = classifyLeaf(e.kids[0], acc_, mem_, &fieldA);
+    Shape::Leaf b = classifyLeaf(e.kids[1], acc_, mem_, &fieldB);
+    // Loads via add(0, x).
+    if (e.op == nl::AluOp::Add && a == Shape::Leaf::Zero) {
+      if (b == Shape::Leaf::Mem) add(GenRuleKind::LoadMem, p, fieldB);
+      if (b == Shape::Leaf::Imm) add(GenRuleKind::LoadImm, p, fieldB);
+      continue;
+    }
+    if (a != Shape::Leaf::Acc) continue;
+    if (b == Shape::Leaf::Mem) {
+      if (e.op == nl::AluOp::Add) add(GenRuleKind::AddMem, p, fieldB);
+      if (e.op == nl::AluOp::Sub) add(GenRuleKind::SubMem, p, fieldB);
+      if (e.op == nl::AluOp::And) add(GenRuleKind::AndMem, p, fieldB);
+    } else if (b == Shape::Leaf::Imm) {
+      if (e.op == nl::AluOp::Add) add(GenRuleKind::AddImm, p, fieldB);
+      if (e.op == nl::AluOp::Sub) add(GenRuleKind::SubImm, p, fieldB);
+      if (e.op == nl::AluOp::And) add(GenRuleKind::AndImm, p, fieldB);
+    }
+  }
+}
+
+bool GeneratedCompiler::usable() const {
+  return find(GenRuleKind::LoadMem) && find(GenRuleKind::StoreAcc) &&
+         (find(GenRuleKind::AddMem) || find(GenRuleKind::AddImm));
+}
+
+std::string GeneratedCompiler::describe() const {
+  std::ostringstream os;
+  os << "generated compiler for netlist '" << nl_.name << "' ("
+     << rules_.size() << " rules):\n";
+  for (const auto& r : rules_) {
+    os << "  " << padRight(genRuleKindName(r.kind), 22) << " from  "
+       << r.source.str() << "\n";
+  }
+  return os.str();
+}
+
+const GenRule* GeneratedCompiler::find(GenRuleKind k) const {
+  for (const auto& r : rules_)
+    if (r.kind == k) return &r;
+  return nullptr;
+}
+
+uint64_t GeneratedCompiler::encodeWith(const GenRule& r,
+                                       int64_t operand) const {
+  uint64_t word = r.baseWord;
+  const nl::Field* f = nl_.findField(r.operandField);
+  if (f) {
+    uint64_t mask = f->width >= 64 ? ~0ull : ((1ull << f->width) - 1);
+    word |= (static_cast<uint64_t>(operand) & mask) << f->lsb;
+  }
+  return word;
+}
+
+std::optional<GenProgram> GeneratedCompiler::compile(
+    const Program& prog, std::string* error) const {
+  auto fail = [&](const std::string& msg) -> std::optional<GenProgram> {
+    if (error) *error = msg;
+    return std::nullopt;
+  };
+  if (!usable()) return fail("netlist lacks load/store/add capabilities");
+
+  GenProgram gp;
+  int nextAddr = 0;
+  auto addrOf = [&](const Symbol* s) {
+    auto it = gp.varAddr.find(s->name);
+    if (it != gp.varAddr.end()) return it->second;
+    int a = nextAddr;
+    nextAddr += std::max(1, s->storageWords());
+    gp.varAddr[s->name] = a;
+    return a;
+  };
+  // Register every program symbol up front so spill temps start above them.
+  for (const Symbol* s : prog.storageSymbols()) addrOf(s);
+  const int tempBase = nextAddr;
+
+  const nl::Field* immField = nullptr;
+  if (const GenRule* li = find(GenRuleKind::LoadImm))
+    immField = nl_.findField(li->operandField);
+  auto immFits = [&](int64_t v) {
+    if (!immField) return false;
+    // Immediates are sign-extended from the field width.
+    int64_t lo = -(1LL << (immField->width - 1));
+    int64_t hi = (1LL << (immField->width - 1)) - 1;
+    return v >= lo && v <= hi;
+  };
+
+  std::string err;
+  auto emit = [&](const GenRule* r, int64_t operand,
+                  const std::string& note) {
+    gp.words.push_back(encodeWith(*r, operand));
+    gp.listing.push_back(formatv("%-22s %-6lld ; %s",
+                                 genRuleKindName(r->kind),
+                                 static_cast<long long>(operand),
+                                 note.c_str()));
+  };
+
+  // Recursive accumulator evaluation.
+  int tempCounter = 0;
+  std::function<bool(const ExprPtr&)> evalToAcc;
+  std::function<std::optional<int>(const ExprPtr&)> evalToTemp =
+      [&](const ExprPtr& e) -> std::optional<int> {
+    if (!evalToAcc(e)) return std::nullopt;
+    int t = tempBase + tempCounter++;
+    emit(find(GenRuleKind::StoreAcc), t, "spill");
+    return t;
+  };
+  auto binRule = [&](Op op, bool mem) -> const GenRule* {
+    switch (op) {
+      case Op::Add:
+        return find(mem ? GenRuleKind::AddMem : GenRuleKind::AddImm);
+      case Op::Sub:
+        return find(mem ? GenRuleKind::SubMem : GenRuleKind::SubImm);
+      default:
+        return nullptr;
+    }
+  };
+  evalToAcc = [&](const ExprPtr& e) -> bool {
+    switch (e->op) {
+      case Op::Const: {
+        if (immFits(e->value)) {
+          emit(find(GenRuleKind::LoadImm), e->value, "constant");
+          return true;
+        }
+        err = "constant " + std::to_string(e->value) + " exceeds imm field";
+        return false;
+      }
+      case Op::Ref: {
+        if (e->sym->kind == SymKind::Const)
+          return evalToAcc(Expr::constant(e->sym->constValue));
+        emit(find(GenRuleKind::LoadMem), addrOf(e->sym), e->sym->name);
+        return true;
+      }
+      case Op::Add:
+      case Op::Sub: {
+        const ExprPtr& a = e->kids[0];
+        const ExprPtr& b = e->kids[1];
+        // Simple RHS: leaf operand.
+        if (b->op == Op::Const && immFits(b->value) &&
+            binRule(e->op, false)) {
+          if (!evalToAcc(a)) return false;
+          emit(binRule(e->op, false), b->value, "imm operand");
+          return true;
+        }
+        if (b->op == Op::Ref && b->sym->kind != SymKind::Const &&
+            binRule(e->op, true)) {
+          if (!evalToAcc(a)) return false;
+          emit(binRule(e->op, true), addrOf(b->sym), b->sym->name);
+          return true;
+        }
+        // Complex RHS: through a temp.
+        if (!binRule(e->op, true)) {
+          err = "netlist has no memory-operand rule for op";
+          return false;
+        }
+        auto t = evalToTemp(b);
+        if (!t) return false;
+        if (!evalToAcc(a)) return false;
+        emit(binRule(e->op, true), *t, "temp operand");
+        return true;
+      }
+      default:
+        err = std::string("operator '") + opName(e->op) +
+              "' not supported by the generated compiler";
+        return false;
+    }
+  };
+
+  for (const auto& st : flattenStmts(prog.body)) {
+    if (st.lhsIndex) return fail("array stores not supported");
+    if (!evalToAcc(st.rhs)) return fail(err);
+    emit(find(GenRuleKind::StoreAcc), addrOf(st.lhs), st.lhs->name);
+  }
+  return gp;
+}
+
+std::map<std::string, int64_t> runGenerated(
+    const nl::Netlist& nl, const GenProgram& gp,
+    const std::map<std::string, int64_t>& inputs,
+    const std::vector<std::string>& outputs) {
+  nl::RtlSim sim(nl);
+  for (const auto& [name, v] : inputs) {
+    auto it = gp.varAddr.find(name);
+    if (it != gp.varAddr.end()) sim.setMem("mem", it->second, v);
+  }
+  for (uint64_t w : gp.words) sim.step(w);
+  std::map<std::string, int64_t> out;
+  for (const auto& name : outputs) {
+    auto it = gp.varAddr.find(name);
+    if (it != gp.varAddr.end()) out[name] = sim.mem("mem", it->second);
+  }
+  return out;
+}
+
+}  // namespace record::ise

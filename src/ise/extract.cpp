@@ -1,0 +1,233 @@
+#include "ise/extract.h"
+
+#include <algorithm>
+#include <set>
+#include <sstream>
+
+namespace record::ise {
+
+namespace {
+
+using nl::Netlist;
+using nl::Storage;
+using nl::Unit;
+
+/// A partial traversal result: expression + accumulated bit settings.
+struct Trace {
+  IseExpr expr;
+  std::vector<BitSetting> bits;
+};
+
+/// Merge `add` into `bits`; false on contradiction.
+bool mergeBits(std::vector<BitSetting>& bits,
+               const std::vector<BitSetting>& add) {
+  for (const auto& b : add) {
+    bool found = false;
+    for (const auto& have : bits) {
+      if (have.field == b.field) {
+        if (have.value != b.value) return false;
+        found = true;
+        break;
+      }
+    }
+    if (!found) bits.push_back(b);
+  }
+  return true;
+}
+
+bool setBit(std::vector<BitSetting>& bits, const std::string& field,
+            int64_t value) {
+  return mergeBits(bits, {{field, value}});
+}
+
+class Extractor {
+ public:
+  Extractor(const Netlist& nl, const IseOptions& opts)
+      : nl_(nl), opts_(opts) {}
+
+  std::vector<IsePattern> run() {
+    std::vector<IsePattern> out;
+    for (const auto& s : nl_.storages) {
+      if (s.inSrc.empty() || s.weSrc.empty()) continue;
+      for (auto& t : traceSrc(s.inSrc, 0)) {
+        // The destination's write enable must be asserted...
+        if (!setBit(t.bits, s.weSrc, 1)) continue;
+        // ...and every other storage's write must be suppressed so the
+        // transfer is side-effect free.
+        bool ok = true;
+        for (const auto& other : nl_.storages) {
+          if (other.name == s.name || other.weSrc.empty()) continue;
+          if (!setBit(t.bits, other.weSrc, 0)) {
+            ok = false;
+            break;
+          }
+        }
+        if (!ok) continue;
+        IsePattern p;
+        p.destStorage = s.name;
+        p.destAddrField = s.waddrField;
+        p.expr = std::move(t.expr);
+        std::sort(t.bits.begin(), t.bits.end());
+        p.bits = std::move(t.bits);
+        out.push_back(std::move(p));
+        if (static_cast<int>(out.size()) >= opts_.maxPatterns) return dedup(out);
+      }
+    }
+    return dedup(out);
+  }
+
+ private:
+  std::vector<IsePattern> dedup(std::vector<IsePattern>& in) {
+    std::vector<IsePattern> out;
+    std::set<std::string> seen;
+    for (auto& p : in) {
+      std::string key = p.str();
+      if (seen.insert(key).second) out.push_back(std::move(p));
+    }
+    return out;
+  }
+
+  std::vector<Trace> traceSrc(const std::string& src, int depth) {
+    if (depth > opts_.maxDepth) return {};
+    std::string name, port;
+    if (!nl::splitPortRef(src, name, port)) {
+      // Bare field used as data.
+      Trace t;
+      t.expr.kind = IseExpr::Kind::Field;
+      t.expr.field = src;
+      return {t};
+    }
+    if (const Storage* s = nl_.findStorage(name)) {
+      Trace t;
+      t.expr.kind = IseExpr::Kind::StorageRead;
+      t.expr.storage = s->name;
+      t.expr.addrField = s->raddrField;
+      return {t};
+    }
+    const Unit* u = nl_.findUnit(name);
+    if (!u) return {};
+    switch (u->kind) {
+      case Unit::Kind::Const: {
+        Trace t;
+        t.expr.kind = IseExpr::Kind::Const;
+        t.expr.cval = u->constValue;
+        return {t};
+      }
+      case Unit::Kind::SignExt: {
+        Trace t;
+        t.expr.kind = IseExpr::Kind::Field;
+        t.expr.field = u->ctlField;
+        return {t};
+      }
+      case Unit::Kind::Mux2: {
+        std::vector<Trace> out;
+        for (int sel = 0; sel < 2; ++sel) {
+          for (auto& t : traceSrc(sel == 0 ? u->in0 : u->in1, depth + 1)) {
+            if (!setBit(t.bits, u->ctlField, sel)) continue;
+            out.push_back(std::move(t));
+          }
+        }
+        return out;
+      }
+      case Unit::Kind::Alu: {
+        std::vector<Trace> out;
+        auto lhs = traceSrc(u->in0, depth + 1);
+        auto rhs = traceSrc(u->in1, depth + 1);
+        for (int op = 0; op <= 3; ++op) {
+          auto aluOp = static_cast<nl::AluOp>(op);
+          if (aluOp == nl::AluOp::PassB) {
+            for (const auto& r : rhs) {
+              Trace t = r;
+              if (!setBit(t.bits, u->ctlField, op)) continue;
+              out.push_back(std::move(t));
+            }
+            continue;
+          }
+          for (const auto& l : lhs) {
+            for (const auto& r : rhs) {
+              Trace t;
+              t.expr.kind = IseExpr::Kind::Op;
+              t.expr.op = aluOp;
+              t.expr.kids = {l.expr, r.expr};
+              t.bits = l.bits;
+              if (!mergeBits(t.bits, r.bits)) continue;
+              if (!setBit(t.bits, u->ctlField, op)) continue;
+              out.push_back(std::move(t));
+            }
+          }
+        }
+        return out;
+      }
+      case Unit::Kind::Mult: {
+        std::vector<Trace> out;
+        for (const auto& l : traceSrc(u->in0, depth + 1)) {
+          for (const auto& r : traceSrc(u->in1, depth + 1)) {
+            Trace t;
+            t.expr.kind = IseExpr::Kind::Op;
+            t.expr.isMult = true;
+            t.expr.kids = {l.expr, r.expr};
+            t.bits = l.bits;
+            if (!mergeBits(t.bits, r.bits)) continue;
+            out.push_back(std::move(t));
+          }
+        }
+        return out;
+      }
+    }
+    return {};
+  }
+
+  const Netlist& nl_;
+  const IseOptions& opts_;
+};
+
+}  // namespace
+
+std::string IseExpr::str() const {
+  switch (kind) {
+    case Kind::StorageRead:
+      return addrField.empty() ? storage
+                               : storage + "[" + addrField + "]";
+    case Kind::Field:
+      return "#" + field;
+    case Kind::Const:
+      return std::to_string(cval);
+    case Kind::Op: {
+      std::string name = isMult ? "mul" : nl::aluOpName(op);
+      std::string s = name + "(";
+      for (size_t i = 0; i < kids.size(); ++i) {
+        if (i) s += ", ";
+        s += kids[i].str();
+      }
+      return s + ")";
+    }
+  }
+  return "?";
+}
+
+std::string IsePattern::str() const {
+  std::ostringstream os;
+  os << destStorage;
+  if (!destAddrField.empty()) os << "[" << destAddrField << "]";
+  os << " := " << expr.str() << "   bits:";
+  for (const auto& b : bits) os << " " << b.field << "=" << b.value;
+  return os.str();
+}
+
+uint64_t IsePattern::encode(const nl::Netlist& nl) const {
+  uint64_t word = 0;
+  for (const auto& b : bits) {
+    const nl::Field* f = nl.findField(b.field);
+    if (!f) continue;
+    uint64_t mask = f->width >= 64 ? ~0ull : ((1ull << f->width) - 1);
+    word |= (static_cast<uint64_t>(b.value) & mask) << f->lsb;
+  }
+  return word;
+}
+
+std::vector<IsePattern> extractInstructionSet(const nl::Netlist& nl,
+                                              const IseOptions& opts) {
+  return Extractor(nl, opts).run();
+}
+
+}  // namespace record::ise

@@ -1,0 +1,82 @@
+// Instruction-set extraction (ISE) from RT-level netlists -- §4.3.2 and
+// Fig. 3 of the paper (Leupers/Marwedel, Euro-DAC'94):
+//
+//   "For each memory or register input, ISE traverses the netlist from that
+//    input to memory or register outputs (opposite to the direction of the
+//    data-flow). For each traversal, it collects the transformations that
+//    are applied to the data (e.g. add operations) and also the control
+//    requirements (e.g. set ALU input to '0' to perform an add). Control
+//    requirements have to be met by proper conditions for instruction bits,
+//    which can be found by justification. The net effect of ISE is to
+//    generate, for each register or memory, a list of assignable expressions
+//    and the corresponding instruction bit settings."
+//
+// The traversal enumerates every mux/ALU-op choice, justifying each choice
+// onto instruction fields and pruning contradictory settings. Every
+// extracted pattern is a register transfer `dest := expr` plus the
+// instruction-bit settings that realize it (and de-assert all other write
+// enables, so the transfer has no side effects).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "netlist/model.h"
+
+namespace record::ise {
+
+/// Expression tree over netlist storages/fields.
+struct IseExpr {
+  enum class Kind : uint8_t { StorageRead, Field, Const, Op };
+
+  Kind kind = Kind::Const;
+  std::string storage;   // StorageRead: storage name
+  std::string addrField; // StorageRead of a memory: read-address field
+  std::string field;     // Field: immediate field name
+  int64_t cval = 0;      // Const
+  nl::AluOp op = nl::AluOp::Add;  // Op (Mult encoded as opName "mul")
+  bool isMult = false;   // Op: multiplier instead of ALU
+  std::vector<IseExpr> kids;
+
+  std::string str() const;
+};
+
+/// One instruction-bit requirement: field == value.
+struct BitSetting {
+  std::string field;
+  int64_t value = 0;
+
+  bool operator<(const BitSetting& o) const {
+    return field < o.field || (field == o.field && value < o.value);
+  }
+  bool operator==(const BitSetting& o) const = default;
+};
+
+/// An extracted register transfer.
+struct IsePattern {
+  std::string destStorage;
+  std::string destAddrField;  // memory destinations: write-address field
+  IseExpr expr;
+  std::vector<BitSetting> bits;  // sorted, conflict-free
+
+  /// Fig. 3 style rendering:
+  ///   acc := add(acc, mem[maddr])   bits: accwe=1 aluop=1 asel=0 ...
+  std::string str() const;
+
+  /// Assemble an instruction word realizing this pattern (fields not
+  /// mentioned in `bits` are zero).
+  uint64_t encode(const nl::Netlist& nl) const;
+};
+
+struct IseOptions {
+  int maxDepth = 6;         // traversal depth through combinational units
+  int maxPatterns = 4096;   // safety cap
+};
+
+/// Run extraction over every writable storage of the netlist.
+std::vector<IsePattern> extractInstructionSet(const nl::Netlist& nl,
+                                              const IseOptions& opts = {});
+
+}  // namespace record::ise

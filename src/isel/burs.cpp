@@ -1,0 +1,204 @@
+#include "isel/burs.h"
+
+#include <cassert>
+
+namespace record {
+
+BursMatcher::BursMatcher(const RuleSet& rules, CostKind costKind)
+    : rules_(rules), costKind_(costKind) {}
+
+bool BursMatcher::matchPattern(const PatNode& pat, const ExprPtr& e,
+                               int& cost) {
+  switch (pat.kind) {
+    case PatNode::Kind::ConstLeaf:
+      return e->op == Op::Const && e->value == pat.cval;
+    case PatNode::Kind::NtLeaf: {
+      const NodeState& st = label(e, *binder_);
+      const Choice& c = st.nt[static_cast<int>(pat.nt)];
+      if (c.kind == Choice::Kind::None) return false;
+      cost += c.cost;
+      return true;
+    }
+    case PatNode::Kind::OpNode: {
+      if (e->op != pat.op) return false;
+      if (e->kids.size() != pat.kids.size()) return false;
+      for (size_t i = 0; i < pat.kids.size(); ++i)
+        if (!matchPattern(pat.kids[i], e->kids[i], cost)) return false;
+      return true;
+    }
+  }
+  return false;
+}
+
+BursMatcher::NodeState& BursMatcher::label(const ExprPtr& e,
+                                           OperandBinder& binder) {
+  auto it = states_.find(e.get());
+  if (it != states_.end()) return it->second;
+
+  // Label children first (post-order).
+  for (const auto& k : e->kids) label(k, binder);
+
+  NodeState st;
+  // 1. Leaf bindings from the binder (variables, array elements, constants).
+  for (Nonterm nt : {Nonterm::Mem, Nonterm::Imm8, Nonterm::Imm16}) {
+    if (auto c = binder.leafCost(*e, nt)) {
+      Choice& ch = st.nt[static_cast<int>(nt)];
+      if (*c < ch.cost) ch = {Choice::Kind::LeafBind, -1, *c};
+    }
+  }
+  // 2. Structural rules.
+  for (size_t ri = 0; ri < rules_.rules.size(); ++ri) {
+    const Rule& r = rules_.rules[ri];
+    if (r.pat.kind != PatNode::Kind::OpNode &&
+        r.pat.kind != PatNode::Kind::ConstLeaf)
+      continue;  // chain rules handled in closure below
+    int cost = ruleCost(r);
+    // Pattern leaves always map to strict descendants of `e`, which are
+    // already labeled, so matching needs no state for `e` itself.
+    if (!matchPattern(r.pat, e, cost)) continue;
+    Choice& ch = st.nt[static_cast<int>(r.lhs)];
+    if (cost < ch.cost) ch = {Choice::Kind::Rule, static_cast<int>(ri), cost};
+  }
+  // 3. Chain-rule closure to fixpoint.
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (size_t ri = 0; ri < rules_.rules.size(); ++ri) {
+      const Rule& r = rules_.rules[ri];
+      if (r.pat.kind != PatNode::Kind::NtLeaf) continue;
+      const Choice& src = st.nt[static_cast<int>(r.pat.nt)];
+      if (src.kind == Choice::Kind::None) continue;
+      int cost = src.cost + ruleCost(r);
+      Choice& dst = st.nt[static_cast<int>(r.lhs)];
+      if (cost < dst.cost) {
+        dst = {Choice::Kind::Rule, static_cast<int>(ri), cost};
+        changed = true;
+      }
+    }
+  }
+  return states_.emplace(e.get(), st).first->second;
+}
+
+std::optional<int> BursMatcher::matchCost(const ExprPtr& tree, Nonterm goal,
+                                          OperandBinder& binder) {
+  states_.clear();
+  binder_ = &binder;
+  const NodeState& st = label(tree, binder);
+  const Choice& c = st.nt[static_cast<int>(goal)];
+  binder_ = nullptr;
+  if (c.kind == Choice::Kind::None) return std::nullopt;
+  return c.cost;
+}
+
+void BursMatcher::collectLeafBindings(
+    const PatNode& pat, const ExprPtr& e,
+    std::vector<std::pair<const PatNode*, ExprPtr>>& out) {
+  switch (pat.kind) {
+    case PatNode::Kind::ConstLeaf:
+      return;
+    case PatNode::Kind::NtLeaf:
+      out.emplace_back(&pat, e);
+      return;
+    case PatNode::Kind::OpNode:
+      for (size_t i = 0; i < pat.kids.size(); ++i)
+        collectLeafBindings(pat.kids[i], e->kids[i], out);
+      return;
+  }
+}
+
+Operand BursMatcher::reduceTo(const ExprPtr& e, Nonterm nt,
+                              OperandBinder& binder, std::vector<MInstr>& out,
+                              int& patterns, bool isStoreDest) {
+  const NodeState& st = states_.at(e.get());
+  const Choice& c = st.nt[static_cast<int>(nt)];
+  assert(c.kind != Choice::Kind::None && "reducing an uncovered node");
+
+  if (c.kind == Choice::Kind::LeafBind)
+    return binder.bind(*e, nt, out, isStoreDest);
+
+  const Rule& r = rules_.rules[static_cast<size_t>(c.rule)];
+  ++patterns;
+
+  // Gather the rule's leaves paired with the expression nodes they cover.
+  std::vector<std::pair<const PatNode*, ExprPtr>> leaves;
+  collectLeafBindings(r.pat, e, leaves);
+
+  // Reduce all Mem/Imm leaves first (their results are stable memory or
+  // immediate operands), then the Acc leaf. See header comment.
+  int maxSlot = -1;
+  for (auto& [p, _] : leaves) maxSlot = std::max(maxSlot, p->slot);
+  std::vector<Operand> slots(static_cast<size_t>(maxSlot + 1));
+
+  for (auto& [p, sub] : leaves) {
+    if (p->nt == Nonterm::Acc) continue;
+    // The first child of a Store pattern is the write destination.
+    bool dest = r.pat.kind == PatNode::Kind::OpNode &&
+                r.pat.op == Op::Store && !r.pat.kids.empty() &&
+                p == &r.pat.kids[0];
+    Operand o = reduceTo(sub, p->nt, binder, out, patterns, dest);
+    if (p->slot >= 0) slots[static_cast<size_t>(p->slot)] = o;
+  }
+  for (auto& [p, sub] : leaves) {
+    if (p->nt != Nonterm::Acc) continue;
+    reduceTo(sub, Nonterm::Acc, binder, out, patterns);
+  }
+
+  // Emit the rule's instructions.
+  Operand result = Operand::none();
+  int tempAddr = -1;
+  for (const auto& tmpl : r.emit) {
+    MInstr mi;
+    mi.instr.op = tmpl.op;
+    mi.need = r.mode;
+    auto materialize = [&](const OperTemplate& ot) -> Operand {
+      switch (ot.kind) {
+        case OperTemplate::Kind::None:
+          return Operand::none();
+        case OperTemplate::Kind::Slot:
+          return slots.at(static_cast<size_t>(ot.slot));
+        case OperTemplate::Kind::FixedImm:
+          return Operand::imm(ot.imm);
+        case OperTemplate::Kind::Temp:
+          if (tempAddr < 0) tempAddr = binder.allocTemp();
+          return Operand::direct(tempAddr);
+      }
+      return Operand::none();
+    };
+    mi.instr.a = materialize(tmpl.a);
+    mi.instr.b = materialize(tmpl.b);
+    out.push_back(std::move(mi));
+  }
+
+  // The operand representing this node's value as `nt`.
+  if (nt == Nonterm::Mem) {
+    if (tempAddr >= 0) return Operand::direct(tempAddr);
+    // A chain like imm->mem without a temp template would be a grammar bug.
+    if (r.isChain() && r.pat.slot >= 0)
+      return slots.at(static_cast<size_t>(r.pat.slot));
+    return result;
+  }
+  if ((nt == Nonterm::Imm8 || nt == Nonterm::Imm16) && r.isChain() &&
+      r.pat.slot >= 0)
+    return slots.at(static_cast<size_t>(r.pat.slot));
+  return result;
+}
+
+CoverResult BursMatcher::reduce(const ExprPtr& tree, Nonterm goal,
+                                OperandBinder& binder) {
+  CoverResult res;
+  states_.clear();
+  binder_ = &binder;
+  const NodeState& st = label(tree, binder);
+  const Choice& c = st.nt[static_cast<int>(goal)];
+  if (c.kind == Choice::Kind::None) {
+    binder_ = nullptr;
+    return res;
+  }
+  res.cost = c.cost;
+  reduceTo(tree, goal, binder, res.code, res.patternsUsed);
+  binder_ = nullptr;
+  res.ok = true;
+  return res;
+}
+
+}  // namespace record

@@ -1,0 +1,123 @@
+// BURS-style instruction selection (Aho/Ganapathi/Tjiang dynamic programming
+// over tree grammars, as popularized by iburg -- §4.3.3 of the paper).
+//
+// The matcher labels every node of a data-flow tree with the cheapest cost of
+// producing each nonterminal (storage class), then the reducer walks the
+// chosen cover emitting instructions. "Data routing" through the single
+// accumulator falls out of the chain rules: `mem <- acc` spills through a
+// fresh memory temp, `acc <- mem` reloads.
+//
+// Evaluation-order discipline (which makes covers with a single ACC/T/P
+// always schedulable): for every matched rule, all Mem/Imm pattern leaves
+// are reduced *before* the Acc leaf, and the rule's own instructions are
+// emitted last. Mem-leaf reductions may freely clobber ACC because their
+// results land in memory temps.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "ir/expr.h"
+#include "target/isd.h"
+
+namespace record {
+
+/// Cost dimension optimized by the matcher. Table 1 reports size, so Size is
+/// the default; Cycles is used by the speed-oriented experiments.
+enum class CostKind : uint8_t { Size, Cycles };
+
+/// An instruction plus its mode-bit requirements (resolved later by the
+/// mode-change minimization pass).
+struct MInstr {
+  Instr instr;
+  ModeReq need;
+};
+
+/// Supplies target-memory knowledge to the selector: how program leaves
+/// (variables, array elements, constants) map to operands, and where
+/// spill temps live. Implemented by the codegen driver.
+class OperandBinder {
+ public:
+  virtual ~OperandBinder() = default;
+
+  /// Extra cost (in the matcher's cost unit) of binding leaf `e` as `nt`,
+  /// or nullopt if impossible. Must be consistent with bind().
+  virtual std::optional<int> leafCost(const Expr& e, Nonterm nt) = 0;
+
+  /// Produce the operand for a leaf; may emit setup code (e.g. AR loads for
+  /// dynamically indexed arrays). `isStoreDest` is true when the operand is
+  /// the destination of a Store pattern (the value will be written, not
+  /// read, so dynamic accesses must yield a live indirect operand).
+  virtual Operand bind(const Expr& e, Nonterm nt, std::vector<MInstr>& out,
+                       bool isStoreDest) = 0;
+
+  /// Allocate / release a one-word spill temp in data memory.
+  virtual int allocTemp() = 0;
+  virtual void freeTemp(int /*addr*/) {}
+};
+
+struct CoverResult {
+  bool ok = false;
+  int cost = 0;
+  std::vector<MInstr> code;
+  /// Number of rule applications in the cover (pattern count of Fig. 5).
+  int patternsUsed = 0;
+};
+
+class BursMatcher {
+ public:
+  BursMatcher(const RuleSet& rules, CostKind costKind);
+
+  /// Cost of covering `tree` to `goal`, or nullopt if no cover exists.
+  /// Labels only -- cheap enough to call on every rewrite variant.
+  std::optional<int> matchCost(const ExprPtr& tree, Nonterm goal,
+                               OperandBinder& binder);
+
+  /// Full selection: label then reduce, emitting code.
+  CoverResult reduce(const ExprPtr& tree, Nonterm goal, OperandBinder& binder);
+
+  const RuleSet& rules() const { return rules_; }
+
+ private:
+  struct Choice {
+    enum class Kind : uint8_t { None, LeafBind, Rule } kind = Kind::None;
+    int rule = -1;
+    int cost = kInfCost;
+  };
+  struct NodeState {
+    Choice nt[kNumNonterms];
+  };
+  static constexpr int kInfCost = 1 << 28;
+
+  int ruleCost(const Rule& r) const {
+    return costKind_ == CostKind::Size ? r.size : r.cycles;
+  }
+
+  /// Structural match of `pat` against `e`; accumulates the cost of all
+  /// nonterminal leaves (looked up in the label map) into `cost`. Returns
+  /// false when ops/consts mismatch or a leaf has no cover.
+  bool matchPattern(const PatNode& pat, const ExprPtr& e, int& cost);
+
+  NodeState& label(const ExprPtr& e, OperandBinder& binder);
+
+  /// Reduce `e` to `nt`; returns the operand carrying the value for
+  /// Mem/Imm nonterms (unused for Acc/Stmt).
+  Operand reduceTo(const ExprPtr& e, Nonterm nt, OperandBinder& binder,
+                   std::vector<MInstr>& out, int& patterns,
+                   bool isStoreDest = false);
+
+  /// Collect (patternLeaf, exprNode) pairs of a structural rule match.
+  void collectLeafBindings(
+      const PatNode& pat, const ExprPtr& e,
+      std::vector<std::pair<const PatNode*, ExprPtr>>& out);
+
+  const RuleSet& rules_;
+  CostKind costKind_;
+  std::unordered_map<const Expr*, NodeState> states_;
+  OperandBinder* binder_ = nullptr;  // valid during a match/reduce call
+};
+
+}  // namespace record

@@ -1,0 +1,135 @@
+#include "netlist/model.h"
+
+#include <set>
+
+namespace record::nl {
+
+const char* aluOpName(AluOp op) {
+  switch (op) {
+    case AluOp::PassB: return "pass";
+    case AluOp::Add: return "add";
+    case AluOp::Sub: return "sub";
+    case AluOp::And: return "and";
+  }
+  return "?";
+}
+
+const Field* Netlist::findField(const std::string& n) const {
+  for (const auto& f : fields)
+    if (f.name == n) return &f;
+  return nullptr;
+}
+
+const Storage* Netlist::findStorage(const std::string& n) const {
+  for (const auto& s : storages)
+    if (s.name == n) return &s;
+  return nullptr;
+}
+
+const Unit* Netlist::findUnit(const std::string& n) const {
+  for (const auto& u : units)
+    if (u.name == n) return &u;
+  return nullptr;
+}
+
+int Netlist::instrWidth() const {
+  int w = 0;
+  for (const auto& f : fields) w = std::max(w, f.lsb + f.width);
+  return w;
+}
+
+bool splitPortRef(const std::string& ref, std::string& name,
+                  std::string& port) {
+  auto dot = ref.find('.');
+  if (dot == std::string::npos) return false;
+  name = ref.substr(0, dot);
+  port = ref.substr(dot + 1);
+  return true;
+}
+
+std::optional<std::string> Netlist::check() const {
+  // Every data source must resolve to a storage output, unit output, or
+  // field.
+  auto checkSrc = [this](const std::string& src,
+                         const std::string& ctx) -> std::optional<std::string> {
+    if (src.empty()) return "missing source in " + ctx;
+    std::string name, port;
+    if (splitPortRef(src, name, port)) {
+      if (port != "out") return "only '.out' may be read (" + ctx + ")";
+      if (!findStorage(name) && !findUnit(name))
+        return "unknown object '" + name + "' in " + ctx;
+      return std::nullopt;
+    }
+    if (!findField(src))
+      return "unknown field '" + src + "' in " + ctx;
+    return std::nullopt;
+  };
+
+  for (const auto& u : units) {
+    switch (u.kind) {
+      case Unit::Kind::Const:
+        break;
+      case Unit::Kind::SignExt:
+        if (!findField(u.ctlField))
+          return "sext unit '" + u.name + "' has unknown field '" +
+                 u.ctlField + "'";
+        break;
+      case Unit::Kind::Mux2:
+      case Unit::Kind::Alu: {
+        if (!findField(u.ctlField))
+          return "unit '" + u.name + "' has unknown control field '" +
+                 u.ctlField + "'";
+        if (auto e = checkSrc(u.in0, "unit " + u.name)) return e;
+        if (auto e = checkSrc(u.in1, "unit " + u.name)) return e;
+        break;
+      }
+      case Unit::Kind::Mult: {
+        if (auto e = checkSrc(u.in0, "unit " + u.name)) return e;
+        if (auto e = checkSrc(u.in1, "unit " + u.name)) return e;
+        break;
+      }
+    }
+  }
+  for (const auto& s : storages) {
+    if (!s.inSrc.empty())
+      if (auto e = checkSrc(s.inSrc, "storage " + s.name)) return e;
+    if (!s.weSrc.empty() && !findField(s.weSrc))
+      return "storage '" + s.name + "' write enable is not a field: '" +
+             s.weSrc + "'";
+    if (s.kind == Storage::Kind::Memory) {
+      if (!s.raddrField.empty() && !findField(s.raddrField))
+        return "storage '" + s.name + "' has unknown raddr field";
+      if (!s.waddrField.empty() && !findField(s.waddrField))
+        return "storage '" + s.name + "' has unknown waddr field";
+    }
+  }
+
+  // Combinational cycle check: DFS over unit -> unit dependencies.
+  std::set<std::string> visiting, done;
+  // Returns error message if a cycle is found.
+  std::optional<std::string> err;
+  auto dfs = [&](auto&& self, const Unit& u) -> bool {
+    if (done.count(u.name)) return true;
+    if (visiting.count(u.name)) {
+      err = "combinational cycle through unit '" + u.name + "'";
+      return false;
+    }
+    visiting.insert(u.name);
+    for (const std::string* src : {&u.in0, &u.in1}) {
+      std::string name, port;
+      if (!src->empty() && splitPortRef(*src, name, port)) {
+        if (const Unit* dep = findUnit(name)) {
+          if (!self(self, *dep)) return false;
+        }
+      }
+    }
+    visiting.erase(u.name);
+    done.insert(u.name);
+    return true;
+  };
+  for (const auto& u : units)
+    if (!dfs(dfs, u)) return err;
+  return std::nullopt;
+}
+
+}  // namespace record::nl

@@ -1,0 +1,78 @@
+// RT-level structural netlists: storages (registers, memories / register
+// files), combinational units (muxes, ALU, multiplier, sign-extender,
+// constants) and an instruction word cut into named control fields.
+//
+// This is the "RT-netlist" entry point of RECORD (Fig. 2): some ASIPs are
+// defined at this level, and instruction-set extraction (src/ise) derives an
+// instruction-set description from it.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace record::nl {
+
+/// A named slice of the instruction word: bits [lsb, lsb+width).
+struct Field {
+  std::string name;
+  int width = 1;
+  int lsb = 0;
+};
+
+/// Register or addressable memory / register file.
+struct Storage {
+  enum class Kind : uint8_t { Reg, Memory };
+  std::string name;
+  Kind kind = Kind::Reg;
+  int size = 1;   // words (Memory only)
+  int width = 16;
+  std::string raddrField;  // Memory: field supplying the read address
+  std::string waddrField;  // Memory: field supplying the write address
+  // Wired by `connect`:
+  std::string inSrc;  // data source for the write port ("unit.out" etc.)
+  std::string weSrc;  // write-enable source (a field name)
+};
+
+/// Combinational unit. Operand sources are port references like "acc.out",
+/// "alu.out", or a bare field name for control inputs.
+struct Unit {
+  enum class Kind : uint8_t { Const, SignExt, Mux2, Alu, Mult };
+  std::string name;
+  Kind kind = Kind::Const;
+  int width = 16;
+  int64_t constValue = 0;   // Const
+  std::string ctlField;     // Mux2: sel; Alu: op; SignExt: source field
+  std::string in0, in1;     // data inputs
+};
+
+/// ALU operation encoding shared by the whole library:
+/// 0 = pass_b, 1 = add, 2 = sub, 3 = and.
+enum class AluOp : int { PassB = 0, Add = 1, Sub = 2, And = 3 };
+const char* aluOpName(AluOp op);
+
+struct Netlist {
+  std::string name;
+  std::vector<Field> fields;
+  std::vector<Storage> storages;
+  std::vector<Unit> units;
+
+  const Field* findField(const std::string& n) const;
+  const Storage* findStorage(const std::string& n) const;
+  const Unit* findUnit(const std::string& n) const;
+
+  /// Total instruction-word width implied by the fields (max lsb+width).
+  int instrWidth() const;
+
+  /// Structural sanity: referenced fields/ports exist, no combinational
+  /// cycles through units. Returns an error message or nullopt if clean.
+  std::optional<std::string> check() const;
+};
+
+/// Split "name.port" into its parts; returns false for bare names.
+bool splitPortRef(const std::string& ref, std::string& name,
+                  std::string& port);
+
+}  // namespace record::nl

@@ -1,0 +1,202 @@
+#include "netlist/parser.h"
+
+#include <sstream>
+#include <stdexcept>
+
+#include "support/strings.h"
+
+namespace record::nl {
+
+namespace {
+
+struct NlParser {
+  DiagEngine& diag;
+  int lineNo = 0;
+
+  explicit NlParser(DiagEngine& d) : diag(d) {}
+  SourceLoc loc() const { return {lineNo, 1}; }
+
+  bool num(std::istringstream& is, int& out, const char* what) {
+    std::string t;
+    if (!(is >> t)) {
+      diag.error(loc(), std::string("missing ") + what);
+      return false;
+    }
+    try {
+      out = std::stoi(t);
+    } catch (...) {
+      diag.error(loc(), std::string("bad ") + what + " '" + t + "'");
+      return false;
+    }
+    return true;
+  }
+
+  bool word(std::istringstream& is, std::string& out, const char* what) {
+    if (!(is >> out)) {
+      diag.error(loc(), std::string("missing ") + what);
+      return false;
+    }
+    return true;
+  }
+
+  bool expectKw(std::istringstream& is, const char* kw) {
+    std::string t;
+    if (!(is >> t) || t != kw) {
+      diag.error(loc(), std::string("expected '") + kw + "'");
+      return false;
+    }
+    return true;
+  }
+
+  void parseStorage(std::istringstream& is, Netlist& out) {
+    Storage s;
+    std::string kind;
+    if (!word(is, s.name, "storage name") || !word(is, kind, "storage kind"))
+      return;
+    if (kind == "reg") {
+      s.kind = Storage::Kind::Reg;
+      if (!num(is, s.width, "register width")) return;
+    } else if (kind == "memory") {
+      s.kind = Storage::Kind::Memory;
+      if (!num(is, s.size, "memory size") || !num(is, s.width, "memory width"))
+        return;
+      std::string kw;
+      while (is >> kw) {
+        if (kw == "raddr") {
+          if (!word(is, s.raddrField, "raddr field")) return;
+        } else if (kw == "waddr") {
+          if (!word(is, s.waddrField, "waddr field")) return;
+        } else {
+          diag.error(loc(), "unknown storage attribute '" + kw + "'");
+          return;
+        }
+      }
+    } else {
+      diag.error(loc(), "unknown storage kind '" + kind + "'");
+      return;
+    }
+    out.storages.push_back(std::move(s));
+  }
+
+  void parseUnit(std::istringstream& is, Netlist& out) {
+    Unit u;
+    std::string kind;
+    if (!word(is, u.name, "unit name") || !word(is, kind, "unit kind"))
+      return;
+    if (kind == "const") {
+      u.kind = Unit::Kind::Const;
+      if (!num(is, u.width, "const width")) return;
+      if (!expectKw(is, "value")) return;
+      int v = 0;
+      if (!num(is, v, "const value")) return;
+      u.constValue = v;
+    } else if (kind == "sext") {
+      u.kind = Unit::Kind::SignExt;
+      int inw = 0;
+      if (!expectKw(is, "in") || !num(is, inw, "input width")) return;
+      if (!expectKw(is, "out") || !num(is, u.width, "output width")) return;
+      if (!expectKw(is, "from") || !word(is, u.ctlField, "source field"))
+        return;
+    } else if (kind == "mux2") {
+      u.kind = Unit::Kind::Mux2;
+      if (!num(is, u.width, "mux width")) return;
+      if (!expectKw(is, "sel") || !word(is, u.ctlField, "sel field")) return;
+      if (!expectKw(is, "in0") || !word(is, u.in0, "in0 source")) return;
+      if (!expectKw(is, "in1") || !word(is, u.in1, "in1 source")) return;
+    } else if (kind == "alu") {
+      u.kind = Unit::Kind::Alu;
+      if (!num(is, u.width, "alu width")) return;
+      if (!expectKw(is, "op") || !word(is, u.ctlField, "op field")) return;
+      if (!expectKw(is, "in0") || !word(is, u.in0, "in0 source")) return;
+      if (!expectKw(is, "in1") || !word(is, u.in1, "in1 source")) return;
+    } else if (kind == "mult") {
+      u.kind = Unit::Kind::Mult;
+      if (!expectKw(is, "in0") || !word(is, u.in0, "in0 source")) return;
+      if (!expectKw(is, "in1") || !word(is, u.in1, "in1 source")) return;
+      if (!expectKw(is, "out") || !num(is, u.width, "output width")) return;
+    } else {
+      diag.error(loc(), "unknown unit kind '" + kind + "'");
+      return;
+    }
+    out.units.push_back(std::move(u));
+  }
+
+  void parseConnect(std::istringstream& is, Netlist& out) {
+    std::string dst, src;
+    if (!word(is, dst, "connect destination") ||
+        !word(is, src, "connect source"))
+      return;
+    std::string name, port;
+    if (!splitPortRef(dst, name, port)) {
+      diag.error(loc(), "connect destination must be name.port");
+      return;
+    }
+    for (auto& s : out.storages) {
+      if (s.name == name) {
+        if (port == "in") {
+          s.inSrc = src;
+        } else if (port == "we") {
+          s.weSrc = src;
+        } else {
+          diag.error(loc(), "unknown storage port '" + port + "'");
+        }
+        return;
+      }
+    }
+    diag.error(loc(), "connect to unknown storage '" + name + "'");
+  }
+
+  std::optional<Netlist> run(const std::string& text) {
+    Netlist out;
+    std::istringstream is(text);
+    std::string raw;
+    while (std::getline(is, raw)) {
+      ++lineNo;
+      std::string line(trim(raw));
+      if (auto hash = line.find('#'); hash != std::string::npos)
+        line = std::string(trim(line.substr(0, hash)));
+      if (line.empty()) continue;
+      std::istringstream ls(line);
+      std::string kw;
+      ls >> kw;
+      if (kw == "netlist") {
+        word(ls, out.name, "netlist name");
+      } else if (kw == "field") {
+        Field f;
+        if (word(ls, f.name, "field name") && num(ls, f.width, "field width") &&
+            num(ls, f.lsb, "field lsb"))
+          out.fields.push_back(std::move(f));
+      } else if (kw == "storage") {
+        parseStorage(ls, out);
+      } else if (kw == "unit") {
+        parseUnit(ls, out);
+      } else if (kw == "connect") {
+        parseConnect(ls, out);
+      } else {
+        diag.error(loc(), "unknown keyword '" + kw + "'");
+      }
+    }
+    if (diag.hasErrors()) return std::nullopt;
+    if (auto err = out.check()) {
+      diag.error({0, 0}, *err);
+      return std::nullopt;
+    }
+    return out;
+  }
+};
+
+}  // namespace
+
+std::optional<Netlist> parseNetlist(const std::string& text,
+                                    DiagEngine& diag) {
+  return NlParser(diag).run(text);
+}
+
+Netlist parseNetlistOrDie(const std::string& text) {
+  DiagEngine diag;
+  auto nl = parseNetlist(text, diag);
+  if (!nl) throw std::runtime_error("netlist parse failed:\n" + diag.str());
+  return std::move(*nl);
+}
+
+}  // namespace record::nl

@@ -1,0 +1,31 @@
+// Line-based parser for the textual netlist format:
+//
+//   netlist NAME
+//   field NAME WIDTH LSB
+//   storage NAME reg WIDTH
+//   storage NAME memory SIZE WIDTH [raddr FIELD waddr FIELD]
+//   unit NAME const WIDTH value V
+//   unit NAME sext in W out W2 from FIELD
+//   unit NAME mux2 WIDTH sel FIELD in0 SRC in1 SRC
+//   unit NAME alu WIDTH op FIELD in0 SRC in1 SRC
+//   unit NAME mult in0 SRC in1 SRC out WIDTH
+//   connect DST.in SRC | connect DST.we FIELD
+//
+// `#` starts a comment. SRC is "object.out" or a bare field name.
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "netlist/model.h"
+#include "support/diag.h"
+
+namespace record::nl {
+
+std::optional<Netlist> parseNetlist(const std::string& text,
+                                    DiagEngine& diag);
+
+/// Throws std::runtime_error on failure (for built-in netlists).
+Netlist parseNetlistOrDie(const std::string& text);
+
+}  // namespace record::nl

@@ -1,0 +1,155 @@
+#include "netlist/rtlsim.h"
+
+#include <stdexcept>
+
+namespace record::nl {
+
+RtlSim::RtlSim(const Netlist& nl) : nl_(nl) { reset(); }
+
+void RtlSim::reset() {
+  regs_.clear();
+  mems_.clear();
+  for (const auto& s : nl_.storages) {
+    if (s.kind == Storage::Kind::Reg)
+      regs_[s.name] = 0;
+    else
+      mems_[s.name] = std::vector<int64_t>(static_cast<size_t>(s.size), 0);
+  }
+}
+
+void RtlSim::setReg(const std::string& name, int64_t value) {
+  const Storage* s = nl_.findStorage(name);
+  if (!s || s->kind != Storage::Kind::Reg)
+    throw std::runtime_error("not a register: " + name);
+  regs_[name] = wrapToWidth(value, s->width);
+}
+
+int64_t RtlSim::reg(const std::string& name) const {
+  auto it = regs_.find(name);
+  if (it == regs_.end()) throw std::runtime_error("no register: " + name);
+  return it->second;
+}
+
+void RtlSim::setMem(const std::string& name, int idx, int64_t value) {
+  const Storage* s = nl_.findStorage(name);
+  if (!s || s->kind != Storage::Kind::Memory)
+    throw std::runtime_error("not a memory: " + name);
+  mems_.at(name).at(static_cast<size_t>(idx)) = wrapToWidth(value, s->width);
+}
+
+int64_t RtlSim::mem(const std::string& name, int idx) const {
+  return mems_.at(name).at(static_cast<size_t>(idx));
+}
+
+int64_t RtlSim::wrapToWidth(int64_t v, int width) const {
+  if (width >= 64) return v;
+  uint64_t mask = (1ull << width) - 1;
+  uint64_t uv = static_cast<uint64_t>(v) & mask;
+  // Sign-extend from the top bit of the width.
+  if (uv & (1ull << (width - 1))) uv |= ~mask;
+  return static_cast<int64_t>(uv);
+}
+
+int64_t RtlSim::fieldValue(const std::string& field,
+                           uint64_t instrWord) const {
+  const Field* f = nl_.findField(field);
+  if (!f) throw std::runtime_error("no field: " + field);
+  uint64_t mask = f->width >= 64 ? ~0ull : ((1ull << f->width) - 1);
+  return static_cast<int64_t>((instrWord >> f->lsb) & mask);
+}
+
+int64_t RtlSim::evalSrc(const std::string& src, uint64_t instr,
+                        std::map<std::string, int64_t>& memo) const {
+  std::string name, port;
+  if (!splitPortRef(src, name, port)) {
+    // Bare field reference.
+    return fieldValue(src, instr);
+  }
+  if (const Storage* s = nl_.findStorage(name)) {
+    if (s->kind == Storage::Kind::Reg) return regs_.at(name);
+    // Memory read at the current read-address field.
+    int64_t addr =
+        s->raddrField.empty() ? 0 : fieldValue(s->raddrField, instr);
+    const auto& v = mems_.at(name);
+    if (addr < 0 || static_cast<size_t>(addr) >= v.size())
+      throw std::runtime_error("read address out of range for " + name);
+    return v[static_cast<size_t>(addr)];
+  }
+  if (const Unit* u = nl_.findUnit(name)) return evalUnit(*u, instr, memo);
+  throw std::runtime_error("unknown source: " + src);
+}
+
+int64_t RtlSim::evalUnit(const Unit& u, uint64_t instr,
+                         std::map<std::string, int64_t>& memo) const {
+  if (auto it = memo.find(u.name); it != memo.end()) return it->second;
+  int64_t out = 0;
+  switch (u.kind) {
+    case Unit::Kind::Const:
+      out = u.constValue;
+      break;
+    case Unit::Kind::SignExt: {
+      const Field* f = nl_.findField(u.ctlField);
+      int64_t raw = fieldValue(u.ctlField, instr);
+      out = wrapToWidth(raw, f->width);  // sign-extend from field width
+      break;
+    }
+    case Unit::Kind::Mux2: {
+      int64_t sel = fieldValue(u.ctlField, instr);
+      out = evalSrc(sel == 0 ? u.in0 : u.in1, instr, memo);
+      break;
+    }
+    case Unit::Kind::Alu: {
+      int64_t op = fieldValue(u.ctlField, instr);
+      int64_t a = evalSrc(u.in0, instr, memo);
+      int64_t b = evalSrc(u.in1, instr, memo);
+      switch (static_cast<AluOp>(op)) {
+        case AluOp::PassB: out = b; break;
+        case AluOp::Add: out = a + b; break;
+        case AluOp::Sub: out = a - b; break;
+        case AluOp::And: out = a & b; break;
+        default: out = 0; break;
+      }
+      break;
+    }
+    case Unit::Kind::Mult: {
+      out = evalSrc(u.in0, instr, memo) * evalSrc(u.in1, instr, memo);
+      break;
+    }
+  }
+  out = wrapToWidth(out, u.width);
+  memo[u.name] = out;
+  return out;
+}
+
+void RtlSim::step(uint64_t instrWord) {
+  std::map<std::string, int64_t> memo;
+  struct Write {
+    const Storage* s;
+    int64_t addr;
+    int64_t value;
+  };
+  std::vector<Write> writes;
+  for (const auto& s : nl_.storages) {
+    if (s.inSrc.empty() || s.weSrc.empty()) continue;
+    if (fieldValue(s.weSrc, instrWord) == 0) continue;
+    int64_t value = evalSrc(s.inSrc, instrWord, memo);
+    int64_t addr = 0;
+    if (s.kind == Storage::Kind::Memory && !s.waddrField.empty())
+      addr = fieldValue(s.waddrField, instrWord);
+    writes.push_back({&s, addr, wrapToWidth(value, s.width)});
+  }
+  // Commit simultaneously (register-transfer semantics).
+  for (const auto& w : writes) {
+    if (w.s->kind == Storage::Kind::Reg) {
+      regs_[w.s->name] = w.value;
+    } else {
+      auto& v = mems_.at(w.s->name);
+      if (w.addr < 0 || static_cast<size_t>(w.addr) >= v.size())
+        throw std::runtime_error("write address out of range for " +
+                                 w.s->name);
+      v[static_cast<size_t>(w.addr)] = w.value;
+    }
+  }
+}
+
+}  // namespace record::nl

@@ -1,0 +1,45 @@
+// Cycle-level evaluator for RT netlists: given an instruction word, computes
+// the combinational network and commits all enabled storage writes
+// simultaneously. Used to validate instruction-set extraction: an extracted
+// pattern's semantics must equal what the netlist actually does when its
+// instruction bits are applied.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "netlist/model.h"
+
+namespace record::nl {
+
+class RtlSim {
+ public:
+  explicit RtlSim(const Netlist& nl);
+
+  void reset();
+  void setReg(const std::string& name, int64_t value);
+  int64_t reg(const std::string& name) const;
+  void setMem(const std::string& name, int idx, int64_t value);
+  int64_t mem(const std::string& name, int idx) const;
+
+  /// Execute one cycle with the given instruction word.
+  void step(uint64_t instrWord);
+
+  /// Extract a field's value from an instruction word.
+  int64_t fieldValue(const std::string& field, uint64_t instrWord) const;
+
+ private:
+  int64_t wrapToWidth(int64_t v, int width) const;
+  int64_t evalSrc(const std::string& src, uint64_t instr,
+                  std::map<std::string, int64_t>& memo) const;
+  int64_t evalUnit(const Unit& u, uint64_t instr,
+                   std::map<std::string, int64_t>& memo) const;
+
+  const Netlist& nl_;
+  std::map<std::string, int64_t> regs_;
+  std::map<std::string, std::vector<int64_t>> mems_;
+};
+
+}  // namespace record::nl

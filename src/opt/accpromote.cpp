@@ -1,0 +1,119 @@
+#include "opt/accpromote.h"
+
+#include <map>
+
+namespace record {
+
+namespace {
+
+/// Does the instruction access direct data address `addr`?
+bool touchesAddr(const Instr& in, int addr,
+                 const std::function<bool(int)>& indirectMayTouch) {
+  const OpInfo& info = opInfo(in.op);
+  auto check = [&](const Operand& o, bool isMem) {
+    if (!isMem) return false;
+    if (o.mode == AddrMode::Indirect)
+      return indirectMayTouch ? indirectMayTouch(addr) : true;
+    if (o.mode != AddrMode::Direct) return false;
+    if (o.value == addr) return true;
+    // DMOV/LTD also write o.value+1.
+    if ((in.op == Opcode::DMOV || in.op == Opcode::LTD) &&
+        o.value + 1 == addr)
+      return true;
+    return false;
+  };
+  return check(in.a, info.aIsMem) || check(in.b, info.bIsMem);
+}
+
+}  // namespace
+
+std::vector<MInstr> promoteAccumulators(
+    const std::vector<MInstr>& code, AccPromoteStats* stats,
+    const std::function<bool(int)>& indirectMayTouch) {
+  // Label -> number of branches targeting it.
+  std::map<std::string, int> targetCount;
+  for (const auto& mi : code)
+    if (opInfo(mi.instr.op).isBranch) ++targetCount[mi.instr.targetLabel];
+
+  std::vector<MInstr> cur = code;
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (size_t i = 0; i + 1 < cur.size() && !changed; ++i) {
+      const Instr& head = cur[i].instr;
+      if (head.label.empty() || head.op != Opcode::LAC ||
+          head.a.mode != AddrMode::Direct)
+        continue;
+      if (targetCount[head.label] != 1) continue;
+      // Find the BANZ closing this loop.
+      size_t j = i + 1;
+      bool clean = true;
+      while (j < cur.size()) {
+        const Instr& in = cur[j].instr;
+        if (in.op == Opcode::BANZ && in.targetLabel == head.label) break;
+        if (!in.label.empty() || opInfo(in.op).isBranch ||
+            in.op == Opcode::HALT || in.op == Opcode::RPT) {
+          clean = false;
+          break;
+        }
+        ++j;
+      }
+      if (!clean || j >= cur.size()) continue;
+      int addr = head.a.value;
+      // Find the unique SACL addr in the body; nothing after it may touch
+      // ACC, and nothing else may touch addr.
+      size_t sacl = 0;
+      int sacls = 0;
+      bool legal = true;
+      for (size_t k = i + 1; k < j; ++k) {
+        const Instr& in = cur[k].instr;
+        if (in.op == Opcode::SACL && in.a.mode == AddrMode::Direct &&
+            in.a.value == addr) {
+          ++sacls;
+          sacl = k;
+          continue;
+        }
+        if (touchesAddr(in, addr, indirectMayTouch)) legal = false;
+      }
+      if (!legal || sacls != 1) continue;
+      for (size_t k = sacl + 1; k < j; ++k) {
+        const OpInfo& info = opInfo(cur[k].instr.op);
+        if (info.readsAcc || info.writesAcc) legal = false;
+      }
+      if (!legal) continue;
+
+      // Transform: LAC moves before the label (into the preheader), SACL
+      // moves after the BANZ. The label migrates to the next instruction.
+      std::vector<MInstr> out;
+      out.reserve(cur.size());
+      for (size_t k = 0; k < i; ++k) out.push_back(cur[k]);
+      MInstr lac = cur[i];
+      lac.instr.label.clear();
+      out.push_back(lac);
+      bool labelPlaced = false;
+      MInstr saclMi;
+      for (size_t k = i + 1; k <= j; ++k) {
+        if (k == sacl) {
+          saclMi = cur[k];
+          // If the loop body was only the SACL (degenerate), keep order.
+          continue;
+        }
+        MInstr mi = cur[k];
+        if (!labelPlaced) {
+          mi.instr.label = head.label;
+          labelPlaced = true;
+        }
+        out.push_back(mi);
+      }
+      if (!labelPlaced) continue;  // body was empty besides SACL; skip
+      out.push_back(saclMi);
+      for (size_t k = j + 1; k < cur.size(); ++k) out.push_back(cur[k]);
+      cur = std::move(out);
+      if (stats) ++stats->promotions;
+      changed = true;
+    }
+  }
+  return cur;
+}
+
+}  // namespace record

@@ -1,0 +1,185 @@
+#include "opt/agulower.h"
+
+#include <algorithm>
+#include <map>
+#include <vector>
+
+namespace record {
+
+namespace {
+
+struct Access {
+  size_t instrIdx;
+  bool operandB;  // false: operand a, true: operand b
+  int addr;
+  int var = -1;   // dense variable id
+};
+
+}  // namespace
+
+std::optional<AguResult> lowerToAgu(const TargetProgram& in, int numAgus,
+                                    SoaKind kind, std::string* error) {
+  auto fail = [&](const std::string& msg) -> std::optional<AguResult> {
+    if (error) *error = msg;
+    return std::nullopt;
+  };
+  if (numAgus < 1 || numAgus > in.config.numAddrRegs)
+    return fail("bad AGU register count");
+
+  // 1. Collect the access sequence; reject unsupported addressing.
+  std::vector<Access> seq;
+  for (size_t i = 0; i < in.code.size(); ++i) {
+    const Instr& ins = in.code[i];
+    if (ins.op == Opcode::DMOV || ins.op == Opcode::LTD ||
+        ins.op == Opcode::RPT)
+      return fail(std::string(opcodeName(ins.op)) +
+                  " not expressible in the AGU model");
+    const OpInfo& info = opInfo(ins.op);
+    auto scan = [&](const Operand& o, bool isMem,
+                    bool operandB) -> std::optional<std::string> {
+      if (!isMem || o.mode == AddrMode::None) return std::nullopt;
+      if (o.mode == AddrMode::Indirect)
+        return std::string("program already uses indirect addressing");
+      seq.push_back({i, operandB, o.value});
+      return std::nullopt;
+    };
+    if (auto e = scan(ins.a, info.aIsMem, false)) return fail(*e);
+    if (auto e = scan(ins.b, info.bIsMem, true)) return fail(*e);
+    // AR-index operands (LARK etc.) would collide with our AGU registers.
+    if (opTakesArIndex(ins.op) && ins.a.mode == AddrMode::Imm &&
+        ins.a.value < numAgus)
+      return fail("program uses AR" + std::to_string(ins.a.value) +
+                  ", reserved as an AGU register");
+  }
+  if (seq.empty()) {
+    AguResult r;
+    r.prog = in;
+    return r;
+  }
+
+  // 2. Dense variable ids in first-access order.
+  std::map<int, int> varOf;
+  std::vector<int> oldAddrOf;  // var -> original address
+  for (auto& a : seq) {
+    auto it = varOf.find(a.addr);
+    if (it == varOf.end()) {
+      it = varOf.emplace(a.addr, static_cast<int>(oldAddrOf.size())).first;
+      oldAddrOf.push_back(a.addr);
+    }
+    a.var = it->second;
+  }
+  int numVars = static_cast<int>(oldAddrOf.size());
+
+  // 3. Offset assignment: slotOf[var] and arOf[var].
+  AccessSeq as;
+  as.numVars = numVars;
+  for (const auto& a : seq) as.seq.push_back(a.var);
+  SlotAssignment slotOf;
+  std::vector<int> arOf(static_cast<size_t>(numVars), 0);
+  if (numAgus == 1) {
+    switch (kind) {
+      case SoaKind::Naive: slotOf = soaNaive(as).slotOf; break;
+      case SoaKind::Liao: slotOf = soaLiao(as).slotOf; break;
+      case SoaKind::Leupers: slotOf = soaLeupers(as).slotOf; break;
+    }
+  } else {
+    if (kind == SoaKind::Naive) {
+      slotOf = soaNaive(as).slotOf;  // all on AR0, declaration order
+    } else {
+      auto g = goa(as, numAgus);
+      slotOf = g.slotOf;
+      arOf = g.arOf;
+    }
+  }
+
+  // 4. Relocate: slot s lives at the s-th smallest original address, so the
+  // data region footprint is unchanged.
+  std::vector<int> sortedAddrs = oldAddrOf;
+  std::sort(sortedAddrs.begin(), sortedAddrs.end());
+  std::vector<int> newAddrOf(static_cast<size_t>(numVars));
+  for (int v = 0; v < numVars; ++v)
+    newAddrOf[static_cast<size_t>(v)] =
+        sortedAddrs[static_cast<size_t>(slotOf[static_cast<size_t>(v)])];
+
+  AguResult res;
+  res.prog = in;
+  res.accesses = static_cast<int>(seq.size());
+  res.variables = numVars;
+  auto remap = [&](int oldAddr) {
+    auto it = varOf.find(oldAddr);
+    return it == varOf.end() ? oldAddr
+                             : newAddrOf[static_cast<size_t>(it->second)];
+  };
+  for (auto& [name, addr] : res.prog.symbolAddr) addr = remap(addr);
+  for (auto& [addr, val] : res.prog.dataInit) addr = remap(addr);
+
+  // 5. Rewrite operands into AR walks. One pass per basic block; AR values
+  // are unknown at block entry.
+  std::vector<Instr> out;
+  std::vector<int> cur(static_cast<size_t>(numAgus), -1);  // -1 = unknown
+  auto isBoundary = [](const Instr& i) {
+    return opInfo(i.op).isBranch || i.op == Opcode::HALT;
+  };
+
+  size_t next = 0;  // index into seq
+  for (size_t i = 0; i < in.code.size(); ++i) {
+    Instr ins = in.code[i];
+    if (!ins.label.empty())
+      std::fill(cur.begin(), cur.end(), -1);
+
+    // Rewrite this instruction's accesses (operand a then b, matching the
+    // order they were collected).
+    std::string pendingLabel = ins.label;
+    ins.label.clear();
+    auto emitSetup = [&](Opcode op, Operand a, Operand b) {
+      Instr s;
+      s.op = op;
+      s.a = a;
+      s.b = b;
+      s.label = pendingLabel;
+      pendingLabel.clear();
+      out.push_back(s);
+      ++res.addressInstrs;
+    };
+    while (next < seq.size() && seq[next].instrIdx == i) {
+      const Access& acc = seq[next];
+      int var = acc.var;
+      int ar = arOf[static_cast<size_t>(var)];
+      int target = newAddrOf[static_cast<size_t>(var)];
+      int& c = cur[static_cast<size_t>(ar)];
+      if (c < 0) {
+        emitSetup(Opcode::LARK, Operand::imm(ar), Operand::imm(target));
+        c = target;
+      } else if (c != target) {
+        int delta = target - c;
+        emitSetup(delta > 0 ? Opcode::ADRK : Opcode::SBRK, Operand::imm(ar),
+                  Operand::imm(std::abs(delta)));
+        c = target;
+      }
+      // Post-modify toward the next access on the same AR, if adjacent.
+      PostMod post = PostMod::None;
+      for (size_t j = next + 1; j < seq.size(); ++j) {
+        if (arOf[static_cast<size_t>(seq[j].var)] != ar) continue;
+        int nt = newAddrOf[static_cast<size_t>(seq[j].var)];
+        if (nt == target + 1) {
+          post = PostMod::Inc;
+          c = target + 1;
+        } else if (nt == target - 1) {
+          post = PostMod::Dec;
+          c = target - 1;
+        }
+        break;
+      }
+      Operand& op = acc.operandB ? ins.b : ins.a;
+      op = Operand::indirect(ar, post);
+      ++next;
+    }
+    ins.label = pendingLabel;
+    out.push_back(ins);
+    if (isBoundary(ins)) std::fill(cur.begin(), cur.end(), -1);
+  }
+  res.prog.code = std::move(out);
+  return res;
+}
+
+}  // namespace record

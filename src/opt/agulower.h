@@ -1,0 +1,44 @@
+// AGU lowering: rewrite a direct-addressed program so that every data
+// access goes through address registers with post-increment/-decrement --
+// the machine model of the §3.3 offset-assignment literature (many DSPs,
+// e.g. the ADSP-210x family, have no direct addressing at all; every access
+// walks an AR).
+//
+// The pass extracts the access sequence, runs simple/general offset
+// assignment (naive / Liao / Leupers layouts over 1..k ARs), relocates the
+// affected scalar addresses, and rewrites operands into *ARn / *ARn+ /
+// *ARn- form, inserting LARK/ADRK/SBRK address arithmetic only where the
+// layout forces a jump. The number of inserted address instructions is
+// exactly the SOA/GOA cost function, so the ablation measures the real
+// effect on compiled kernels.
+//
+// Restrictions (checked): the input program must use only direct data
+// addressing (no *AR operands, no DMOV/LTD/RPT) -- compile with streams and
+// hardware loops disabled for these experiments.
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "opt/offset.h"
+#include "target/isa.h"
+
+namespace record {
+
+enum class SoaKind : uint8_t { Naive, Liao, Leupers };
+
+struct AguResult {
+  TargetProgram prog;
+  int addressInstrs = 0;   // LARK/ADRK/SBRK inserted
+  int accesses = 0;        // data accesses rewritten
+  int variables = 0;       // distinct addresses involved
+};
+
+/// Lower `in` to AR-walk addressing using `numAgus` address registers and
+/// the chosen layout heuristic. Returns nullopt (with `error`) if the
+/// program uses features the AGU model cannot express.
+std::optional<AguResult> lowerToAgu(const TargetProgram& in, int numAgus,
+                                    SoaKind kind,
+                                    std::string* error = nullptr);
+
+}  // namespace record

@@ -1,0 +1,151 @@
+#include "opt/membank.h"
+
+#include <algorithm>
+#include <set>
+
+namespace record {
+
+namespace {
+
+void collectFromExpr(const ExprPtr& e, int64_t weight,
+                     std::vector<BankPair>& out) {
+  if (e->op == Op::Mul && e->kids.size() == 2) {
+    const Expr& a = *e->kids[0];
+    const Expr& b = *e->kids[1];
+    auto symOf = [](const Expr& x) -> const Symbol* {
+      if (x.op == Op::Ref || x.op == Op::ArrayRef) return x.sym;
+      return nullptr;
+    };
+    const Symbol* sa = symOf(a);
+    const Symbol* sb = symOf(b);
+    if (sa && sb && sa != sb) out.push_back({sa, sb, weight});
+  }
+  for (const auto& k : e->kids) collectFromExpr(k, weight, out);
+}
+
+void collectFromStmts(const std::vector<Stmt>& body, int64_t weight,
+                      std::vector<BankPair>& out) {
+  for (const auto& s : body) {
+    if (s.kind == Stmt::Kind::Assign) {
+      collectFromExpr(s.rhs, weight, out);
+      if (s.lhsIndex) collectFromExpr(s.lhsIndex, weight, out);
+    } else {
+      collectFromStmts(s.body, weight * std::max<int64_t>(s.tripCount(), 1),
+                       out);
+    }
+  }
+}
+
+std::vector<const Symbol*> distinctSymbols(const std::vector<BankPair>& ps) {
+  std::vector<const Symbol*> syms;
+  std::set<const Symbol*> seen;
+  for (const auto& p : ps) {
+    if (seen.insert(p.a).second) syms.push_back(p.a);
+    if (seen.insert(p.b).second) syms.push_back(p.b);
+  }
+  return syms;
+}
+
+int64_t cutWeight(const std::vector<BankPair>& ps,
+                  const std::map<const Symbol*, int>& bank) {
+  int64_t w = 0;
+  for (const auto& p : ps)
+    if (bank.at(p.a) != bank.at(p.b)) w += p.weight;
+  return w;
+}
+
+}  // namespace
+
+std::vector<BankPair> collectMulPairs(const Program& prog) {
+  std::vector<BankPair> out;
+  collectFromStmts(prog.body, 1, out);
+  return out;
+}
+
+BankAssignment assignBanksNaive(const std::vector<BankPair>& pairs) {
+  BankAssignment res;
+  for (const Symbol* s : distinctSymbols(pairs)) res.bankOf[s] = 0;
+  for (const auto& p : pairs) res.totalWeight += p.weight;
+  res.cutWeight = 0;
+  return res;
+}
+
+BankAssignment assignBanks(const std::vector<BankPair>& pairs) {
+  BankAssignment res;
+  auto syms = distinctSymbols(pairs);
+  for (const auto& p : pairs) res.totalWeight += p.weight;
+  if (syms.empty()) return res;
+
+  // Greedy seed: place symbols in descending incident-weight order on the
+  // side that maximizes the cut so far.
+  std::map<const Symbol*, int64_t> incident;
+  for (const auto& p : pairs) {
+    incident[p.a] += p.weight;
+    incident[p.b] += p.weight;
+  }
+  std::stable_sort(syms.begin(), syms.end(),
+                   [&](const Symbol* a, const Symbol* b) {
+                     return incident[a] > incident[b];
+                   });
+  std::map<const Symbol*, int> bank;
+  for (const Symbol* s : syms) {
+    int64_t gain0 = 0, gain1 = 0;
+    for (const auto& p : pairs) {
+      const Symbol* other = (p.a == s) ? p.b : (p.b == s) ? p.a : nullptr;
+      if (!other) continue;
+      auto it = bank.find(other);
+      if (it == bank.end()) continue;
+      (it->second == 1 ? gain0 : gain1) += p.weight;
+    }
+    bank[s] = gain0 >= gain1 ? 0 : 1;
+  }
+
+  // Single-move hill climbing.
+  bool improved = true;
+  while (improved) {
+    improved = false;
+    int64_t base = cutWeight(pairs, bank);
+    for (const Symbol* s : syms) {
+      bank[s] ^= 1;
+      int64_t w = cutWeight(pairs, bank);
+      if (w > base) {
+        base = w;
+        improved = true;
+      } else {
+        bank[s] ^= 1;
+      }
+    }
+  }
+
+  res.bankOf = std::move(bank);
+  res.cutWeight = cutWeight(pairs, res.bankOf);
+  return res;
+}
+
+BankAssignment assignBanksExhaustive(const std::vector<BankPair>& pairs) {
+  BankAssignment res;
+  auto syms = distinctSymbols(pairs);
+  for (const auto& p : pairs) res.totalWeight += p.weight;
+  if (syms.empty()) return res;
+  if (syms.size() > 20) return assignBanks(pairs);
+
+  uint32_t n = static_cast<uint32_t>(syms.size());
+  int64_t best = -1;
+  uint32_t bestMask = 0;
+  for (uint32_t mask = 0; mask < (1u << n); ++mask) {
+    std::map<const Symbol*, int> bank;
+    for (uint32_t i = 0; i < n; ++i)
+      bank[syms[i]] = (mask >> i) & 1;
+    int64_t w = cutWeight(pairs, bank);
+    if (w > best) {
+      best = w;
+      bestMask = mask;
+    }
+  }
+  for (uint32_t i = 0; i < n; ++i)
+    res.bankOf[syms[i]] = (bestMask >> i) & 1;
+  res.cutWeight = best;
+  return res;
+}
+
+}  // namespace record

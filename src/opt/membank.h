@@ -1,0 +1,51 @@
+// Memory bank assignment (Sudarsanam/Malik, §3.3): on a dual-bank tdsp the
+// dual-operand multiplier (MPYXY/MACXY) executes in one cycle when its two
+// operands live in different banks, two cycles otherwise. Assigning
+// variables to banks so that as many multiply pairs as possible straddle the
+// banks is a max-cut problem on the "pair graph" (nodes = symbols, edge
+// weight = dynamic execution count of the operand pair).
+//
+// Solved with a greedy seed + single-move hill climbing (the classic
+// heuristic), plus an exhaustive reference for small graphs used in tests.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "ir/program.h"
+
+namespace record {
+
+struct BankPair {
+  const Symbol* a = nullptr;
+  const Symbol* b = nullptr;
+  int64_t weight = 1;
+};
+
+/// Collect multiply operand pairs (with loop-trip-count weights) from a
+/// program -- the analysis input of the optimization.
+std::vector<BankPair> collectMulPairs(const Program& prog);
+
+struct BankAssignment {
+  std::map<const Symbol*, int> bankOf;  // 0 or 1; absent = bank 0
+  int64_t cutWeight = 0;    // pair weight across banks (fast cycles)
+  int64_t totalWeight = 0;  // all pair weight
+
+  int bank(const Symbol* s) const {
+    auto it = bankOf.find(s);
+    return it == bankOf.end() ? 0 : it->second;
+  }
+};
+
+/// Greedy + hill-climbing max-cut.
+BankAssignment assignBanks(const std::vector<BankPair>& pairs);
+
+/// Exhaustive optimum (<= 20 distinct symbols); for tests and ablation.
+BankAssignment assignBanksExhaustive(const std::vector<BankPair>& pairs);
+
+/// Everything in bank 0 (the ablation baseline).
+BankAssignment assignBanksNaive(const std::vector<BankPair>& pairs);
+
+}  // namespace record

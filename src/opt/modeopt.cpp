@@ -1,0 +1,200 @@
+#include "opt/modeopt.h"
+
+#include <cassert>
+#include <map>
+
+namespace record {
+
+namespace {
+
+// Tri-state mode value.
+enum class MState : int8_t { Zero = 0, One = 1, Unknown = 2 };
+
+MState meet(MState a, MState b) {
+  if (a == b) return a;
+  return MState::Unknown;
+}
+
+MState fromReq(int r) { return r == 0 ? MState::Zero : MState::One; }
+
+struct Block {
+  size_t begin, end;  // [begin, end) into code
+  std::vector<size_t> succs;
+  MState inOvm = MState::Unknown, inSxm = MState::Unknown;
+};
+
+Instr mkMode(Opcode op) {
+  Instr in;
+  in.op = op;
+  return in;
+}
+
+}  // namespace
+
+std::vector<Instr> resolveModes(const std::vector<MInstr>& code,
+                                const TargetConfig& cfg, bool optimize,
+                                ModeOptStats* stats) {
+  ModeOptStats local;
+  std::vector<Instr> out;
+  out.reserve(code.size() + 8);
+
+  if (!optimize) {
+    // Naive: switch before every mode-sensitive instruction.
+    for (const auto& mi : code) {
+      Instr in = mi.instr;
+      std::string label = in.label;
+      bool first = true;
+      auto emitSwitch = [&](Opcode op) {
+        Instr sw = mkMode(op);
+        if (first && !label.empty()) {
+          sw.label = label;
+          in.label.clear();
+        }
+        first = false;
+        out.push_back(sw);
+        ++local.switchesInserted;
+      };
+      if (mi.need.ovm >= 0) {
+        ++local.sensitiveInstrs;
+        assert(cfg.hasSat || mi.need.ovm == 0);
+        if (cfg.hasSat)
+          emitSwitch(mi.need.ovm ? Opcode::SOVM : Opcode::ROVM);
+      }
+      if (mi.need.sxm >= 0) {
+        ++local.sensitiveInstrs;
+        emitSwitch(mi.need.sxm ? Opcode::SSXM : Opcode::RSXM);
+      }
+      out.push_back(std::move(in));
+    }
+    if (stats) *stats = local;
+    return out;
+  }
+
+  // ---- Optimized: dataflow over basic blocks -------------------------------
+  // Block leaders: instruction 0, labeled instructions, instructions
+  // following a branch.
+  std::vector<size_t> leaders;
+  for (size_t i = 0; i < code.size(); ++i) {
+    bool lead = (i == 0) || !code[i].instr.label.empty() ||
+                (i > 0 && opInfo(code[i - 1].instr.op).isBranch);
+    if (lead) leaders.push_back(i);
+  }
+  std::vector<Block> blocks;
+  std::map<std::string, size_t> labelBlock;
+  for (size_t b = 0; b < leaders.size(); ++b) {
+    Block blk;
+    blk.begin = leaders[b];
+    blk.end = (b + 1 < leaders.size()) ? leaders[b + 1] : code.size();
+    if (!code[blk.begin].instr.label.empty())
+      labelBlock[code[blk.begin].instr.label] = b;
+    blocks.push_back(blk);
+  }
+  auto blockOfLabel = [&](const std::string& l) -> int {
+    auto it = labelBlock.find(l);
+    return it == labelBlock.end() ? -1 : static_cast<int>(it->second);
+  };
+  for (size_t b = 0; b < blocks.size(); ++b) {
+    Block& blk = blocks[b];
+    if (blk.begin == blk.end) continue;
+    const Instr& last = code[blk.end - 1].instr;
+    bool uncond = (last.op == Opcode::B || last.op == Opcode::HALT);
+    if (opInfo(last.op).isBranch) {
+      int t = blockOfLabel(last.targetLabel);
+      if (t >= 0) blk.succs.push_back(static_cast<size_t>(t));
+    }
+    if (!uncond && b + 1 < blocks.size()) blk.succs.push_back(b + 1);
+  }
+
+  // Forward dataflow. Entry block starts with the hardware reset state
+  // (OVM=0, SXM=0).
+  if (!blocks.empty()) {
+    blocks[0].inOvm = MState::Zero;
+    blocks[0].inSxm = MState::Zero;
+  }
+  // Transfer: walk a block propagating requirements (a requirement forces
+  // the state, since we will insert a switch there if needed).
+  auto transfer = [&](const Block& blk, MState ovm, MState sxm) {
+    for (size_t i = blk.begin; i < blk.end; ++i) {
+      const MInstr& mi = code[i];
+      if (mi.need.ovm >= 0) ovm = fromReq(mi.need.ovm);
+      if (mi.need.sxm >= 0) sxm = fromReq(mi.need.sxm);
+      // Explicit switches already present (e.g. hand-written) also define.
+      switch (mi.instr.op) {
+        case Opcode::SOVM: ovm = MState::One; break;
+        case Opcode::ROVM: ovm = MState::Zero; break;
+        case Opcode::SSXM: sxm = MState::One; break;
+        case Opcode::RSXM: sxm = MState::Zero; break;
+        default: break;
+      }
+    }
+    return std::pair<MState, MState>(ovm, sxm);
+  };
+  bool changed = true;
+  std::vector<bool> reached(blocks.size(), false);
+  if (!blocks.empty()) reached[0] = true;
+  while (changed) {
+    changed = false;
+    for (size_t b = 0; b < blocks.size(); ++b) {
+      if (!reached[b]) continue;
+      auto [ovmOut, sxmOut] = transfer(blocks[b], blocks[b].inOvm,
+                                       blocks[b].inSxm);
+      for (size_t s : blocks[b].succs) {
+        MState nOvm = reached[s] ? meet(blocks[s].inOvm, ovmOut) : ovmOut;
+        MState nSxm = reached[s] ? meet(blocks[s].inSxm, sxmOut) : sxmOut;
+        if (!reached[s] || nOvm != blocks[s].inOvm ||
+            nSxm != blocks[s].inSxm) {
+          blocks[s].inOvm = nOvm;
+          blocks[s].inSxm = nSxm;
+          reached[s] = true;
+          changed = true;
+        }
+      }
+    }
+  }
+
+  // Emission with greedy switching.
+  for (const auto& blk : blocks) {
+    MState ovm = blk.inOvm, sxm = blk.inSxm;
+    for (size_t i = blk.begin; i < blk.end; ++i) {
+      Instr in = code[i].instr;
+      const ModeReq& need = code[i].need;
+      std::string label = in.label;
+      bool first = true;
+      auto emitSwitch = [&](Opcode op) {
+        Instr sw = mkMode(op);
+        if (first && !label.empty()) {
+          sw.label = label;
+          in.label.clear();
+        }
+        first = false;
+        out.push_back(sw);
+        ++local.switchesInserted;
+      };
+      if (need.ovm >= 0) {
+        ++local.sensitiveInstrs;
+        assert(cfg.hasSat || need.ovm == 0);
+        if (cfg.hasSat && ovm != fromReq(need.ovm))
+          emitSwitch(need.ovm ? Opcode::SOVM : Opcode::ROVM);
+        ovm = fromReq(need.ovm);
+      }
+      if (need.sxm >= 0) {
+        ++local.sensitiveInstrs;
+        if (sxm != fromReq(need.sxm))
+          emitSwitch(need.sxm ? Opcode::SSXM : Opcode::RSXM);
+        sxm = fromReq(need.sxm);
+      }
+      switch (in.op) {
+        case Opcode::SOVM: ovm = MState::One; break;
+        case Opcode::ROVM: ovm = MState::Zero; break;
+        case Opcode::SSXM: sxm = MState::One; break;
+        case Opcode::RSXM: sxm = MState::Zero; break;
+        default: break;
+      }
+      out.push_back(std::move(in));
+    }
+  }
+  if (stats) *stats = local;
+  return out;
+}
+
+}  // namespace record

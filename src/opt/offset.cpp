@@ -1,0 +1,248 @@
+#include "opt/offset.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cstdlib>
+#include <functional>
+#include <map>
+#include <numeric>
+
+namespace record {
+
+int64_t soaCost(const AccessSeq& s, const SlotAssignment& slotOf) {
+  if (s.seq.empty()) return 0;
+  int64_t cost = 1;  // initial AR load
+  for (size_t i = 1; i < s.seq.size(); ++i) {
+    int a = slotOf[static_cast<size_t>(s.seq[i - 1])];
+    int b = slotOf[static_cast<size_t>(s.seq[i])];
+    if (std::abs(a - b) > 1) ++cost;
+  }
+  return cost;
+}
+
+SoaResult soaNaive(const AccessSeq& s) {
+  SoaResult r;
+  r.slotOf.resize(static_cast<size_t>(s.numVars));
+  std::iota(r.slotOf.begin(), r.slotOf.end(), 0);
+  r.cost = soaCost(s, r.slotOf);
+  return r;
+}
+
+namespace {
+
+struct Edge {
+  int a, b;
+  int64_t w;
+};
+
+/// Access graph: weight of (a,b) = number of adjacent occurrences in seq.
+std::vector<Edge> accessGraph(const AccessSeq& s) {
+  std::map<std::pair<int, int>, int64_t> w;
+  for (size_t i = 1; i < s.seq.size(); ++i) {
+    int a = s.seq[i - 1], b = s.seq[i];
+    if (a == b) continue;
+    if (a > b) std::swap(a, b);
+    ++w[{a, b}];
+  }
+  std::vector<Edge> edges;
+  for (const auto& [k, weight] : w) edges.push_back({k.first, k.second, weight});
+  return edges;
+}
+
+/// Greedy max-weight path cover, optionally with Leupers' tie-break, then
+/// lay paths out consecutively.
+SoaResult pathCover(const AccessSeq& s, bool leupersTieBreak) {
+  auto edges = accessGraph(s);
+  int n = s.numVars;
+
+  // Leupers: among equal-weight edges prefer the one with smaller total
+  // weight of other edges incident to its endpoints (saves heavier edges
+  // for later selection).
+  std::vector<int64_t> incident(static_cast<size_t>(n), 0);
+  for (const auto& e : edges) {
+    incident[static_cast<size_t>(e.a)] += e.w;
+    incident[static_cast<size_t>(e.b)] += e.w;
+  }
+  std::stable_sort(edges.begin(), edges.end(), [&](const Edge& x,
+                                                   const Edge& y) {
+    if (x.w != y.w) return x.w > y.w;
+    if (!leupersTieBreak) return false;
+    int64_t tx = incident[static_cast<size_t>(x.a)] +
+                 incident[static_cast<size_t>(x.b)] - 2 * x.w;
+    int64_t ty = incident[static_cast<size_t>(y.a)] +
+                 incident[static_cast<size_t>(y.b)] - 2 * y.w;
+    return tx < ty;
+  });
+
+  // Union-find with degree limit 2 and cycle avoidance.
+  std::vector<int> parent(static_cast<size_t>(n));
+  std::iota(parent.begin(), parent.end(), 0);
+  std::vector<int> degree(static_cast<size_t>(n), 0);
+  std::function<int(int)> find = [&](int x) {
+    while (parent[static_cast<size_t>(x)] != x) {
+      parent[static_cast<size_t>(x)] =
+          parent[static_cast<size_t>(parent[static_cast<size_t>(x)])];
+      x = parent[static_cast<size_t>(x)];
+    }
+    return x;
+  };
+  std::vector<std::vector<int>> adj(static_cast<size_t>(n));
+  for (const auto& e : edges) {
+    if (degree[static_cast<size_t>(e.a)] >= 2 ||
+        degree[static_cast<size_t>(e.b)] >= 2)
+      continue;
+    if (find(e.a) == find(e.b)) continue;  // would close a cycle
+    parent[static_cast<size_t>(find(e.a))] = find(e.b);
+    ++degree[static_cast<size_t>(e.a)];
+    ++degree[static_cast<size_t>(e.b)];
+    adj[static_cast<size_t>(e.a)].push_back(e.b);
+    adj[static_cast<size_t>(e.b)].push_back(e.a);
+  }
+
+  // Walk each path from an endpoint, assigning consecutive slots.
+  SoaResult r;
+  r.slotOf.assign(static_cast<size_t>(n), -1);
+  int slot = 0;
+  std::vector<bool> visited(static_cast<size_t>(n), false);
+  auto walk = [&](int start) {
+    int prev = -1, cur = start;
+    while (cur >= 0 && !visited[static_cast<size_t>(cur)]) {
+      visited[static_cast<size_t>(cur)] = true;
+      r.slotOf[static_cast<size_t>(cur)] = slot++;
+      int next = -1;
+      for (int nb : adj[static_cast<size_t>(cur)])
+        if (nb != prev && !visited[static_cast<size_t>(nb)]) next = nb;
+      prev = cur;
+      cur = next;
+    }
+  };
+  for (int v = 0; v < n; ++v)
+    if (!visited[static_cast<size_t>(v)] &&
+        degree[static_cast<size_t>(v)] <= 1)
+      walk(v);
+  for (int v = 0; v < n; ++v)  // isolated leftovers (shouldn't happen)
+    if (!visited[static_cast<size_t>(v)]) walk(v);
+  r.cost = soaCost(s, r.slotOf);
+  return r;
+}
+
+}  // namespace
+
+SoaResult soaLiao(const AccessSeq& s) { return pathCover(s, false); }
+SoaResult soaLeupers(const AccessSeq& s) { return pathCover(s, true); }
+
+SoaResult soaExhaustive(const AccessSeq& s) {
+  assert(s.numVars <= 8);
+  SoaResult best = soaNaive(s);
+  SlotAssignment perm(static_cast<size_t>(s.numVars));
+  std::iota(perm.begin(), perm.end(), 0);
+  do {
+    int64_t c = soaCost(s, perm);
+    if (c < best.cost) {
+      best.cost = c;
+      best.slotOf = perm;
+    }
+  } while (std::next_permutation(perm.begin(), perm.end()));
+  return best;
+}
+
+GoaResult goa(const AccessSeq& s, int k) {
+  assert(k >= 1);
+  GoaResult res;
+  int n = s.numVars;
+  res.arOf.assign(static_cast<size_t>(n), 0);
+  if (k == 1) {
+    auto soa = soaLeupers(s);
+    res.slotOf = soa.slotOf;
+    res.cost = soa.cost;
+    return res;
+  }
+
+  // Greedy partition: repeatedly move the variable whose move most reduces
+  // the total cost, starting from round-robin by access frequency.
+  std::vector<int64_t> freq(static_cast<size_t>(n), 0);
+  for (int v : s.seq) ++freq[static_cast<size_t>(v)];
+  std::vector<int> byFreq(static_cast<size_t>(n));
+  std::iota(byFreq.begin(), byFreq.end(), 0);
+  std::stable_sort(byFreq.begin(), byFreq.end(), [&](int a, int b) {
+    return freq[static_cast<size_t>(a)] > freq[static_cast<size_t>(b)];
+  });
+  std::vector<int> roundRobin(static_cast<size_t>(n), 0);
+  for (size_t i = 0; i < byFreq.size(); ++i)
+    roundRobin[static_cast<size_t>(byFreq[i])] = static_cast<int>(i) % k;
+
+  auto evaluate = [&](const std::vector<int>& arOf, SlotAssignment* outSlots)
+      -> int64_t {
+    int64_t total = 0;
+    int slotBase = 0;
+    if (outSlots) outSlots->assign(static_cast<size_t>(n), -1);
+    for (int ar = 0; ar < k; ++ar) {
+      // Project the sequence and variables of this AR.
+      std::vector<int> remap(static_cast<size_t>(n), -1);
+      std::vector<int> back;
+      for (int v = 0; v < n; ++v)
+        if (arOf[static_cast<size_t>(v)] == ar) {
+          remap[static_cast<size_t>(v)] = static_cast<int>(back.size());
+          back.push_back(v);
+        }
+      AccessSeq sub;
+      sub.numVars = static_cast<int>(back.size());
+      for (int v : s.seq)
+        if (remap[static_cast<size_t>(v)] >= 0)
+          sub.seq.push_back(remap[static_cast<size_t>(v)]);
+      if (sub.seq.empty()) continue;
+      auto soa = soaLeupers(sub);
+      total += soa.cost;
+      if (outSlots) {
+        for (int lv = 0; lv < sub.numVars; ++lv)
+          (*outSlots)[static_cast<size_t>(back[static_cast<size_t>(lv)])] =
+              slotBase + soa.slotOf[static_cast<size_t>(lv)];
+        slotBase += sub.numVars;
+      }
+    }
+    return total;
+  };
+
+  // Hill-climb from two seeds (round-robin by frequency, and everything on
+  // one AR -- which guarantees extra registers never hurt) and keep the
+  // better result.
+  auto climb = [&](std::vector<int> arOf) {
+    int64_t cur = evaluate(arOf, nullptr);
+    bool improved = true;
+    while (improved) {
+      improved = false;
+      for (int v = 0; v < n; ++v) {
+        int orig = arOf[static_cast<size_t>(v)];
+        for (int ar = 0; ar < k; ++ar) {
+          if (ar == orig) continue;
+          arOf[static_cast<size_t>(v)] = ar;
+          int64_t c = evaluate(arOf, nullptr);
+          if (c < cur) {
+            cur = c;
+            orig = ar;
+            improved = true;
+          } else {
+            arOf[static_cast<size_t>(v)] = orig;
+          }
+        }
+        arOf[static_cast<size_t>(v)] = orig;
+      }
+    }
+    return std::pair<std::vector<int>, int64_t>(std::move(arOf), cur);
+  };
+  auto [rrAssign, rrCost] = climb(roundRobin);
+  auto [oneAssign, oneCost] = climb(std::vector<int>(static_cast<size_t>(n), 0));
+  res.arOf = (oneCost < rrCost) ? std::move(oneAssign) : std::move(rrAssign);
+  res.cost = evaluate(res.arOf, &res.slotOf);
+  // Unaccessed variables get the remaining slots.
+  int slot = 0;
+  for (int v = 0; v < n; ++v)
+    if (res.slotOf[static_cast<size_t>(v)] >= 0)
+      slot = std::max(slot, res.slotOf[static_cast<size_t>(v)] + 1);
+  for (int v = 0; v < n; ++v)
+    if (res.slotOf[static_cast<size_t>(v)] < 0)
+      res.slotOf[static_cast<size_t>(v)] = slot++;
+  return res;
+}
+
+}  // namespace record

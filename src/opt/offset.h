@@ -1,0 +1,60 @@
+// Offset assignment (§3.3: Bartley 1992, Liao 1995, Leupers 1996): choose
+// the memory order of local variables so that consecutive accesses through
+// an address register fall on adjacent addresses, where the AGU's free
+// post-increment/-decrement replaces explicit address arithmetic.
+//
+// Simple offset assignment (SOA, one AR): given the access sequence, build
+// the access graph (edge weight = number of adjacent access pairs), find a
+// maximum-weight Hamiltonian path cover, and lay variables out along the
+// paths. Cost of an assignment = number of transitions whose address
+// distance exceeds 1 (each costs one ADRK/SBRK/LARK) plus one initial load.
+//
+// General offset assignment (GOA, k ARs): partition variables over the ARs
+// (greedy by interaction weight) and run SOA per partition; each extra AR
+// costs one more initial load.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace record {
+
+/// Access sequence over variables 0..numVars-1.
+struct AccessSeq {
+  int numVars = 0;
+  std::vector<int> seq;
+};
+
+/// slotOf[v] = memory slot of variable v (a permutation of 0..numVars-1).
+using SlotAssignment = std::vector<int>;
+
+/// Address-arithmetic cost of walking `seq` with one AR under `slotOf`:
+/// 1 for the initial load plus 1 per non-adjacent transition.
+int64_t soaCost(const AccessSeq& s, const SlotAssignment& slotOf);
+
+struct SoaResult {
+  SlotAssignment slotOf;
+  int64_t cost = 0;
+};
+
+/// Declaration order (the unoptimized baseline).
+SoaResult soaNaive(const AccessSeq& s);
+/// Liao's greedy maximum-weight path cover.
+SoaResult soaLiao(const AccessSeq& s);
+/// Liao with Leupers' tie-break (prefer the edge whose endpoints have the
+/// smaller unselected adjacent weight).
+SoaResult soaLeupers(const AccessSeq& s);
+/// Exhaustive optimum for small var counts (<= 8); tests / ablation.
+SoaResult soaExhaustive(const AccessSeq& s);
+
+struct GoaResult {
+  std::vector<int> arOf;  // variable -> AR index (0..k-1)
+  SlotAssignment slotOf;  // global slots (partitions laid out consecutively)
+  int64_t cost = 0;       // sum of per-AR SOA costs (incl. k initial loads)
+};
+
+/// General offset assignment with k address registers.
+GoaResult goa(const AccessSeq& s, int k);
+
+}  // namespace record

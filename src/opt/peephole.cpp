@@ -1,0 +1,80 @@
+#include "opt/peephole.h"
+
+namespace record {
+
+namespace {
+
+bool blockBoundary(const Instr& in) {
+  return opInfo(in.op).isBranch || in.op == Opcode::HALT ||
+         in.op == Opcode::RPT;
+}
+
+/// Is ACC dead at position i (next ACC touch is a write)?
+bool accDeadAfter(const std::vector<Instr>& code, size_t i) {
+  for (size_t j = i + 1; j < code.size(); ++j) {
+    const Instr& in = code[j];
+    if (!in.label.empty() || blockBoundary(in)) return false;  // unknown
+    const OpInfo& info = opInfo(in.op);
+    if (info.readsAcc) return false;
+    if (info.writesAcc) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+std::vector<Instr> peephole(const std::vector<Instr>& code,
+                            const TargetConfig& cfg, PeepholeStats* stats) {
+  std::vector<Instr> cur = code;
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    std::vector<Instr> out;
+    out.reserve(cur.size());
+    for (size_t i = 0; i < cur.size(); ++i) {
+      const Instr& in = cur[i];
+      bool joinable = !out.empty() && in.label.empty() &&
+                      !blockBoundary(out.back());
+
+      // SACL x ; LAC x -> SACL x
+      if (joinable && in.op == Opcode::LAC &&
+          out.back().op == Opcode::SACL &&
+          in.a.mode == AddrMode::Direct && out.back().a == in.a) {
+        if (stats) ++stats->removedLoads;
+        changed = true;
+        continue;
+      }
+      // LARK ARk,#a ; LARK ARk,#b -> LARK ARk,#b
+      if (joinable && in.op == Opcode::LARK &&
+          out.back().op == Opcode::LARK &&
+          out.back().a.value == in.a.value) {
+        Instr repl = in;
+        repl.label = out.back().label;
+        out.back() = repl;
+        if (stats) ++stats->deadArLoads;
+        changed = true;
+        continue;
+      }
+      // LAC m ; SACL m+1 -> DMOV m  (requires ACC dead after the store)
+      if (joinable && cfg.hasDmov && in.op == Opcode::SACL &&
+          out.back().op == Opcode::LAC &&
+          in.a.mode == AddrMode::Direct &&
+          out.back().a.mode == AddrMode::Direct &&
+          in.a.value == out.back().a.value + 1 && accDeadAfter(cur, i)) {
+        Instr dmov;
+        dmov.op = Opcode::DMOV;
+        dmov.a = out.back().a;
+        dmov.label = out.back().label;
+        out.back() = dmov;
+        if (stats) ++stats->dmovFusions;
+        changed = true;
+        continue;
+      }
+      out.push_back(in);
+    }
+    cur = std::move(out);
+  }
+  return cur;
+}
+
+}  // namespace record

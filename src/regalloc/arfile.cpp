@@ -1,0 +1,37 @@
+#include "regalloc/arfile.h"
+
+#include <cassert>
+
+namespace record {
+
+ArFile::ArFile(int numArs) : numArs_(numArs), busy_(numArs, false) {
+  assert(numArs >= 1);
+}
+
+std::optional<int> ArFile::alloc(bool includeScratch) {
+  // AR numArs_-1 stays free for dynamic-indexing scratch unless the caller
+  // proved it safe to hand out.
+  int limit = includeScratch ? numArs_ : numArs_ - 1;
+  for (int i = 0; i < limit; ++i) {
+    if (!busy_[static_cast<size_t>(i)]) {
+      busy_[static_cast<size_t>(i)] = true;
+      return i;
+    }
+  }
+  return std::nullopt;
+}
+
+void ArFile::free(int ar) {
+  assert(ar >= 0 && ar < numArs_);
+  assert(busy_[static_cast<size_t>(ar)]);
+  busy_[static_cast<size_t>(ar)] = false;
+}
+
+int ArFile::available() const {
+  int n = 0;
+  for (int i = 0; i < numArs_ - 1; ++i)
+    if (!busy_[static_cast<size_t>(i)]) ++n;
+  return n;
+}
+
+}  // namespace record

@@ -1,0 +1,36 @@
+// Address-register assignment. The AR file is one of the tdsp's
+// heterogeneous register classes: loop counters, array streams and dynamic
+// array indexing all compete for it. The last register is reserved as the
+// dynamic-indexing scratch so that indexed stores always have a register
+// available; the rest are handed to loops/streams.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+namespace record {
+
+class ArFile {
+ public:
+  /// `numArs` >= 1; AR numArs-1 is reserved as scratch.
+  explicit ArFile(int numArs);
+
+  /// Allocate an AR for a stream or loop counter; nullopt when exhausted.
+  /// With `includeScratch`, the reserved register may be handed out too --
+  /// callers do this only after proving no dynamic indexing can occur in
+  /// the scratch register's live range.
+  std::optional<int> alloc(bool includeScratch = false);
+  void free(int ar);
+  /// Is the scratch register currently leased to a stream/counter?
+  bool scratchLeased() const { return busy_[static_cast<size_t>(scratch())]; }
+  /// The reserved dynamic-indexing scratch register.
+  int scratch() const { return numArs_ - 1; }
+  int available() const;
+  int total() const { return numArs_; }
+
+ private:
+  int numArs_;
+  std::vector<bool> busy_;
+};
+
+}  // namespace record

@@ -1,0 +1,30 @@
+#include "regalloc/temps.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace record {
+
+TempPool::TempPool(int baseAddr) : base_(baseAddr), next_(baseAddr) {}
+
+int TempPool::alloc() {
+  if (!freeList_.empty()) {
+    int a = freeList_.back();
+    freeList_.pop_back();
+    return a;
+  }
+  int a = next_++;
+  highWater_ = std::max(highWater_, next_ - base_);
+  return a;
+}
+
+void TempPool::free(int addr) {
+  assert(addr >= base_ && addr < next_);
+  freeList_.push_back(addr);
+}
+
+int TempPool::live() const {
+  return (next_ - base_) - static_cast<int>(freeList_.size());
+}
+
+}  // namespace record

@@ -1,0 +1,32 @@
+// Spill-temp management for the heterogeneous register set. The tdsp has a
+// single accumulator, so expression evaluation routes intermediate values
+// through one-word data-memory temps (the "data routing" of Rimey/Hartmann
+// cited in §3.3). The pool recycles freed slots and reports the high-water
+// mark for the layout.
+#pragma once
+
+#include <vector>
+
+namespace record {
+
+class TempPool {
+ public:
+  /// Temps are allocated upward from `baseAddr`.
+  explicit TempPool(int baseAddr);
+
+  int alloc();
+  void free(int addr);
+  /// Number of words the pool ever occupied.
+  int highWater() const { return highWater_; }
+  int baseAddr() const { return base_; }
+  /// Number of currently live temps.
+  int live() const;
+
+ private:
+  int base_;
+  int next_;
+  int highWater_ = 0;
+  std::vector<int> freeList_;
+};
+
+}  // namespace record

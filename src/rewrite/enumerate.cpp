@@ -1,0 +1,139 @@
+#include "rewrite/enumerate.h"
+
+#include <deque>
+#include <functional>
+#include <unordered_set>
+
+namespace record {
+
+namespace {
+
+bool isPowerOfTwo(int64_t v) { return v > 1 && (v & (v - 1)) == 0; }
+
+int log2i(int64_t v) {
+  int k = 0;
+  while ((1LL << k) < v) ++k;
+  return k;
+}
+
+ExprPtr rebuildWithKid(const ExprPtr& e, size_t idx, ExprPtr kid) {
+  std::vector<ExprPtr> kids = e->kids;
+  kids[idx] = std::move(kid);
+  if (e->op == Op::ArrayRef) return Expr::arrayRef(e->sym, kids[0]);
+  if (kids.size() == 1) return Expr::unary(e->op, kids[0]);
+  return Expr::binary(e->op, kids[0], kids[1]);
+}
+
+}  // namespace
+
+std::vector<ExprPtr> rewriteTop(const ExprPtr& e) {
+  std::vector<ExprPtr> out;
+  if (opArity(e->op) == 0) return out;
+  const auto& k = e->kids;
+
+  // Commutativity.
+  if (opCommutes(e->op) && k.size() == 2)
+    out.push_back(Expr::binary(e->op, k[1], k[0]));
+
+  // Associativity (wrap-exact ops only).
+  if ((e->op == Op::Add || e->op == Op::Mul) && k.size() == 2) {
+    if (k[0]->op == e->op)  // (a op b) op c -> a op (b op c)
+      out.push_back(Expr::binary(e->op, k[0]->kids[0],
+                                 Expr::binary(e->op, k[0]->kids[1], k[1])));
+    if (k[1]->op == e->op)  // a op (b op c) -> (a op b) op c
+      out.push_back(Expr::binary(e->op,
+                                 Expr::binary(e->op, k[0], k[1]->kids[0]),
+                                 k[1]->kids[1]));
+  }
+
+  // Neutral / zero elements.
+  if (e->op == Op::Add || e->op == Op::Sub) {
+    if (k[1]->isConstValue(0)) out.push_back(k[0]);
+  }
+  if (e->op == Op::Mul) {
+    if (k[1]->isConstValue(1)) out.push_back(k[0]);
+    if (k[0]->isConstValue(1)) out.push_back(k[1]);
+    if (k[0]->isConstValue(0) || k[1]->isConstValue(0))
+      out.push_back(Expr::constant(0, e->type));
+  }
+  if (e->op == Op::Shl && k[1]->isConstValue(0)) out.push_back(k[0]);
+  if ((e->op == Op::Or || e->op == Op::Xor) && k[1]->isConstValue(0))
+    out.push_back(k[0]);
+
+  // Double negation.
+  if (e->op == Op::Neg && k[0]->op == Op::Neg)
+    out.push_back(k[0]->kids[0]);
+
+  // a + (-b) = a - b and friends.
+  if (e->op == Op::Add && k[1]->op == Op::Neg)
+    out.push_back(Expr::binary(Op::Sub, k[0], k[1]->kids[0]));
+  if (e->op == Op::Sub && k[1]->op == Op::Neg)
+    out.push_back(Expr::binary(Op::Add, k[0], k[1]->kids[0]));
+
+  // Strength exchange: a * 2^k <-> a << k.
+  if (e->op == Op::Mul && k[1]->op == Op::Const &&
+      isPowerOfTwo(k[1]->value)) {
+    out.push_back(Expr::binary(
+        Op::Shl, k[0], Expr::constant(log2i(k[1]->value), Type::Int)));
+  }
+  if (e->op == Op::Shl && k[1]->op == Op::Const && k[1]->value >= 1 &&
+      k[1]->value <= 14) {
+    out.push_back(Expr::binary(
+        Op::Mul, k[0], Expr::constant(1LL << k[1]->value, e->type)));
+  }
+
+  // Factoring: a*c + b*c -> (a+b)*c.
+  if (e->op == Op::Add && k[0]->op == Op::Mul && k[1]->op == Op::Mul) {
+    for (int i = 0; i < 2; ++i) {
+      for (int j = 0; j < 2; ++j) {
+        if (exprEquals(k[0]->kids[static_cast<size_t>(i)],
+                       k[1]->kids[static_cast<size_t>(j)])) {
+          out.push_back(Expr::binary(
+              Op::Mul,
+              Expr::binary(Op::Add, k[0]->kids[static_cast<size_t>(1 - i)],
+                           k[1]->kids[static_cast<size_t>(1 - j)]),
+              k[0]->kids[static_cast<size_t>(i)]));
+        }
+      }
+    }
+  }
+  return out;
+}
+
+std::vector<ExprPtr> enumerateVariants(const ExprPtr& root, int budget) {
+  std::vector<ExprPtr> result{root};
+  if (budget <= 1) return result;
+
+  std::unordered_set<uint64_t> seen{root->hash()};
+  std::deque<ExprPtr> frontier{root};
+
+  // All single-node rewrites applied anywhere in a tree.
+  // (Recursive expansion: for tree e, rewrite the top, or rewrite inside a
+  // child and rebuild.)
+  std::function<std::vector<ExprPtr>(const ExprPtr&)> neighbors =
+      [&](const ExprPtr& e) {
+        std::vector<ExprPtr> out = rewriteTop(e);
+        for (size_t i = 0; i < e->kids.size(); ++i) {
+          for (auto& sub : neighbors(e->kids[i]))
+            out.push_back(rebuildWithKid(e, i, std::move(sub)));
+        }
+        return out;
+      };
+
+  while (!frontier.empty() &&
+         static_cast<int>(result.size()) < budget) {
+    ExprPtr cur = frontier.front();
+    frontier.pop_front();
+    for (auto& nb : neighbors(cur)) {
+      uint64_t h = nb->hash();
+      if (seen.count(h)) continue;  // hash collision risk acceptable here
+      seen.insert(h);
+      result.push_back(nb);
+      frontier.push_back(nb);
+      if (static_cast<int>(result.size()) >= budget) break;
+    }
+  }
+  return result;
+}
+
+}  // namespace record

@@ -1,0 +1,41 @@
+// Algebraic transformation of data-flow trees (§4.3.3): "RECORD uses
+// algebraic rules for transforming the original data flow tree into
+// equivalent ones and calls the iburg-matcher with each tree. The tree
+// requiring the smallest number of covering patterns is then selected."
+//
+// Rules applied at every node (all exactly value-preserving under the
+// 32-bit wrap-around semantics of the IR):
+//   commutativity           a+b = b+a, a*b = b*a (also saturating add)
+//   associativity           (a+b)+c = a+(b+c), same for mul
+//                            -- NOT applied to saturating ops, which are
+//                               not associative
+//   neutral elements        a+0 = a, a*1 = a, a-0 = a, a<<0 = a
+//   zero element            a*0 = 0
+//   double negation         -(-a) = a
+//   add of negation         a+(-b) = a-b,  a-(-b) = a+b
+//   strength exchange       a*2^k = a<<k and a<<k = a*2^k (both ways: which
+//                           is cheaper depends on the target's MAC)
+//   factoring               a*c + b*c = (a+b)*c  (wrap-exact)
+//
+// Deliberately ABSENT: constant folding -- the paper notes RECORD "does not
+// contain any standard optimization technique (such as constant folding)".
+//
+// Enumeration is breadth-first with structural-hash deduplication up to a
+// variant budget.
+#pragma once
+
+#include <vector>
+
+#include "ir/expr.h"
+
+namespace record {
+
+/// All trees reachable from `root` (including `root` itself, always at
+/// index 0), up to `budget` distinct variants. budget <= 1 returns {root}.
+std::vector<ExprPtr> enumerateVariants(const ExprPtr& root, int budget);
+
+/// Single-step rewrites of the top node only (building block; exposed for
+/// tests).
+std::vector<ExprPtr> rewriteTop(const ExprPtr& e);
+
+}  // namespace record

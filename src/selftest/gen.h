@@ -1,0 +1,76 @@
+// Self-test program generation with a retargetable code generator (§4.5,
+// Krüger'91 / Bieker-Marwedel DAC'95): from the explicit target model (the
+// ISD rule set), generate a program that exercises every instruction rule
+// with justified operand values, propagates each result to an observable
+// memory location, and carries the expected responses. A processor core
+// passes the self-test iff every observable matches.
+//
+// The fault experiment runs the same program on machines with decode faults
+// (opcode substitution within the same operand signature) and measures how
+// many faults the test detects.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "target/isa.h"
+#include "target/isd.h"
+
+namespace record::selftest {
+
+struct Check {
+  int addr = 0;           // observable data address
+  int16_t expected = 0;   // value a fault-free core must produce
+  std::string rule;       // rule exercised by this check
+};
+
+struct SelfTest {
+  TargetProgram prog;
+  std::vector<Check> checks;
+  std::vector<std::string> coveredRules;
+  std::vector<std::string> skippedRules;  // patterns we cannot justify
+
+  double ruleCoverage() const {
+    size_t total = coveredRules.size() + skippedRules.size();
+    return total == 0 ? 0.0
+                      : static_cast<double>(coveredRules.size()) /
+                            static_cast<double>(total);
+  }
+};
+
+/// Generate a self-test for the given instruction-set description.
+SelfTest generateSelfTest(const RuleSet& rules, uint32_t seed = 1);
+
+struct SelfTestRun {
+  bool ran = false;       // machine halted inside the cycle budget
+  bool pass = false;      // ran && all checks match
+  int failedChecks = 0;
+};
+
+/// Execute the self-test on a fault-free or faulty machine.
+SelfTestRun runSelfTest(const SelfTest& st,
+                        const std::function<Opcode(Opcode)>& fault = {});
+
+struct FaultCampaign {
+  struct Injected {
+    Opcode from, to;
+    bool detected = false;
+  };
+  std::vector<Injected> faults;
+  int detected = 0;
+
+  double coverage() const {
+    return faults.empty() ? 0.0
+                          : static_cast<double>(detected) /
+                                static_cast<double>(faults.size());
+  }
+};
+
+/// Enumerate decode-substitution faults over the opcodes the self-test
+/// actually uses (same operand signature, so the program stays runnable)
+/// and check which ones the test detects.
+FaultCampaign runFaultCampaign(const SelfTest& st);
+
+}  // namespace record::selftest

@@ -1,0 +1,279 @@
+#include "sim/machine.h"
+
+#include <stdexcept>
+
+#include "ir/type.h"
+
+namespace record {
+
+Machine::Machine(const TargetProgram& prog)
+    : prog_(prog),
+      data_(static_cast<size_t>(prog.config.dataWords), 0),
+      ar_(static_cast<size_t>(prog.config.numAddrRegs), 0) {
+  branchTarget_.resize(prog.code.size(), -1);
+  for (size_t i = 0; i < prog.code.size(); ++i) {
+    const Instr& in = prog.code[i];
+    if (opInfo(in.op).isBranch) {
+      int idx = prog.labelIndex(in.targetLabel);
+      if (idx < 0)
+        throw std::runtime_error("unresolved label in program: " +
+                                 in.targetLabel);
+      branchTarget_[i] = idx;
+    }
+  }
+  reset();
+}
+
+void Machine::reset(bool clearData) {
+  acc_ = t_ = p_ = 0;
+  for (auto& a : ar_) a = 0;
+  ovm_ = sxm_ = false;
+  pc_ = 0;
+  if (clearData) std::fill(data_.begin(), data_.end(), 0);
+  for (const auto& [addr, val] : prog_.dataInit) writeData(addr, val);
+}
+
+void Machine::writeData(int addr, int64_t v) {
+  if (addr < 0 || static_cast<size_t>(addr) >= data_.size())
+    throw std::runtime_error("data write out of range: " +
+                             std::to_string(addr));
+  data_[static_cast<size_t>(addr)] = wrap16(v);
+}
+
+int64_t Machine::readData(int addr) const {
+  if (addr < 0 || static_cast<size_t>(addr) >= data_.size())
+    throw std::runtime_error("data read out of range: " +
+                             std::to_string(addr));
+  return data_[static_cast<size_t>(addr)];
+}
+
+void Machine::writeSymbol(const std::string& sym, int offset, int64_t v) {
+  int base = prog_.addrOf(sym);
+  if (base < 0) throw std::runtime_error("unknown symbol: " + sym);
+  writeData(base + offset, v);
+}
+
+int64_t Machine::readSymbol(const std::string& sym, int offset) const {
+  int base = prog_.addrOf(sym);
+  if (base < 0) throw std::runtime_error("unknown symbol: " + sym);
+  return readData(base + offset);
+}
+
+void Machine::setAcc(int64_t v) { acc_ = wrap32(v); }
+
+int Machine::resolveAddr(const Operand& o) {
+  if (o.mode == AddrMode::Direct) return o.value;
+  if (o.mode == AddrMode::Indirect) {
+    int idx = o.value;
+    if (idx < 0 || static_cast<size_t>(idx) >= ar_.size())
+      throw std::runtime_error("bad AR index");
+    int addr = ar_[static_cast<size_t>(idx)];
+    if (o.post == PostMod::Inc)
+      ar_[static_cast<size_t>(idx)] = (addr + 1) & 0xffff;
+    else if (o.post == PostMod::Dec)
+      ar_[static_cast<size_t>(idx)] = (addr - 1) & 0xffff;
+    return addr;
+  }
+  throw std::runtime_error("operand is not a memory reference");
+}
+
+int64_t Machine::readOperand(const Operand& o) {
+  if (o.mode == AddrMode::Imm) return o.value;
+  return readData(resolveAddr(o));
+}
+
+int64_t Machine::ovmAdd(int64_t a, int64_t b) const {
+  return ovm_ ? sat32(a + b) : wrap32(a + b);
+}
+
+int64_t Machine::ovmSub(int64_t a, int64_t b) const {
+  return ovm_ ? sat32(a - b) : wrap32(a - b);
+}
+
+RunResult Machine::run(int64_t maxCycles) {
+  RunResult res;
+  int rptCount = 0;  // pending repeats of the next instruction
+  while (res.cycles < maxCycles) {
+    if (pc_ < 0 || static_cast<size_t>(pc_) >= prog_.code.size()) {
+      res.trapped = true;
+      res.trapReason = "PC out of range";
+      return res;
+    }
+    const Instr& raw = prog_.code[static_cast<size_t>(pc_)];
+    Opcode op = decodeFault_ ? decodeFault_(raw.op) : raw.op;
+    const Operand& a = raw.a;
+    const Operand& b = raw.b;
+    int repeats = 1 + rptCount;
+    rptCount = 0;
+    bool branched = false;
+    int cyclesThis = 0;
+
+    try {
+      for (int rep = 0; rep < repeats; ++rep) {
+        ++res.instructions;
+        int cyc = 1;
+        switch (op) {
+          case Opcode::LAC: acc_ = readOperand(a); break;
+          case Opcode::LACK: acc_ = a.value; break;
+          case Opcode::ZAC: acc_ = 0; break;
+          case Opcode::ADD: acc_ = ovmAdd(acc_, readOperand(a)); break;
+          case Opcode::ADDK: acc_ = ovmAdd(acc_, a.value); break;
+          case Opcode::SUB: acc_ = ovmSub(acc_, readOperand(a)); break;
+          case Opcode::SUBK: acc_ = ovmSub(acc_, a.value); break;
+          case Opcode::SACL: writeData(resolveAddr(a), acc_); break;
+          case Opcode::SACH:
+            writeData(resolveAddr(a), (acc_ >> 16) & 0xffff);
+            break;
+          case Opcode::AND:
+            acc_ = acc_ & (static_cast<uint64_t>(readOperand(a)) & 0xffff);
+            break;
+          case Opcode::ANDK:
+            acc_ = acc_ & (static_cast<uint64_t>(a.value) & 0xffff);
+            break;
+          case Opcode::OR:
+            acc_ = wrap32(acc_ |
+                          (static_cast<uint64_t>(readOperand(a)) & 0xffff));
+            break;
+          case Opcode::XOR:
+            acc_ = wrap32(acc_ ^
+                          (static_cast<uint64_t>(readOperand(a)) & 0xffff));
+            break;
+          case Opcode::SFL: acc_ = wrap32(acc_ << 1); break;
+          case Opcode::SFR:
+            if (sxm_)
+              acc_ = acc_ >> 1;
+            else
+              acc_ = static_cast<int64_t>(
+                  (static_cast<uint64_t>(acc_) & 0xffffffffull) >> 1);
+            acc_ = wrap32(acc_);
+            break;
+          case Opcode::NEG: acc_ = ovm_ ? sat32(-acc_) : wrap32(-acc_); break;
+          case Opcode::LT: t_ = readOperand(a); break;
+          case Opcode::MPY: p_ = wrap32(t_ * readOperand(a)); break;
+          case Opcode::MPYK: p_ = wrap32(t_ * a.value); break;
+          case Opcode::PAC: acc_ = p_; break;
+          case Opcode::APAC: acc_ = ovmAdd(acc_, p_); break;
+          case Opcode::SPAC: acc_ = ovmSub(acc_, p_); break;
+          case Opcode::SPL: writeData(resolveAddr(a), p_); break;
+          case Opcode::LTA: {
+            acc_ = ovmAdd(acc_, p_);
+            t_ = readOperand(a);
+            break;
+          }
+          case Opcode::LTP: {
+            acc_ = p_;
+            t_ = readOperand(a);
+            break;
+          }
+          case Opcode::LTD: {
+            acc_ = ovmAdd(acc_, p_);
+            int addr = resolveAddr(a);
+            t_ = readData(addr);
+            writeData(addr + 1, readData(addr));
+            break;
+          }
+          case Opcode::MPYXY: {
+            int addrA = resolveAddr(a);
+            int addrB = resolveAddr(b);
+            p_ = wrap32(readData(addrA) * readData(addrB));
+            cyc = (prog_.config.bankOf(addrA) != prog_.config.bankOf(addrB))
+                      ? 1
+                      : 2;
+            break;
+          }
+          case Opcode::MACXY: {
+            acc_ = ovmAdd(acc_, p_);
+            int addrA = resolveAddr(a);
+            int addrB = resolveAddr(b);
+            p_ = wrap32(readData(addrA) * readData(addrB));
+            cyc = (prog_.config.bankOf(addrA) != prog_.config.bankOf(addrB))
+                      ? 1
+                      : 2;
+            break;
+          }
+          case Opcode::LARK:
+            ar_.at(static_cast<size_t>(a.value)) = b.value & 0xffff;
+            break;
+          case Opcode::LAR:
+            ar_.at(static_cast<size_t>(a.value)) =
+                static_cast<int>(static_cast<uint64_t>(readOperand(b)) &
+                                 0xffff);
+            break;
+          case Opcode::SAR:
+            writeData(resolveAddr(b), ar_.at(static_cast<size_t>(a.value)));
+            break;
+          case Opcode::ADRK:
+            ar_.at(static_cast<size_t>(a.value)) =
+                (ar_.at(static_cast<size_t>(a.value)) + b.value) & 0xffff;
+            break;
+          case Opcode::SBRK:
+            ar_.at(static_cast<size_t>(a.value)) =
+                (ar_.at(static_cast<size_t>(a.value)) - b.value) & 0xffff;
+            break;
+          case Opcode::B:
+            pc_ = branchTarget_[static_cast<size_t>(pc_)];
+            branched = true;
+            cyc = 2;
+            break;
+          case Opcode::BZ:
+            cyc = 2;
+            if (acc_ == 0) {
+              pc_ = branchTarget_[static_cast<size_t>(pc_)];
+              branched = true;
+            }
+            break;
+          case Opcode::BGEZ:
+            cyc = 2;
+            if (acc_ >= 0) {
+              pc_ = branchTarget_[static_cast<size_t>(pc_)];
+              branched = true;
+            }
+            break;
+          case Opcode::BANZ: {
+            cyc = 2;
+            int& reg = ar_.at(static_cast<size_t>(a.value));
+            if (reg != 0) {
+              reg = (reg - 1) & 0xffff;
+              pc_ = branchTarget_[static_cast<size_t>(pc_)];
+              branched = true;
+            }
+            break;
+          }
+          case Opcode::RPT:
+            rptCount = a.value;
+            break;
+          case Opcode::DMOV: {
+            int addr = resolveAddr(a);
+            writeData(addr + 1, readData(addr));
+            break;
+          }
+          case Opcode::SOVM: ovm_ = true; break;
+          case Opcode::ROVM: ovm_ = false; break;
+          case Opcode::SSXM: sxm_ = true; break;
+          case Opcode::RSXM: sxm_ = false; break;
+          case Opcode::NOP: break;
+          case Opcode::HALT:
+            res.halted = true;
+            res.cycles += cyc;
+            return res;
+        }
+        cyclesThis += cyc;
+      }
+    } catch (const std::exception& e) {
+      res.trapped = true;
+      res.trapReason = e.what();
+      return res;
+    }
+    res.cycles += cyclesThis;
+    if (!branched) ++pc_;
+  }
+  res.trapReason = "cycle budget exhausted";
+  return res;
+}
+
+void Machine::trap(RunResult& r, const std::string& why) {
+  r.trapped = true;
+  r.trapReason = why;
+}
+
+}  // namespace record

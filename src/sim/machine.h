@@ -1,0 +1,77 @@
+// Cycle-counting instruction-set simulator for tdsp programs. This is the
+// measurement substrate for every experiment: code size comes from the
+// TargetProgram, cycles from running here, and correctness from comparing
+// memory/outputs against the IR golden-model interpreter.
+//
+// Fault injection (decode substitution) supports the §4.5 self-test
+// experiments: a fault makes one opcode behave as another, and a good
+// self-test program must detect it.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "target/isa.h"
+
+namespace record {
+
+struct RunResult {
+  bool halted = false;       // reached HALT (vs. cycle budget exhausted)
+  bool trapped = false;      // illegal access / bad opcode
+  std::string trapReason;
+  int64_t cycles = 0;
+  int64_t instructions = 0;
+};
+
+class Machine {
+ public:
+  explicit Machine(const TargetProgram& prog);
+
+  /// Reset registers/PC and re-apply the program's data initializers.
+  /// Leaves other data memory intact unless `clearData` is set.
+  void reset(bool clearData = true);
+
+  // Data-memory access (16-bit words, sign-extended reads).
+  void writeData(int addr, int64_t v);
+  int64_t readData(int addr) const;
+  /// Symbol-relative access via the program's layout.
+  void writeSymbol(const std::string& sym, int offset, int64_t v);
+  int64_t readSymbol(const std::string& sym, int offset = 0) const;
+
+  RunResult run(int64_t maxCycles = 10'000'000);
+
+  // Architectural state (tests and self-test evaluation).
+  int64_t acc() const { return acc_; }
+  int64_t treg() const { return t_; }
+  int64_t preg() const { return p_; }
+  int ar(int i) const { return ar_[static_cast<size_t>(i)]; }
+  bool ovm() const { return ovm_; }
+  bool sxm() const { return sxm_; }
+  void setAcc(int64_t v);
+
+  /// Decode-level fault: every fetched opcode is remapped through `f`.
+  void setDecodeFault(std::function<Opcode(Opcode)> f) {
+    decodeFault_ = std::move(f);
+  }
+  void clearDecodeFault() { decodeFault_ = nullptr; }
+
+ private:
+  int resolveAddr(const Operand& o);  // applies post-modification
+  int64_t readOperand(const Operand& o);
+  void trap(RunResult& r, const std::string& why);
+  int64_t ovmAdd(int64_t a, int64_t b) const;
+  int64_t ovmSub(int64_t a, int64_t b) const;
+
+  const TargetProgram& prog_;
+  std::function<Opcode(Opcode)> decodeFault_;
+  std::vector<int> branchTarget_;  // per instruction, -1 if not a branch
+  std::vector<int64_t> data_;
+  int64_t acc_ = 0, t_ = 0, p_ = 0;
+  std::vector<int> ar_;
+  bool ovm_ = false, sxm_ = false;
+  int pc_ = 0;
+};
+
+}  // namespace record

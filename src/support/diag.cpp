@@ -1,0 +1,50 @@
+#include "support/diag.h"
+
+#include <sstream>
+
+namespace record {
+
+std::string SourceLoc::str() const {
+  if (!valid()) return "<unknown>";
+  std::ostringstream os;
+  os << line << ":" << col;
+  return os.str();
+}
+
+std::string Diagnostic::str() const {
+  std::ostringstream os;
+  os << loc.str() << ": ";
+  switch (severity) {
+    case Severity::Note: os << "note: "; break;
+    case Severity::Warning: os << "warning: "; break;
+    case Severity::Error: os << "error: "; break;
+  }
+  os << message;
+  return os.str();
+}
+
+void DiagEngine::error(SourceLoc loc, std::string msg) {
+  diags_.push_back({Severity::Error, loc, std::move(msg)});
+  ++errorCount_;
+}
+
+void DiagEngine::warning(SourceLoc loc, std::string msg) {
+  diags_.push_back({Severity::Warning, loc, std::move(msg)});
+}
+
+void DiagEngine::note(SourceLoc loc, std::string msg) {
+  diags_.push_back({Severity::Note, loc, std::move(msg)});
+}
+
+std::string DiagEngine::str() const {
+  std::ostringstream os;
+  for (const auto& d : diags_) os << d.str() << "\n";
+  return os.str();
+}
+
+void DiagEngine::clear() {
+  diags_.clear();
+  errorCount_ = 0;
+}
+
+}  // namespace record

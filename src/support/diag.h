@@ -1,0 +1,51 @@
+// Diagnostics: source locations and an error sink shared by all front ends
+// (DFL, netlist, ISD, assembler). Collects messages instead of throwing so
+// that parsers can recover and report multiple problems per run.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace record {
+
+/// A position in some textual input (1-based; 0 means "unknown").
+struct SourceLoc {
+  int line = 0;
+  int col = 0;
+
+  bool valid() const { return line > 0; }
+  std::string str() const;
+};
+
+enum class Severity { Note, Warning, Error };
+
+struct Diagnostic {
+  Severity severity = Severity::Error;
+  SourceLoc loc;
+  std::string message;
+
+  std::string str() const;
+};
+
+/// Accumulates diagnostics for one compilation unit.
+class DiagEngine {
+ public:
+  void error(SourceLoc loc, std::string msg);
+  void warning(SourceLoc loc, std::string msg);
+  void note(SourceLoc loc, std::string msg);
+
+  bool hasErrors() const { return errorCount_ > 0; }
+  int errorCount() const { return errorCount_; }
+  const std::vector<Diagnostic>& all() const { return diags_; }
+
+  /// All diagnostics rendered one-per-line; empty string when clean.
+  std::string str() const;
+
+  void clear();
+
+ private:
+  std::vector<Diagnostic> diags_;
+  int errorCount_ = 0;
+};
+
+}  // namespace record

@@ -1,0 +1,26 @@
+// Small string helpers used across parsers and printers.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace record {
+
+/// Split on a single character; keeps empty fields.
+std::vector<std::string> split(std::string_view s, char sep);
+
+/// Trim ASCII whitespace from both ends.
+std::string_view trim(std::string_view s);
+
+/// True if `s` starts with `prefix`.
+bool startsWith(std::string_view s, std::string_view prefix);
+
+/// printf-style formatting into a std::string.
+std::string formatv(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/// Left-pad / right-pad to a column width (for table printers).
+std::string padLeft(std::string s, size_t width);
+std::string padRight(std::string s, size_t width);
+
+}  // namespace record

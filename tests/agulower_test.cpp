@@ -1,0 +1,159 @@
+// AGU lowering tests: compiled scalar kernels rewritten to AR-walk
+// addressing stay semantically correct, and better offset assignments
+// insert fewer address instructions.
+#include <gtest/gtest.h>
+
+#include "codegen/baseline.h"
+#include "codegen/pipeline.h"
+#include "dfl/frontend.h"
+#include "dspstone/harness.h"
+#include "dspstone/kernels.h"
+#include "opt/agulower.h"
+#include "target/asmtext.h"
+
+namespace record {
+namespace {
+
+/// Options producing AGU-compatible code: direct addressing only.
+CodegenOptions directOnlyOptions() {
+  CodegenOptions o = recordOptions();
+  o.useStreams = false;
+  o.arLoopCounters = false;
+  o.loopTransforms = false;
+  o.peephole = false;  // no DMOV fusion
+  return o;
+}
+
+TargetConfig aguConfig() {
+  TargetConfig cfg;
+  cfg.hasDmov = false;
+  cfg.hasRpt = false;
+  return cfg;
+}
+
+TEST(AguLower, RewritesAllDataAccesses) {
+  auto cfg = aguConfig();
+  auto prog = dfl::parseDflOrDie(kernelByName("complex_update").dfl);
+  auto res = RecordCompiler(cfg, directOnlyOptions()).compile(prog);
+  std::string err;
+  auto low = lowerToAgu(res.prog, 1, SoaKind::Leupers, &err);
+  ASSERT_TRUE(low.has_value()) << err;
+  EXPECT_GT(low->accesses, 0);
+  // No direct data operands survive.
+  for (const auto& in : low->prog.code) {
+    const OpInfo& info = opInfo(in.op);
+    if (info.aIsMem) {
+      EXPECT_NE(in.a.mode, AddrMode::Direct) << in.str();
+    }
+    if (info.bIsMem) {
+      EXPECT_NE(in.b.mode, AddrMode::Direct) << in.str();
+    }
+  }
+}
+
+class AguKernel : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(AguKernel, LoweredProgramsStayCorrect) {
+  auto cfg = aguConfig();
+  const Kernel& k = kernelByName(GetParam());
+  auto prog = dfl::parseDflOrDie(k.dfl);
+  auto res = RecordCompiler(cfg, directOnlyOptions()).compile(prog);
+  for (SoaKind kind : {SoaKind::Naive, SoaKind::Liao, SoaKind::Leupers}) {
+    for (int k2 : {1, 2}) {
+      std::string err;
+      auto low = lowerToAgu(res.prog, k2, kind, &err);
+      ASSERT_TRUE(low.has_value()) << err;
+      auto m = runAndCompare(low->prog, prog,
+                             defaultStimulus(prog, 5, k.ticks));
+      EXPECT_TRUE(m.ok) << GetParam() << " kind=" << static_cast<int>(kind)
+                        << " k=" << k2 << ": " << m.error << "\n"
+                        << low->prog.listing();
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(ScalarKernels, AguKernel,
+                         // Scalar kernels only: the AGU relocation treats
+                         // every address as an independent variable, which
+                         // is incompatible with contiguous arrays.
+                         ::testing::Values("real_update",
+                                           "complex_multiply",
+                                           "complex_update",
+                                           "iir_biquad_one_section"),
+                         [](const auto& info) {
+                           return std::string(info.param);
+                         });
+
+TEST(AguLower, BetterLayoutsInsertFewerAddressInstructions) {
+  auto cfg = aguConfig();
+  auto prog = dfl::parseDflOrDie(kernelByName("iir_biquad_one_section").dfl);
+  auto res = RecordCompiler(cfg, directOnlyOptions()).compile(prog);
+  auto naive = lowerToAgu(res.prog, 1, SoaKind::Naive);
+  auto liao = lowerToAgu(res.prog, 1, SoaKind::Liao);
+  auto leupers = lowerToAgu(res.prog, 1, SoaKind::Leupers);
+  ASSERT_TRUE(naive && liao && leupers);
+  EXPECT_LE(liao->addressInstrs, naive->addressInstrs);
+  EXPECT_LE(leupers->addressInstrs, naive->addressInstrs);
+}
+
+TEST(AguLower, MoreAgusHelp) {
+  auto cfg = aguConfig();
+  auto prog = dfl::parseDflOrDie(kernelByName("complex_update").dfl);
+  auto res = RecordCompiler(cfg, directOnlyOptions()).compile(prog);
+  auto one = lowerToAgu(res.prog, 1, SoaKind::Leupers);
+  auto four = lowerToAgu(res.prog, 4, SoaKind::Leupers);
+  ASSERT_TRUE(one && four);
+  EXPECT_LE(four->addressInstrs, one->addressInstrs);
+}
+
+TEST(AguLower, RefusesIndirectPrograms) {
+  TargetConfig cfg;
+  auto tp = assembleOrDie(R"(
+      .sym v 4
+      LARK AR7, #0
+      LAC *AR7+
+      HALT
+  )",
+                          cfg);
+  std::string err;
+  EXPECT_FALSE(lowerToAgu(tp, 1, SoaKind::Liao, &err).has_value());
+  EXPECT_NE(err.find("indirect"), std::string::npos);
+}
+
+TEST(AguLower, RefusesDmov) {
+  TargetConfig cfg;
+  auto tp = assembleOrDie(".sym v 2\nDMOV v\nHALT\n", cfg);
+  std::string err;
+  EXPECT_FALSE(lowerToAgu(tp, 1, SoaKind::Liao, &err).has_value());
+}
+
+TEST(AguLower, EmptyAccessProgramPassesThrough) {
+  TargetConfig cfg;
+  auto tp = assembleOrDie("ZAC\nSFL\nHALT\n", cfg);
+  auto low = lowerToAgu(tp, 2, SoaKind::Leupers);
+  ASSERT_TRUE(low.has_value());
+  EXPECT_EQ(low->addressInstrs, 0);
+  EXPECT_EQ(low->prog.code.size(), tp.code.size());
+}
+
+TEST(AguLower, AdjacentWalkUsesPostModify) {
+  TargetConfig cfg;
+  // Three adjacent loads in layout order: after the initial LARK the walk
+  // is free (post-increment), no ADRK needed.
+  auto tp = assembleOrDie(R"(
+      .sym a 1
+      .sym b 1
+      .sym c 1
+      LAC a
+      ADD b
+      ADD c
+      HALT
+  )",
+                          cfg);
+  auto low = lowerToAgu(tp, 1, SoaKind::Liao);
+  ASSERT_TRUE(low.has_value());
+  EXPECT_EQ(low->addressInstrs, 1);  // just the initial LARK
+}
+
+}  // namespace
+}  // namespace record

@@ -1,0 +1,89 @@
+// End-to-end verification over all ten DSPStone kernels: the hand-written
+// reference assembly and every compiler configuration must reproduce the
+// golden-model semantics on random stimulus.
+#include <gtest/gtest.h>
+
+#include "codegen/baseline.h"
+#include "codegen/pipeline.h"
+#include "dfl/frontend.h"
+#include "dspstone/harness.h"
+#include "dspstone/kernels.h"
+#include "target/asmtext.h"
+
+namespace record {
+namespace {
+
+class KernelTest : public ::testing::TestWithParam<const char*> {
+ protected:
+  const Kernel& k = kernelByName(GetParam());
+  Program prog = dfl::parseDflOrDie(k.dfl);
+};
+
+TEST_P(KernelTest, ReferenceAssemblyMatchesGoldenModel) {
+  TargetConfig cfg;
+  auto tp = assembleOrDie(k.refAsm, cfg);
+  for (uint32_t seed : {1u, 2u, 3u}) {
+    auto m = runAndCompare(tp, prog, defaultStimulus(prog, seed, k.ticks));
+    EXPECT_TRUE(m.ok) << k.name << " (ref asm, seed " << seed
+                      << "): " << m.error;
+  }
+}
+
+TEST_P(KernelTest, RecordCompilerCorrect) {
+  TargetConfig cfg;
+  RecordCompiler rc(cfg, recordOptions());
+  auto res = rc.compile(prog);
+  for (uint32_t seed : {1u, 2u, 3u}) {
+    auto m =
+        runAndCompare(res.prog, prog, defaultStimulus(prog, seed, k.ticks));
+    EXPECT_TRUE(m.ok) << k.name << " (RECORD, seed " << seed
+                      << "): " << m.error << "\n"
+                      << res.prog.listing();
+  }
+}
+
+TEST_P(KernelTest, BaselineCompilerCorrect) {
+  TargetConfig cfg;
+  BaselineCompiler bc(cfg);
+  auto res = bc.compile(prog);
+  for (uint32_t seed : {1u, 2u}) {
+    auto m =
+        runAndCompare(res.prog, prog, defaultStimulus(prog, seed, k.ticks));
+    EXPECT_TRUE(m.ok) << k.name << " (baseline, seed " << seed
+                      << "): " << m.error << "\n"
+                      << res.prog.listing();
+  }
+}
+
+TEST_P(KernelTest, NaiveCompilerCorrect) {
+  TargetConfig cfg;
+  RecordCompiler nc(cfg, naiveOptions());
+  auto res = nc.compile(prog);
+  auto m = runAndCompare(res.prog, prog, defaultStimulus(prog, 7, k.ticks));
+  EXPECT_TRUE(m.ok) << k.name << " (naive): " << m.error;
+}
+
+TEST_P(KernelTest, RecordNotLargerThanNaive) {
+  TargetConfig cfg;
+  auto rec = RecordCompiler(cfg, recordOptions()).compile(prog);
+  auto nai = RecordCompiler(cfg, naiveOptions()).compile(prog);
+  EXPECT_LE(rec.stats.sizeWords, nai.stats.sizeWords) << k.name;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllKernels, KernelTest,
+    ::testing::Values("real_update", "complex_multiply", "complex_update",
+                      "n_real_updates", "n_complex_updates", "fir",
+                      "iir_biquad_one_section", "iir_biquad_n_sections",
+                      "dot_product", "convolution"),
+    [](const ::testing::TestParamInfo<const char*>& info) {
+      return std::string(info.param);
+    });
+
+TEST(DspstoneRegistry, HasTenKernels) {
+  EXPECT_EQ(dspstoneKernels().size(), 10u);
+  EXPECT_THROW(kernelByName("nope"), std::out_of_range);
+}
+
+}  // namespace
+}  // namespace record

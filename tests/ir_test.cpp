@@ -1,0 +1,158 @@
+#include <gtest/gtest.h>
+
+#include "ir/expr.h"
+#include "ir/program.h"
+#include "ir/symbol.h"
+#include "ir/type.h"
+
+namespace record {
+namespace {
+
+class IrTest : public ::testing::Test {
+ protected:
+  SymbolTable table;
+  Symbol* x = table.define({"x", SymKind::Var, Type::Fix, 0, 0, 0});
+  Symbol* a = table.define({"a", SymKind::Input, Type::Fix, 8, 0, 0});
+  Symbol* n = table.define({"n", SymKind::Const, Type::Int, 0, 0, 42});
+};
+
+TEST_F(IrTest, WrapAndSaturate) {
+  EXPECT_EQ(wrap16(0x8000), -32768);
+  EXPECT_EQ(wrap16(0xffff), -1);
+  EXPECT_EQ(wrap16(32767), 32767);
+  EXPECT_EQ(sat16(40000), 32767);
+  EXPECT_EQ(sat16(-40000), -32768);
+  EXPECT_EQ(sat16(5), 5);
+  EXPECT_EQ(wrap32(0x80000000LL), -2147483648LL);
+  EXPECT_EQ(sat32(1LL << 40), 2147483647LL);
+  EXPECT_EQ(sat32(-(1LL << 40)), -2147483648LL);
+}
+
+TEST_F(IrTest, SymbolStorage) {
+  EXPECT_EQ(x->storageWords(), 1);
+  EXPECT_EQ(a->storageWords(), 8);
+  EXPECT_EQ(n->storageWords(), 0);
+  Symbol delayed{"d", SymKind::Var, Type::Fix, 0, 3, 0};
+  EXPECT_EQ(delayed.storageWords(), 4);
+}
+
+TEST_F(IrTest, SymbolTableLookup) {
+  EXPECT_EQ(table.lookup("x"), x);
+  EXPECT_EQ(table.lookup("zz"), nullptr);
+  const SymbolTable& ct = table;
+  EXPECT_EQ(ct.lookup("a"), a);
+}
+
+TEST_F(IrTest, ExprFactoriesAndPrint) {
+  auto e = Expr::binary(Op::Add, Expr::ref(x),
+                        Expr::binary(Op::Mul, Expr::arrayRef(a, Expr::constant(2)),
+                                     Expr::constant(5)));
+  EXPECT_EQ(e->str(), "(add x (mul a[2] 5))");
+  EXPECT_EQ(e->numNodes(), 6);
+  EXPECT_EQ(e->depth(), 4);
+}
+
+TEST_F(IrTest, DelayedRefPrint) {
+  Symbol d{"sig", SymKind::Input, Type::Fix, 0, 2, 0};
+  auto e = Expr::ref(&d, 2);
+  EXPECT_EQ(e->str(), "sig@2");
+}
+
+TEST_F(IrTest, StructuralEqualityAndHash) {
+  auto e1 = Expr::binary(Op::Add, Expr::ref(x), Expr::constant(1));
+  auto e2 = Expr::binary(Op::Add, Expr::ref(x), Expr::constant(1));
+  auto e3 = Expr::binary(Op::Add, Expr::ref(x), Expr::constant(2));
+  EXPECT_TRUE(exprEquals(e1, e2));
+  EXPECT_FALSE(exprEquals(e1, e3));
+  EXPECT_EQ(e1->hash(), e2->hash());
+  EXPECT_NE(e1->hash(), e3->hash());
+}
+
+TEST_F(IrTest, OpMetadata) {
+  EXPECT_EQ(opArity(Op::Const), 0);
+  EXPECT_EQ(opArity(Op::Neg), 1);
+  EXPECT_EQ(opArity(Op::ArrayRef), 1);
+  EXPECT_EQ(opArity(Op::Mul), 2);
+  EXPECT_TRUE(opCommutes(Op::Add));
+  EXPECT_TRUE(opCommutes(Op::SatAdd));
+  EXPECT_FALSE(opCommutes(Op::Sub));
+  EXPECT_TRUE(opIsLeaf(Op::Ref));
+  EXPECT_FALSE(opIsLeaf(Op::ArrayRef));
+}
+
+TEST_F(IrTest, FoldConstants) {
+  auto e = Expr::binary(Op::Mul, Expr::constant(6), Expr::constant(7));
+  auto f = foldConstants(e);
+  ASSERT_EQ(f->op, Op::Const);
+  EXPECT_EQ(f->value, 42);
+
+  auto partial = Expr::binary(
+      Op::Add, Expr::ref(x),
+      Expr::binary(Op::Sub, Expr::constant(10), Expr::constant(4)));
+  auto g = foldConstants(partial);
+  EXPECT_EQ(g->str(), "(add x 6)");
+}
+
+TEST_F(IrTest, FoldConstantsSaturating) {
+  auto e = Expr::binary(Op::SatAdd, Expr::constant(2147483647LL),
+                        Expr::constant(10));
+  auto f = foldConstants(e);
+  ASSERT_EQ(f->op, Op::Const);
+  EXPECT_EQ(f->value, 2147483647LL);
+}
+
+TEST_F(IrTest, FoldDoesNotTouchArrayRefSymbols) {
+  auto e = Expr::arrayRef(a, Expr::binary(Op::Add, Expr::constant(1),
+                                          Expr::constant(2)));
+  auto f = foldConstants(e);
+  ASSERT_EQ(f->op, Op::ArrayRef);
+  EXPECT_EQ(f->kids[0]->value, 3);
+}
+
+TEST_F(IrTest, SubstInduction) {
+  Symbol iv{"i", SymKind::Induction, Type::Int, 0, 0, 0};
+  auto e = Expr::arrayRef(
+      a, Expr::binary(Op::Add, Expr::ref(&iv), Expr::constant(1)));
+  auto s = substInduction(e, &iv, 3);
+  EXPECT_EQ(s->str(), "a[4]");
+}
+
+TEST_F(IrTest, SubstInductionSharesUntouchedNodes) {
+  Symbol iv{"i", SymKind::Induction, Type::Int, 0, 0, 0};
+  auto sub = Expr::ref(x);
+  auto e = Expr::binary(Op::Add, sub, Expr::ref(&iv));
+  auto s = substInduction(e, &iv, 7);
+  EXPECT_EQ(s->kids[0].get(), sub.get());  // untouched child is shared
+  EXPECT_EQ(s->kids[1]->value, 7);
+}
+
+TEST_F(IrTest, StmtPrinting) {
+  auto st = Stmt::assign(x, Expr::constant(3));
+  EXPECT_EQ(st.str(), "x := 3;");
+}
+
+TEST_F(IrTest, TripCount) {
+  Symbol iv{"i", SymKind::Induction, Type::Int, 0, 0, 0};
+  auto loop = Stmt::forLoop(&iv, 0, 15, 1, {});
+  EXPECT_EQ(loop.tripCount(), 16);
+  auto down = Stmt::forLoop(&iv, 15, 0, -1, {});
+  EXPECT_EQ(down.tripCount(), 16);
+  auto empty = Stmt::forLoop(&iv, 5, 0, 1, {});
+  EXPECT_EQ(empty.tripCount(), 0);
+}
+
+TEST_F(IrTest, FlattenUnrollsLoops) {
+  Symbol iv{"i", SymKind::Induction, Type::Int, 0, 0, 0};
+  std::vector<Stmt> body;
+  body.push_back(Stmt::assign(
+      x, Expr::binary(Op::Add, Expr::ref(x),
+                      Expr::arrayRef(a, Expr::ref(&iv)))));
+  std::vector<Stmt> prog;
+  prog.push_back(Stmt::forLoop(&iv, 0, 3, 1, std::move(body)));
+  auto flat = flattenStmts(prog);
+  ASSERT_EQ(flat.size(), 4u);
+  EXPECT_EQ(flat[2].rhs->str(), "(add x a[2])");
+}
+
+}  // namespace
+}  // namespace record

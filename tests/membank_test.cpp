@@ -1,0 +1,134 @@
+// Memory-bank assignment tests: pair-graph analysis and max-cut quality.
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "dfl/frontend.h"
+#include "opt/membank.h"
+
+namespace record {
+namespace {
+
+TEST(MemBank, CollectsMulPairsWithLoopWeights) {
+  auto prog = dfl::parseDflOrDie(R"(
+    program p;
+    input a[8] : fix;
+    input b[8] : fix;
+    input c : fix;
+    input d : fix;
+    output y : fix;
+    var s : fix;
+    begin
+      s := c*d;
+      for i := 0 to 7 do
+        s := s + a[i]*b[i];
+      endfor
+      y := s;
+    end
+  )");
+  auto pairs = collectMulPairs(prog);
+  ASSERT_EQ(pairs.size(), 2u);
+  // c*d once, a*b weighted by the trip count.
+  int64_t wCD = 0, wAB = 0;
+  for (const auto& p : pairs) {
+    if (p.a->name == "c" || p.b->name == "c") wCD = p.weight;
+    if (p.a->name == "a" || p.b->name == "a") wAB = p.weight;
+  }
+  EXPECT_EQ(wCD, 1);
+  EXPECT_EQ(wAB, 8);
+}
+
+TEST(MemBank, IgnoresSameSymbolSquares) {
+  auto prog = dfl::parseDflOrDie(R"(
+    program sq;
+    input a : fix;
+    output y : fix;
+    begin
+      y := a*a;
+    end
+  )");
+  EXPECT_TRUE(collectMulPairs(prog).empty());
+}
+
+class BankFixture : public ::testing::Test {
+ protected:
+  std::vector<std::unique_ptr<Symbol>> owned;
+  Symbol* sym(const std::string& name) {
+    for (auto& s : owned)
+      if (s->name == name) return s.get();
+    owned.push_back(std::make_unique<Symbol>());
+    owned.back()->name = name;
+    return owned.back().get();
+  }
+  BankPair pair(const std::string& a, const std::string& b, int64_t w) {
+    return {sym(a), sym(b), w};
+  }
+};
+
+TEST_F(BankFixture, SplitsSimplePair) {
+  std::vector<BankPair> ps = {pair("x", "y", 5)};
+  auto r = assignBanks(ps);
+  EXPECT_EQ(r.cutWeight, 5);
+  EXPECT_NE(r.bank(sym("x")), r.bank(sym("y")));
+}
+
+TEST_F(BankFixture, TriangleCannotBeFullyCut) {
+  std::vector<BankPair> ps = {pair("a", "b", 1), pair("b", "c", 1),
+                              pair("a", "c", 1)};
+  auto r = assignBanksExhaustive(ps);
+  EXPECT_EQ(r.cutWeight, 2);  // max cut of a unit triangle
+  auto g = assignBanks(ps);
+  EXPECT_EQ(g.cutWeight, 2);
+}
+
+TEST_F(BankFixture, WeightsSteerTheCut) {
+  // Heavy edge a-b must be cut even at the cost of the light ones.
+  std::vector<BankPair> ps = {pair("a", "b", 100), pair("a", "c", 1),
+                              pair("b", "c", 1)};
+  auto r = assignBanks(ps);
+  EXPECT_NE(r.bank(sym("a")), r.bank(sym("b")));
+  EXPECT_EQ(r.cutWeight, 101);
+}
+
+TEST_F(BankFixture, NaiveHasZeroCut) {
+  std::vector<BankPair> ps = {pair("a", "b", 3), pair("c", "d", 4)};
+  auto r = assignBanksNaive(ps);
+  EXPECT_EQ(r.cutWeight, 0);
+  EXPECT_EQ(r.totalWeight, 7);
+}
+
+TEST_F(BankFixture, GreedyMatchesExhaustiveOnRandomGraphs) {
+  std::mt19937 rng(17);
+  for (int trial = 0; trial < 8; ++trial) {
+    std::vector<BankPair> ps;
+    int n = 5 + trial % 4;
+    std::uniform_int_distribution<int> pickVar(0, n - 1);
+    std::uniform_int_distribution<int> pickW(1, 9);
+    for (int e = 0; e < 2 * n; ++e) {
+      int x = pickVar(rng), y = pickVar(rng);
+      if (x == y) continue;
+      ps.push_back(pair("v" + std::to_string(trial) + "_" +
+                            std::to_string(x),
+                        "v" + std::to_string(trial) + "_" +
+                            std::to_string(y),
+                        pickW(rng)));
+    }
+    auto g = assignBanks(ps);
+    auto e = assignBanksExhaustive(ps);
+    // The hill-climbing heuristic is near-optimal on small graphs.
+    EXPECT_GE(g.cutWeight, (e.cutWeight * 9) / 10)
+        << "trial " << trial << ": greedy " << g.cutWeight
+        << " vs exhaustive " << e.cutWeight;
+    EXPECT_LE(g.cutWeight, e.cutWeight);
+  }
+}
+
+TEST_F(BankFixture, EmptyGraph) {
+  std::vector<BankPair> ps;
+  auto r = assignBanks(ps);
+  EXPECT_EQ(r.cutWeight, 0);
+  EXPECT_EQ(r.totalWeight, 0);
+}
+
+}  // namespace
+}  // namespace record

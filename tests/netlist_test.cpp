@@ -1,0 +1,180 @@
+#include <gtest/gtest.h>
+
+#include "netlist/parser.h"
+#include "netlist/rtlsim.h"
+#include "target/tdsp.h"
+
+namespace record {
+namespace {
+
+using nl::Netlist;
+using nl::parseNetlist;
+using nl::parseNetlistOrDie;
+using nl::RtlSim;
+
+const char* kToyNetlist = R"(
+# Fig. 3 style: register file + accumulator + ALU, '0' on the control
+# input c1 makes the ALU add.
+netlist fig3
+field aa 2 0      # register file read address
+field bb 2 2      # register file write address
+field c1 2 4      # ALU op (0=pass,1=add,2=sub,3=and)
+field regwe 1 6
+field accwe 1 7
+storage reg memory 4 16 raddr aa waddr bb
+storage acc reg 16
+unit alu alu 16 op c1 in0 reg.out in1 acc.out
+connect reg.in alu.out
+connect reg.we regwe
+connect acc.in alu.out
+connect acc.we accwe
+)";
+
+TEST(NetlistParser, ParsesToyNetlist) {
+  auto nl = parseNetlistOrDie(kToyNetlist);
+  EXPECT_EQ(nl.name, "fig3");
+  EXPECT_EQ(nl.fields.size(), 5u);
+  EXPECT_EQ(nl.storages.size(), 2u);
+  EXPECT_EQ(nl.units.size(), 1u);
+  EXPECT_EQ(nl.instrWidth(), 8);
+  ASSERT_NE(nl.findStorage("reg"), nullptr);
+  EXPECT_EQ(nl.findStorage("reg")->raddrField, "aa");
+  EXPECT_EQ(nl.findStorage("reg")->inSrc, "alu.out");
+}
+
+TEST(NetlistParser, ParsesTdspDatapath) {
+  TargetConfig cfg;
+  auto nl = parseNetlistOrDie(tdspDatapathNetlist(cfg));
+  EXPECT_NE(nl.findStorage("acc"), nullptr);
+  EXPECT_NE(nl.findStorage("t"), nullptr);
+  EXPECT_NE(nl.findUnit("mul"), nullptr);
+  TargetConfig noMac;
+  noMac.hasMac = false;
+  auto nl2 = parseNetlistOrDie(tdspDatapathNetlist(noMac));
+  EXPECT_EQ(nl2.findStorage("t"), nullptr);
+  EXPECT_EQ(nl2.findUnit("mul"), nullptr);
+}
+
+TEST(NetlistParser, DetectsUnknownField) {
+  DiagEngine diag;
+  auto nl = parseNetlist(R"(
+netlist bad
+storage acc reg 16
+unit m mux2 16 sel nofield in0 acc.out in1 acc.out
+connect acc.in m.out
+)",
+                         diag);
+  EXPECT_FALSE(nl.has_value());
+}
+
+TEST(NetlistParser, DetectsCombinationalCycle) {
+  DiagEngine diag;
+  auto nl = parseNetlist(R"(
+netlist cyc
+field s 1 0
+field w 1 1
+storage acc reg 16
+unit a mux2 16 sel s in0 b.out in1 acc.out
+unit b mux2 16 sel s in0 a.out in1 acc.out
+connect acc.in a.out
+connect acc.we w
+)",
+                         diag);
+  EXPECT_FALSE(nl.has_value());
+  EXPECT_NE(diag.str().find("cycle"), std::string::npos);
+}
+
+class RtlSimTest : public ::testing::Test {
+ protected:
+  Netlist nl = parseNetlistOrDie(kToyNetlist);
+  RtlSim sim{nl};
+
+  // Build an instruction word for the toy netlist.
+  uint64_t instr(int aa, int bb, int c1, int regwe, int accwe) {
+    return static_cast<uint64_t>(aa) | (static_cast<uint64_t>(bb) << 2) |
+           (static_cast<uint64_t>(c1) << 4) |
+           (static_cast<uint64_t>(regwe) << 6) |
+           (static_cast<uint64_t>(accwe) << 7);
+  }
+};
+
+TEST_F(RtlSimTest, RegPlusAccToReg) {
+  sim.setMem("reg", 1, 30);
+  sim.setReg("acc", 12);
+  // Reg[2] := Reg[1] + acc  (c1=1 add, regwe=1)
+  sim.step(instr(/*aa=*/1, /*bb=*/2, /*c1=*/1, /*regwe=*/1, /*accwe=*/0));
+  EXPECT_EQ(sim.mem("reg", 2), 42);
+  EXPECT_EQ(sim.reg("acc"), 12);  // unchanged
+}
+
+TEST_F(RtlSimTest, AccLoadsFromReg) {
+  sim.setMem("reg", 3, 99);
+  sim.setReg("acc", 0);
+  // acc := pass(Reg[3])? pass_b passes acc; use add with acc=0.
+  sim.step(instr(3, 0, 1, 0, 1));
+  EXPECT_EQ(sim.reg("acc"), 99);
+}
+
+TEST_F(RtlSimTest, SimultaneousWritesUseOldValues) {
+  sim.setMem("reg", 0, 5);
+  sim.setReg("acc", 7);
+  // Both reg[1] and acc get reg[0]+acc; both writes see old state.
+  sim.step(instr(0, 1, 1, 1, 1));
+  EXPECT_EQ(sim.mem("reg", 1), 12);
+  EXPECT_EQ(sim.reg("acc"), 12);
+}
+
+TEST_F(RtlSimTest, WidthWrapping) {
+  sim.setMem("reg", 0, 0x7fff);
+  sim.setReg("acc", 1);
+  sim.step(instr(0, 0, 1, 0, 1));
+  EXPECT_EQ(sim.reg("acc"), -32768);  // 16-bit wraparound
+}
+
+TEST_F(RtlSimTest, SubAndAnd) {
+  sim.setMem("reg", 0, 12);
+  sim.setReg("acc", 5);
+  sim.step(instr(0, 0, 2, 0, 1));  // acc := reg[0] - acc = 7
+  EXPECT_EQ(sim.reg("acc"), 7);
+  sim.setMem("reg", 1, 0b1100);
+  sim.setReg("acc", 0b1010);
+  sim.step(instr(1, 0, 3, 0, 1));  // acc := reg[1] & acc
+  EXPECT_EQ(sim.reg("acc"), 0b1000);
+}
+
+TEST(RtlSimTdsp, MacDatapath) {
+  TargetConfig cfg;
+  auto nl = parseNetlistOrDie(tdspDatapathNetlist(cfg));
+  RtlSim sim(nl);
+  // Find field positions from the netlist itself.
+  auto f = [&](const char* name) { return nl.findField(name); };
+  ASSERT_NE(f("twe"), nullptr);
+  auto set = [&](uint64_t& w, const char* name, uint64_t v) {
+    w |= v << f(name)->lsb;
+  };
+  sim.setMem("mem", 3, 6);
+  sim.setMem("mem", 4, 7);
+  // Cycle 1: T := mem[3]   (twe=1, maddr=3)
+  uint64_t w1 = 0;
+  set(w1, "twe", 1);
+  set(w1, "maddr", 3);
+  sim.step(w1);
+  EXPECT_EQ(sim.reg("t"), 6);
+  // Cycle 2: P := T * mem[4]
+  uint64_t w2 = 0;
+  set(w2, "pwe", 1);
+  set(w2, "maddr", 4);
+  sim.step(w2);
+  EXPECT_EQ(sim.reg("p"), 42);
+  // Cycle 3: ACC := 0 + P  (asel=1 zero, psel=1, aluop=add, accwe=1)
+  uint64_t w3 = 0;
+  set(w3, "asel", 1);
+  set(w3, "psel", 1);
+  set(w3, "aluop", 1);
+  set(w3, "accwe", 1);
+  sim.step(w3);
+  EXPECT_EQ(sim.reg("acc"), 42);
+}
+
+}  // namespace
+}  // namespace record

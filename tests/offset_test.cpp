@@ -1,0 +1,134 @@
+// Offset assignment (SOA/GOA) unit and property tests.
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <random>
+#include <set>
+
+#include "opt/offset.h"
+
+namespace record {
+namespace {
+
+bool isPermutation(const SlotAssignment& s) {
+  std::set<int> seen(s.begin(), s.end());
+  if (seen.size() != s.size()) return false;
+  return *seen.begin() == 0 &&
+         *seen.rbegin() == static_cast<int>(s.size()) - 1;
+}
+
+AccessSeq randomSeq(int vars, int len, uint32_t seed) {
+  AccessSeq s;
+  s.numVars = vars;
+  std::mt19937 rng(seed);
+  std::uniform_int_distribution<int> pick(0, vars - 1);
+  for (int i = 0; i < len; ++i) s.seq.push_back(pick(rng));
+  return s;
+}
+
+TEST(Soa, CostOfEmptySequence) {
+  AccessSeq s;
+  s.numVars = 4;
+  SlotAssignment id(4);
+  std::iota(id.begin(), id.end(), 0);
+  EXPECT_EQ(soaCost(s, id), 0);
+}
+
+TEST(Soa, AdjacentWalkIsFree) {
+  AccessSeq s;
+  s.numVars = 4;
+  s.seq = {0, 1, 2, 3, 2, 1, 0};
+  SlotAssignment id(4);
+  std::iota(id.begin(), id.end(), 0);
+  EXPECT_EQ(soaCost(s, id), 1);  // only the initial AR load
+}
+
+TEST(Soa, JumpsCostOneEach) {
+  AccessSeq s;
+  s.numVars = 4;
+  s.seq = {0, 2, 0, 3};
+  SlotAssignment id(4);
+  std::iota(id.begin(), id.end(), 0);
+  EXPECT_EQ(soaCost(s, id), 1 + 3);
+}
+
+TEST(Soa, LiaoRecoversChainOrder) {
+  // Access pattern is a chain 2-0-3-1 walked repeatedly: Liao should lay
+  // the variables out in exactly that order (cost = 1).
+  AccessSeq s;
+  s.numVars = 4;
+  s.seq = {2, 0, 3, 1, 3, 0, 2, 0, 3, 1};
+  auto r = soaLiao(s);
+  EXPECT_TRUE(isPermutation(r.slotOf));
+  EXPECT_LE(r.cost, soaNaive(s).cost);
+  auto ex = soaExhaustive(s);
+  EXPECT_EQ(r.cost, ex.cost);
+}
+
+TEST(Soa, RepeatedAccessIsFree) {
+  AccessSeq s;
+  s.numVars = 2;
+  s.seq = {0, 0, 0, 1, 1};
+  SlotAssignment id{0, 1};
+  EXPECT_EQ(soaCost(s, id), 1);
+}
+
+class SoaProperty : public ::testing::TestWithParam<uint32_t> {};
+
+TEST_P(SoaProperty, HeuristicsAreValidAndBeatNaive) {
+  auto s = randomSeq(7, 50, GetParam());
+  auto naive = soaNaive(s);
+  auto liao = soaLiao(s);
+  auto leupers = soaLeupers(s);
+  auto exact = soaExhaustive(s);
+  EXPECT_TRUE(isPermutation(liao.slotOf));
+  EXPECT_TRUE(isPermutation(leupers.slotOf));
+  EXPECT_LE(liao.cost, naive.cost);
+  EXPECT_LE(leupers.cost, naive.cost);
+  EXPECT_LE(exact.cost, liao.cost);
+  EXPECT_LE(exact.cost, leupers.cost);
+  // Consistency: reported cost equals recomputed cost.
+  EXPECT_EQ(liao.cost, soaCost(s, liao.slotOf));
+  EXPECT_EQ(leupers.cost, soaCost(s, leupers.slotOf));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SoaProperty, ::testing::Range(1u, 13u));
+
+TEST(Goa, MoreRegistersNeverHurt) {
+  for (uint32_t seed : {3u, 7u, 11u}) {
+    auto s = randomSeq(10, 60, seed);
+    int64_t prev = goa(s, 1).cost;
+    for (int k = 2; k <= 4; ++k) {
+      int64_t cur = goa(s, k).cost;
+      EXPECT_LE(cur, prev) << "k=" << k << " seed=" << seed;
+      prev = cur;
+    }
+  }
+}
+
+TEST(Goa, SingleRegisterMatchesSoa) {
+  auto s = randomSeq(8, 40, 5);
+  EXPECT_EQ(goa(s, 1).cost, soaLeupers(s).cost);
+}
+
+TEST(Goa, AssignsEveryVariable) {
+  auto s = randomSeq(9, 50, 9);
+  auto g = goa(s, 3);
+  EXPECT_EQ(g.arOf.size(), 9u);
+  EXPECT_TRUE(isPermutation(g.slotOf));
+  for (int ar : g.arOf) {
+    EXPECT_GE(ar, 0);
+    EXPECT_LT(ar, 3);
+  }
+}
+
+TEST(Goa, UnaccessedVariablesGetSlots) {
+  AccessSeq s;
+  s.numVars = 5;
+  s.seq = {0, 1, 0, 1};  // vars 2..4 never accessed
+  auto g = goa(s, 2);
+  EXPECT_TRUE(isPermutation(g.slotOf));
+}
+
+}  // namespace
+}  // namespace record

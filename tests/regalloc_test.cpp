@@ -1,0 +1,70 @@
+#include <gtest/gtest.h>
+
+#include "regalloc/arfile.h"
+#include "regalloc/temps.h"
+
+namespace record {
+namespace {
+
+TEST(TempPool, AllocatesUpwardFromBase) {
+  TempPool pool(50);
+  EXPECT_EQ(pool.alloc(), 50);
+  EXPECT_EQ(pool.alloc(), 51);
+  EXPECT_EQ(pool.highWater(), 2);
+}
+
+TEST(TempPool, RecyclesFreedSlots) {
+  TempPool pool(10);
+  int a = pool.alloc();
+  int b = pool.alloc();
+  pool.free(a);
+  EXPECT_EQ(pool.alloc(), a);
+  EXPECT_EQ(pool.highWater(), 2);
+  pool.free(b);
+  EXPECT_EQ(pool.live(), 1);
+}
+
+TEST(TempPool, HighWaterTracksPeak) {
+  TempPool pool(0);
+  int x = pool.alloc();
+  pool.alloc();
+  pool.alloc();
+  pool.free(x);
+  pool.alloc();
+  EXPECT_EQ(pool.highWater(), 3);
+}
+
+TEST(ArFile, ReservesScratchRegister) {
+  ArFile ars(4);
+  EXPECT_EQ(ars.scratch(), 3);
+  EXPECT_EQ(ars.available(), 3);
+  // Allocation never hands out the scratch register.
+  for (int i = 0; i < 3; ++i) {
+    auto a = ars.alloc();
+    ASSERT_TRUE(a.has_value());
+    EXPECT_NE(*a, ars.scratch());
+  }
+  EXPECT_FALSE(ars.alloc().has_value());
+}
+
+TEST(ArFile, SingleRegisterCoreHasOnlyScratch) {
+  ArFile ars(1);
+  EXPECT_EQ(ars.scratch(), 0);
+  EXPECT_FALSE(ars.alloc().has_value());
+  EXPECT_EQ(ars.available(), 0);
+}
+
+TEST(ArFile, FreeMakesRegisterAvailableAgain) {
+  ArFile ars(3);
+  auto a = ars.alloc();
+  auto b = ars.alloc();
+  ASSERT_TRUE(a && b);
+  EXPECT_FALSE(ars.alloc().has_value());
+  ars.free(*a);
+  auto c = ars.alloc();
+  ASSERT_TRUE(c.has_value());
+  EXPECT_EQ(*c, *a);
+}
+
+}  // namespace
+}  // namespace record

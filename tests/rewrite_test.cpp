@@ -1,0 +1,192 @@
+// Algebraic rewrite engine tests: each rule fires where expected, the
+// enumeration deduplicates and respects its budget, and -- the key property
+// -- every enumerated variant evaluates to the same value as the original
+// under the golden-model semantics.
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "ir/interp.h"
+#include "rewrite/enumerate.h"
+
+namespace record {
+namespace {
+
+class RewriteTest : public ::testing::Test {
+ protected:
+  SymbolTable table;
+  Symbol* a = table.define({"a", SymKind::Input, Type::Fix, 0, 0, 0});
+  Symbol* b = table.define({"b", SymKind::Input, Type::Fix, 0, 0, 0});
+  Symbol* c = table.define({"c", SymKind::Input, Type::Fix, 0, 0, 0});
+
+  bool containsVariant(const std::vector<ExprPtr>& vs, const char* s) {
+    for (const auto& v : vs)
+      if (v->str() == s) return true;
+    return false;
+  }
+};
+
+TEST_F(RewriteTest, Commutativity) {
+  auto e = Expr::binary(Op::Add, Expr::ref(a), Expr::ref(b));
+  auto tops = rewriteTop(e);
+  ASSERT_FALSE(tops.empty());
+  EXPECT_EQ(tops[0]->str(), "(add b a)");
+}
+
+TEST_F(RewriteTest, NoCommuteForSub) {
+  auto e = Expr::binary(Op::Sub, Expr::ref(a), Expr::ref(b));
+  for (const auto& v : rewriteTop(e)) EXPECT_NE(v->str(), "(sub b a)");
+}
+
+TEST_F(RewriteTest, AssociativityBothDirections) {
+  auto left = Expr::binary(
+      Op::Add, Expr::binary(Op::Add, Expr::ref(a), Expr::ref(b)),
+      Expr::ref(c));
+  EXPECT_TRUE(containsVariant(rewriteTop(left), "(add a (add b c))"));
+  auto right = Expr::binary(
+      Op::Add, Expr::ref(a),
+      Expr::binary(Op::Add, Expr::ref(b), Expr::ref(c)));
+  EXPECT_TRUE(containsVariant(rewriteTop(right), "(add (add a b) c)"));
+}
+
+TEST_F(RewriteTest, SaturatingAddIsNotReassociated) {
+  auto e = Expr::binary(
+      Op::SatAdd, Expr::binary(Op::SatAdd, Expr::ref(a), Expr::ref(b)),
+      Expr::ref(c));
+  for (const auto& v : rewriteTop(e))
+    EXPECT_EQ(v->op, Op::SatAdd);  // only commuted forms
+  EXPECT_TRUE(containsVariant(rewriteTop(e), "(sadd c (sadd a b))"));
+}
+
+TEST_F(RewriteTest, NeutralElements) {
+  EXPECT_TRUE(containsVariant(
+      rewriteTop(Expr::binary(Op::Add, Expr::ref(a), Expr::constant(0))),
+      "a"));
+  EXPECT_TRUE(containsVariant(
+      rewriteTop(Expr::binary(Op::Mul, Expr::ref(a), Expr::constant(1))),
+      "a"));
+  EXPECT_TRUE(containsVariant(
+      rewriteTop(Expr::binary(Op::Mul, Expr::ref(a), Expr::constant(0))),
+      "0"));
+}
+
+TEST_F(RewriteTest, DoubleNegation) {
+  auto e = Expr::unary(Op::Neg, Expr::unary(Op::Neg, Expr::ref(a)));
+  EXPECT_TRUE(containsVariant(rewriteTop(e), "a"));
+}
+
+TEST_F(RewriteTest, AddOfNegationBecomesSub) {
+  auto e = Expr::binary(Op::Add, Expr::ref(a),
+                        Expr::unary(Op::Neg, Expr::ref(b)));
+  EXPECT_TRUE(containsVariant(rewriteTop(e), "(sub a b)"));
+}
+
+TEST_F(RewriteTest, StrengthExchangeBothWays) {
+  auto mul = Expr::binary(Op::Mul, Expr::ref(a), Expr::constant(8));
+  EXPECT_TRUE(containsVariant(rewriteTop(mul), "(shl a 3)"));
+  auto shl = Expr::binary(Op::Shl, Expr::ref(a), Expr::constant(3));
+  EXPECT_TRUE(containsVariant(rewriteTop(shl), "(mul a 8)"));
+}
+
+TEST_F(RewriteTest, Factoring) {
+  auto e = Expr::binary(
+      Op::Add, Expr::binary(Op::Mul, Expr::ref(a), Expr::ref(c)),
+      Expr::binary(Op::Mul, Expr::ref(b), Expr::ref(c)));
+  EXPECT_TRUE(containsVariant(rewriteTop(e), "(mul (add a b) c)"));
+}
+
+TEST_F(RewriteTest, NoConstantFolding) {
+  // RECORD does not fold constants (§4.3.5): 2+3 must stay an add.
+  auto e = Expr::binary(Op::Add, Expr::constant(2), Expr::constant(3));
+  for (const auto& v : rewriteTop(e)) EXPECT_NE(v->str(), "5");
+}
+
+TEST_F(RewriteTest, EnumerationRespectsBudget) {
+  auto e = Expr::binary(
+      Op::Add, Expr::binary(Op::Add, Expr::ref(a), Expr::ref(b)),
+      Expr::binary(Op::Add, Expr::ref(c), Expr::ref(a)));
+  for (int budget : {1, 4, 16}) {
+    auto vs = enumerateVariants(e, budget);
+    EXPECT_LE(static_cast<int>(vs.size()), budget);
+    EXPECT_EQ(vs[0].get(), e.get());  // original always first
+  }
+}
+
+TEST_F(RewriteTest, EnumerationDeduplicates) {
+  auto e = Expr::binary(Op::Add, Expr::ref(a), Expr::ref(b));
+  auto vs = enumerateVariants(e, 64);
+  // a+b has exactly one distinct neighbour (b+a).
+  EXPECT_EQ(vs.size(), 2u);
+}
+
+TEST_F(RewriteTest, VariantsReachNestedSites) {
+  auto e = Expr::binary(
+      Op::Add, Expr::ref(c),
+      Expr::binary(Op::Mul, Expr::ref(a), Expr::constant(4)));
+  auto vs = enumerateVariants(e, 64);
+  EXPECT_TRUE(containsVariant(vs, "(add c (shl a 2))"));
+}
+
+// Property: every enumerated variant is value-equivalent to the original.
+class RewriteEquivalence : public RewriteTest,
+                           public ::testing::WithParamInterface<uint32_t> {};
+
+TEST_P(RewriteEquivalence, AllVariantsEvaluateEqual) {
+  std::mt19937 rng(GetParam());
+  auto pickLeaf = [&]() -> ExprPtr {
+    switch (rng() % 4) {
+      case 0: return Expr::ref(a);
+      case 1: return Expr::ref(b);
+      case 2: return Expr::ref(c);
+      default:
+        return Expr::constant(static_cast<int64_t>(rng() % 17) - 8);
+    }
+  };
+  std::function<ExprPtr(int)> gen = [&](int depth) -> ExprPtr {
+    if (depth == 0 || rng() % 3 == 0) return pickLeaf();
+    switch (rng() % 6) {
+      case 0: return Expr::binary(Op::Add, gen(depth - 1), gen(depth - 1));
+      case 1: return Expr::binary(Op::Sub, gen(depth - 1), gen(depth - 1));
+      case 2: return Expr::binary(Op::Mul, gen(depth - 1), gen(depth - 1));
+      case 3: return Expr::unary(Op::Neg, gen(depth - 1));
+      case 4:
+        return Expr::binary(Op::SatAdd, gen(depth - 1), gen(depth - 1));
+      default:
+        return Expr::binary(Op::Shl, gen(depth - 1),
+                            Expr::constant(1 + rng() % 3));
+    }
+  };
+
+  // Evaluate expressions over fixed leaf values with golden semantics.
+  std::function<int64_t(const ExprPtr&)> eval =
+      [&](const ExprPtr& e) -> int64_t {
+    switch (e->op) {
+      case Op::Const: return e->value;
+      case Op::Ref:
+        return e->sym == a ? 13 : e->sym == b ? -7 : 21;
+      case Op::Add: return wrap32(eval(e->kids[0]) + eval(e->kids[1]));
+      case Op::Sub: return wrap32(eval(e->kids[0]) - eval(e->kids[1]));
+      case Op::Mul: return wrap32(eval(e->kids[0]) * eval(e->kids[1]));
+      case Op::Neg: return wrap32(-eval(e->kids[0]));
+      case Op::SatAdd: return sat32(eval(e->kids[0]) + eval(e->kids[1]));
+      case Op::Shl:
+        return wrap32(eval(e->kids[0]) << (eval(e->kids[1]) & 31));
+      default: return 0;
+    }
+  };
+
+  for (int t = 0; t < 10; ++t) {
+    auto tree = gen(3);
+    int64_t want = eval(tree);
+    for (const auto& v : enumerateVariants(tree, 48)) {
+      EXPECT_EQ(eval(v), want)
+          << "original: " << tree->str() << "\nvariant:  " << v->str();
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RewriteEquivalence,
+                         ::testing::Range(1u, 9u));
+
+}  // namespace
+}  // namespace record

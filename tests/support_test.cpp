@@ -1,0 +1,75 @@
+#include <gtest/gtest.h>
+
+#include "support/diag.h"
+#include "support/strings.h"
+
+namespace record {
+namespace {
+
+TEST(Strings, SplitKeepsEmptyFields) {
+  auto v = split("a,,b", ',');
+  ASSERT_EQ(v.size(), 3u);
+  EXPECT_EQ(v[0], "a");
+  EXPECT_EQ(v[1], "");
+  EXPECT_EQ(v[2], "b");
+}
+
+TEST(Strings, SplitSingle) {
+  auto v = split("abc", ',');
+  ASSERT_EQ(v.size(), 1u);
+  EXPECT_EQ(v[0], "abc");
+}
+
+TEST(Strings, TrimBothEnds) {
+  EXPECT_EQ(trim("  x \t\n"), "x");
+  EXPECT_EQ(trim(""), "");
+  EXPECT_EQ(trim("   "), "");
+  EXPECT_EQ(trim("a b"), "a b");
+}
+
+TEST(Strings, StartsWith) {
+  EXPECT_TRUE(startsWith("hello", "he"));
+  EXPECT_FALSE(startsWith("he", "hello"));
+  EXPECT_TRUE(startsWith("x", ""));
+}
+
+TEST(Strings, Formatv) {
+  EXPECT_EQ(formatv("%d-%s", 42, "x"), "42-x");
+  EXPECT_EQ(formatv("%5.1f", 3.25), "  3.2");
+}
+
+TEST(Strings, Pad) {
+  EXPECT_EQ(padLeft("ab", 4), "  ab");
+  EXPECT_EQ(padRight("ab", 4), "ab  ");
+  EXPECT_EQ(padLeft("abcde", 4), "abcde");
+}
+
+TEST(Diag, CollectsAndCounts) {
+  DiagEngine d;
+  EXPECT_FALSE(d.hasErrors());
+  d.warning({1, 2}, "careful");
+  EXPECT_FALSE(d.hasErrors());
+  d.error({3, 4}, "boom");
+  d.note({3, 5}, "context");
+  EXPECT_TRUE(d.hasErrors());
+  EXPECT_EQ(d.errorCount(), 1);
+  EXPECT_EQ(d.all().size(), 3u);
+  EXPECT_NE(d.str().find("3:4: error: boom"), std::string::npos);
+}
+
+TEST(Diag, ClearResets) {
+  DiagEngine d;
+  d.error({1, 1}, "x");
+  d.clear();
+  EXPECT_FALSE(d.hasErrors());
+  EXPECT_TRUE(d.str().empty());
+}
+
+TEST(Diag, UnknownLocation) {
+  SourceLoc loc;
+  EXPECT_FALSE(loc.valid());
+  EXPECT_EQ(loc.str(), "<unknown>");
+}
+
+}  // namespace
+}  // namespace record
