@@ -27,14 +27,26 @@ CodegenBinder::CodegenBinder(DataLayout& layout, const TargetConfig& cfg,
     : layout_(layout), cfg_(cfg), ars_(ars) {}
 
 void CodegenBinder::addSyntheticAddr(const Symbol* s, int addr) {
-  synthetic_[s] = addr;
+  // Binding a brand-new symbol cannot change any cached leafCost() answer
+  // (no expression node referring to it can predate the symbol), so the
+  // label memo stays valid. Only a re-bind to a different address -- which
+  // the pipeline never does -- would invalidate it.
+  auto [it, inserted] = synthetic_.emplace(s, addr);
+  if (!inserted && it->second != addr) {
+    it->second = addr;
+    ++sig_;
+  }
 }
 
 void CodegenBinder::setStream(const Symbol* s, StreamInfo info) {
   streams_[s] = info;
+  ++sig_;
 }
 
-void CodegenBinder::clearStream(const Symbol* s) { streams_.erase(s); }
+void CodegenBinder::clearStream(const Symbol* s) {
+  streams_.erase(s);
+  ++sig_;
+}
 
 void CodegenBinder::beginStatement() { stmtTemps_.clear(); }
 

@@ -47,6 +47,7 @@ class CodegenBinder : public OperandBinder {
                bool isStoreDest) override;
   int allocTemp() override;
   void freeTemp(int addr) override;
+  uint64_t stateSignature() const override { return sig_; }
 
   /// Resolve the base data address of any symbol (program or synthetic).
   int addrFor(const Symbol* s) const;
@@ -62,6 +63,9 @@ class CodegenBinder : public OperandBinder {
   std::map<const Symbol*, int> synthetic_;
   std::map<const Symbol*, StreamInfo> streams_;
   std::vector<int> stmtTemps_;
+  /// Bumped whenever synthetic_/streams_ change; leafCost answers (and so
+  /// the matcher's label memo) are valid only within one signature value.
+  uint64_t sig_ = 0;
 };
 
 }  // namespace record

@@ -1,17 +1,44 @@
 #include "codegen/pipeline.h"
 
+#include <algorithm>
+#include <atomic>
 #include <cassert>
+#include <chrono>
+#include <cstdio>
+#include <limits>
 #include <map>
+#include <mutex>
+#include <numeric>
 #include <stdexcept>
+#include <thread>
 #include <tuple>
 
 #include "codegen/binder.h"
 #include "codegen/layout.h"
+#include "ir/interner.h"
 #include "regalloc/arfile.h"
 #include "rewrite/enumerate.h"
+#include "support/threadpool.h"
 #include "target/tdsp.h"
 
 namespace record {
+
+/// Fast-path state a RecordCompiler keeps alive across compiles: the
+/// hash-consing arena and the rewrite-neighbor cache keyed on its canonical
+/// pointers. Rewriting is purely structural, so entries stay valid for the
+/// arena's (= this object's) whole lifetime.
+struct FastPathState {
+  /// Synthetic symbols canonicalized by name. The emitter names synthetics
+  /// deterministically, so reusing one Symbol object per name keeps
+  /// canonical trees (which hold raw Symbol pointers) valid and equal
+  /// across compiles -- and prevents a freed per-compile symbol's address
+  /// from aliasing a new one inside the long-lived intern table. Declared
+  /// before the interner: members are destroyed in reverse order, so every
+  /// canonical tree dies before the symbols it points to.
+  std::unordered_map<std::string, std::unique_ptr<Symbol>> synths;
+  ExprInterner interner;
+  RewriteCache rewrite{interner};
+};
 
 namespace {
 
@@ -102,24 +129,58 @@ struct StreamGroup {
   Symbol* streamSym = nullptr;
 };
 
+using Clock = std::chrono::steady_clock;
+
+double msSince(Clock::time_point from) {
+  return std::chrono::duration<double, std::milli>(Clock::now() - from)
+      .count();
+}
+
 class Emitter {
  public:
   Emitter(const TargetConfig& cfg, const CodegenOptions& opt,
           const RuleSet& rules, const Program& prog,
-          const BankAssignment* banks)
+          const BankAssignment* banks, FastPathState* fast)
       : cfg_(cfg),
         opt_(opt),
         matcher_(rules, opt.cost),
         layout_(prog, cfg, banks),
         arfile_(cfg.numAddrRegs),
         binder_(layout_, cfg, arfile_),
-        prog_(prog) {}
+        prog_(prog) {
+    if (fast) {
+      fast_ = fast;
+      interner_ = &fast->interner;
+      rcache_ = &fast->rewrite;
+    }
+    // The label memo keys on node pointers, so it is only sound with the
+    // interner keeping canonical nodes alive.
+    const bool memoOn = opt.memoLabels && interner_ != nullptr;
+    if (memoOn) matcher_.enableMemo(true);
+    matchers_.push_back(&matcher_);
+    int want = opt.searchThreads;
+    if (want <= 0)
+      want = static_cast<int>(std::thread::hardware_concurrency());
+    if (want > 1) {
+      pool_ = &ThreadPool::shared();
+      want = std::min(want, pool_->size() + 1);  // the caller searches too
+    }
+    threads_ = std::max(1, want);
+    if (threads_ <= 1) pool_ = nullptr;
+    for (int i = 1; i < threads_; ++i) {
+      extraMatchers_.push_back(
+          std::make_unique<BursMatcher>(rules, opt.cost));
+      if (memoOn) extraMatchers_.back()->enableMemo(true);
+      matchers_.push_back(extraMatchers_.back().get());
+    }
+  }
 
   CompileResult run() {
     emitStmts(prog_.body);
     emitDelayShifts();
     appendRaw(Opcode::HALT, Operand::none(), Operand::none());
 
+    auto tLate = Clock::now();
     auto mcode = std::move(code_);
     if (opt_.accPromote)
       mcode = promoteAccumulators(
@@ -132,6 +193,16 @@ class Emitter {
                                   opt_.cost == CostKind::Cycles,
                                   &stats_.loops);
     if (opt_.peephole) icode = peephole(icode, cfg_, &stats_.peep);
+    stats_.msLate += msSince(tLate);
+
+    for (const BursMatcher* m : matchers_) {
+      stats_.memoHits += m->memoHits();
+      stats_.memoMisses += m->memoMisses();
+    }
+    if (interner_) {
+      stats_.internedNodes = static_cast<int64_t>(interner_->size());
+      stats_.internHits = interner_->hits();
+    }
 
     CompileResult res;
     res.prog.config = cfg_;
@@ -171,6 +242,22 @@ class Emitter {
   }
 
   Symbol* newSynth(const std::string& name, Type type = Type::Fix) {
+    // With the fast path on, synthetics come from the compiler-lifetime
+    // registry (see FastPathState::synths): names are deterministic, every
+    // synthetic is a Var, and per-compile maps (layout, binder) are fresh,
+    // so sharing one object per name across compiles is observationally
+    // identical -- and required for interned trees that outlive this
+    // Emitter.
+    if (fast_) {
+      auto& slot = fast_->synths[name];
+      if (!slot) {
+        slot = std::make_unique<Symbol>();
+        slot->name = name;
+        slot->kind = SymKind::Var;
+        slot->type = type;
+      }
+      return slot.get();
+    }
     auto s = std::make_unique<Symbol>();
     s->name = name;
     s->kind = SymKind::Var;
@@ -208,30 +295,92 @@ class Emitter {
   }
 
   // ---- statement selection -------------------------------------------------
+  //
+  // The fast path preserves the sequential semantics exactly: the winner is
+  // the variant with the smallest cover cost, ties broken by enumeration
+  // order. Heuristic processing order, branch-and-bound pruning, and the
+  // parallel slice search can therefore never change which cover is emitted
+  // (a pruned variant is provably strictly worse than the running bound).
   void selectAndEmit(const ExprPtr& storeTree) {
+    auto tRewrite = Clock::now();
+    ExprPtr root = interner_ ? interner_->intern(storeTree) : storeTree;
     std::vector<ExprPtr> variants =
         opt_.rewriteBudget > 1
-            ? enumerateVariants(storeTree, opt_.rewriteBudget)
-            : std::vector<ExprPtr>{storeTree};
-    int bestCost = -1;
+            ? enumerateVariants(root, opt_.rewriteBudget, interner_, rcache_)
+            : std::vector<ExprPtr>{root};
+    stats_.msRewrite += msSince(tRewrite);
+
+    auto tSearch = Clock::now();
+    const int n = static_cast<int>(variants.size());
+    constexpr int kNone = std::numeric_limits<int>::max();
+
+    // Cheap search-order heuristic: smaller trees usually cover cheaper, so
+    // costing them first tightens the pruning bound early.
+    std::vector<int> order(static_cast<size_t>(n));
+    std::iota(order.begin(), order.end(), 0);
+    if (opt_.pruneSearch && n > 1) {
+      std::vector<int> sizes(static_cast<size_t>(n));
+      for (int i = 0; i < n; ++i)
+        sizes[static_cast<size_t>(i)] = variants[static_cast<size_t>(i)]->numNodes();
+      std::stable_sort(order.begin(), order.end(), [&](int a, int b) {
+        return sizes[static_cast<size_t>(a)] < sizes[static_cast<size_t>(b)];
+      });
+    }
+
+    std::vector<int> costs(static_cast<size_t>(n), kNone);
+    std::atomic<int> bound{kNone};  // best complete cover cost so far
+    std::atomic<int> pruned{0};
+    const int stride = (pool_ && n >= 8) ? threads_ : 1;
+
+    auto searchSlice = [&](int w) {
+      BursMatcher& m = *matchers_[static_cast<size_t>(w)];
+      for (int j = w; j < n; j += stride) {
+        int i = order[static_cast<size_t>(j)];
+        int limit = opt_.pruneSearch
+                        ? bound.load(std::memory_order_relaxed)
+                        : kNone;
+        auto out = m.matchCostBounded(variants[static_cast<size_t>(i)],
+                                      Nonterm::Stmt, binder_, limit);
+        if (out.pruned) {
+          pruned.fetch_add(1, std::memory_order_relaxed);
+          continue;
+        }
+        if (!out.cost) continue;
+        costs[static_cast<size_t>(i)] = *out.cost;
+        int cur = bound.load(std::memory_order_relaxed);
+        while (*out.cost < cur &&
+               !bound.compare_exchange_weak(cur, *out.cost,
+                                            std::memory_order_relaxed)) {
+        }
+      }
+    };
+    if (stride > 1)
+      pool_->parallelFor(stride, searchSlice);
+    else
+      searchSlice(0);
+
+    int bestCost = kNone;
     size_t bestIdx = 0;
-    for (size_t i = 0; i < variants.size(); ++i) {
-      auto c = matcher_.matchCost(variants[i], Nonterm::Stmt, binder_);
-      if (!c) continue;
-      if (bestCost < 0 || *c < bestCost) {
-        bestCost = *c;
-        bestIdx = i;
+    for (int i = 0; i < n; ++i) {
+      if (costs[static_cast<size_t>(i)] < bestCost) {
+        bestCost = costs[static_cast<size_t>(i)];
+        bestIdx = static_cast<size_t>(i);
       }
     }
-    if (bestCost < 0)
+    stats_.msSearch += msSince(tSearch);
+    if (bestCost == kNone)
       throw std::runtime_error("no instruction cover for: " +
                                storeTree->str() + " on " + cfg_.describe());
-    stats_.variantsTried += static_cast<int>(variants.size());
+    stats_.variantsTried += n;
+    stats_.variantsPruned += pruned.load(std::memory_order_relaxed);
+
+    auto tReduce = Clock::now();
     auto res = matcher_.reduce(variants[bestIdx], Nonterm::Stmt, binder_);
     assert(res.ok);
     stats_.patternsUsed += res.patternsUsed;
     for (auto& mi : res.code) append(std::move(mi));
     ++stats_.statements;
+    stats_.msReduce += msSince(tReduce);
   }
 
   /// Is `e` usable directly as a mem/imm leaf *without* setup code (i.e.
@@ -250,8 +399,11 @@ class Emitter {
   ExprPtr hoistIndexes(const ExprPtr& e) {
     if (opIsLeaf(e->op)) return e;
     std::vector<ExprPtr> kids;
-    for (const auto& k : e->kids) kids.push_back(hoistIndexes(k));
-    ExprPtr out;
+    bool changed = false;
+    for (const auto& k : e->kids) {
+      kids.push_back(hoistIndexes(k));
+      changed |= kids.back().get() != k.get();
+    }
     if (e->op == Op::ArrayRef) {
       ExprPtr idx = kids[0];
       bool simpleIdx =
@@ -263,14 +415,14 @@ class Emitter {
         selectAndEmit(
             Expr::binary(Op::Store, Expr::ref(t), idx));
         idx = Expr::ref(t);
+        changed = true;
       }
-      out = Expr::arrayRef(e->sym, idx);
-    } else if (kids.size() == 1) {
-      out = Expr::unary(e->op, kids[0]);
-    } else {
-      out = Expr::binary(e->op, kids[0], kids[1]);
+      if (!changed) return e;  // untouched trees keep their identity
+      return Expr::arrayRef(e->sym, idx);
     }
-    return out;
+    if (!changed) return e;
+    if (kids.size() == 1) return Expr::unary(e->op, kids[0]);
+    return Expr::binary(e->op, kids[0], kids[1]);
   }
 
   /// Software multiplication for cores without a multiplier: replaces every
@@ -278,12 +430,17 @@ class Emitter {
   ExprPtr legalizeMuls(const ExprPtr& e) {
     if (opIsLeaf(e->op)) return e;
     std::vector<ExprPtr> kids;
-    for (const auto& k : e->kids) kids.push_back(legalizeMuls(k));
+    bool changed = false;
+    for (const auto& k : e->kids) {
+      kids.push_back(legalizeMuls(k));
+      changed |= kids.back().get() != k.get();
+    }
     if (e->op == Op::Mul) {
       Symbol* res = newSynthVar("$mul" + std::to_string(synthN_++));
       emitSoftMul(kids[0], kids[1], res);
       return Expr::ref(res);
     }
+    if (!changed) return e;
     if (e->op == Op::ArrayRef) return Expr::arrayRef(e->sym, kids[0]);
     if (kids.size() == 1) return Expr::unary(e->op, kids[0]);
     return Expr::binary(e->op, kids[0], kids[1]);
@@ -654,6 +811,15 @@ class Emitter {
   ArFile arfile_;
   CodegenBinder binder_;
   const Program& prog_;
+  // Fast path: hash-consing arena, per-worker matchers (each with its own
+  // label memo), and the shared search pool.
+  FastPathState* fast_ = nullptr;  // owned by the compiler; null = flags off
+  ExprInterner* interner_ = nullptr;  // alias into fast_
+  RewriteCache* rcache_ = nullptr;    // alias into fast_
+  std::vector<BursMatcher*> matchers_;  // [0] == &matcher_
+  std::vector<std::unique_ptr<BursMatcher>> extraMatchers_;
+  ThreadPool* pool_ = nullptr;
+  int threads_ = 1;
   std::vector<std::unique_ptr<Symbol>> synths_;
   std::vector<MInstr> code_;
   std::string pendingLabel_;
@@ -664,11 +830,37 @@ class Emitter {
 
 }  // namespace
 
+namespace {
+
+/// Process-wide cache of built-in rule sets: building one is identical for
+/// identical configs, so compilers can share an immutable instance instead
+/// of re-deriving ~70 rules per construction.
+std::shared_ptr<const RuleSet> cachedTdspRules(const TargetConfig& cfg) {
+  static std::mutex mu;
+  static std::map<std::string, std::shared_ptr<const RuleSet>> cache;
+  char key[96];
+  std::snprintf(key, sizeof key, "%d%d%d%d%d|%d|%d|%d", cfg.hasMac,
+                cfg.hasDualMul, cfg.hasSat, cfg.hasRpt, cfg.hasDmov,
+                cfg.memBanks, cfg.dataWords, cfg.numAddrRegs);
+  std::lock_guard<std::mutex> lock(mu);
+  auto& slot = cache[key];
+  if (!slot) slot = std::make_shared<const RuleSet>(buildTdspRules(cfg));
+  return slot;
+}
+
+}  // namespace
+
 RecordCompiler::RecordCompiler(TargetConfig cfg, CodegenOptions opt)
-    : cfg_(std::move(cfg)), opt_(opt), rules_(buildTdspRules(cfg_)) {}
+    : cfg_(std::move(cfg)),
+      opt_(opt),
+      rules_(opt.cacheRules
+                 ? cachedTdspRules(cfg_)
+                 : std::make_shared<const RuleSet>(buildTdspRules(cfg_))) {}
 
 RecordCompiler::RecordCompiler(RuleSet rules, CodegenOptions opt)
-    : cfg_(rules.config), opt_(opt), rules_(std::move(rules)) {}
+    : cfg_(rules.config),
+      opt_(opt),
+      rules_(std::make_shared<const RuleSet>(std::move(rules))) {}
 
 CompileResult RecordCompiler::compile(const Program& prog) const {
   if (!cfg_.hasSat && programUsesSat(prog.body))
@@ -681,7 +873,9 @@ CompileResult RecordCompiler::compile(const Program& prog) const {
     banks = assignBanks(collectMulPairs(prog));
     banksPtr = &banks;
   }
-  Emitter em(cfg_, opt_, rules_, prog, banksPtr);
+  if (opt_.internExprs && !fast_) fast_ = std::make_shared<FastPathState>();
+  Emitter em(cfg_, opt_, *rules_, prog, banksPtr,
+             opt_.internExprs ? fast_.get() : nullptr);
   return em.run();
 }
 

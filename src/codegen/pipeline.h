@@ -49,6 +49,21 @@ struct CodegenOptions {
   bool memBankOpt = true;       // dual-bank variable assignment
   bool loopTransforms = true;   // RPT conversion / MAC pipelining
   bool peephole = true;
+
+  // -- compile-throughput fast path -----------------------------------------
+  // All five switches are semantics-preserving: the emitted TargetProgram is
+  // byte-identical whatever their settings (asserted by the determinism
+  // test). They only change how fast the variant search runs.
+  bool internExprs = true;   // hash-cons rewrite variants (exact dedup) and
+                             // cache per-subtree rewrite neighbors, shared
+                             // across every compile() of this compiler
+  bool memoLabels = true;    // reuse BURS labels across variants/statements
+  bool pruneSearch = true;   // branch-and-bound the variant-cost search
+  bool cacheRules = true;    // share built-in rule sets across compilers
+                             // (per-config process cache)
+  /// Worker threads for the per-statement variant search: 0 = one per
+  /// hardware thread (shared process pool), 1 = sequential.
+  int searchThreads = 0;
 };
 
 struct CompileStats {
@@ -61,12 +76,28 @@ struct CompileStats {
   CompactStats compacted;
   LoopTransStats loops;
   PeepholeStats peep;
+
+  // -- fast-path instrumentation --------------------------------------------
+  int variantsPruned = 0;       // variant labelings cut off by branch-&-bound
+  int64_t memoHits = 0;         // BURS label-memo node lookups served
+  int64_t memoMisses = 0;       // ... and freshly labeled
+  int64_t internedNodes = 0;    // distinct expression nodes in the arena
+  int64_t internHits = 0;       // node visits deduplicated by the arena
+  // Wall-clock per phase, milliseconds.
+  double msRewrite = 0;         // variant enumeration (incl. interning)
+  double msSearch = 0;          // variant cost search (label/memo/prune)
+  double msReduce = 0;          // winning-cover reduction + emission
+  double msLate = 0;            // post-selection passes (modes, compaction…)
 };
 
 struct CompileResult {
   TargetProgram prog;
   CompileStats stats;
 };
+
+/// Expression arena + rewrite-neighbor cache kept alive across compiles of
+/// one RecordCompiler (defined in pipeline.cpp).
+struct FastPathState;
 
 class RecordCompiler {
  public:
@@ -79,16 +110,22 @@ class RecordCompiler {
 
   /// Compile a lowered DFL program. Throws std::runtime_error on
   /// target-capability violations (e.g. saturating ops without hasSat).
+  /// With internExprs on, consecutive compiles share the expression arena
+  /// and rewrite cache (a compile-server pattern); concurrent compile()
+  /// calls on ONE compiler are then not supported -- use one compiler per
+  /// thread -- and compiled programs must outlive the compiler (the arena
+  /// keys on their Symbol addresses).
   CompileResult compile(const Program& prog) const;
 
   const TargetConfig& config() const { return cfg_; }
   const CodegenOptions& options() const { return opt_; }
-  const RuleSet& rules() const { return rules_; }
+  const RuleSet& rules() const { return *rules_; }
 
  private:
   TargetConfig cfg_;
   CodegenOptions opt_;
-  RuleSet rules_;
+  std::shared_ptr<const RuleSet> rules_;
+  mutable std::shared_ptr<FastPathState> fast_;
 };
 
 }  // namespace record

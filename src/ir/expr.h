@@ -56,6 +56,12 @@ struct Expr {
 
   Type type = Type::Fix;
 
+  // Hash-consing tag (see ir/interner.h): the interner that canonicalized
+  // this node, and its dense ID there. Owned by the interner; everyone else
+  // treats these as opaque.
+  mutable const void* internOwner = nullptr;
+  mutable uint32_t internId = 0;
+
   // --- factories -----------------------------------------------------------
   static ExprPtr constant(int64_t v, Type t = Type::Fix);
   static ExprPtr ref(const Symbol* s, int delay = 0);

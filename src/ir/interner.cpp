@@ -1,0 +1,77 @@
+#include "ir/interner.h"
+
+namespace record {
+
+uint64_t ExprInterner::shapeHash(const Expr& e) {
+  uint64_t h = 0x9e3779b97f4a7c15ull;
+  auto mix = [&h](uint64_t v) {
+    h ^= v + 0x9e3779b97f4a7c15ull + (h << 6) + (h >> 2);
+  };
+  mix(static_cast<uint64_t>(e.op));
+  mix(static_cast<uint64_t>(e.type));
+  mix(static_cast<uint64_t>(e.value));
+  mix(reinterpret_cast<uintptr_t>(e.sym));
+  // Kid identity: kids are canonical by the time a node is hashed.
+  for (const auto& k : e.kids) mix(reinterpret_cast<uintptr_t>(k.get()));
+  return h;
+}
+
+ExprPtr ExprInterner::intern(const ExprPtr& e) {
+  // An already-canonical node needs no rebuild (fast path for the common
+  // case of re-interning shared spines).
+  if (e->internOwner == this) {
+    ++hits_;
+    return e;
+  }
+  std::vector<ExprPtr> kids;
+  kids.reserve(e->kids.size());
+  for (const auto& k : e->kids) kids.push_back(intern(k));
+  return internNode(e, std::move(kids));
+}
+
+ExprPtr ExprInterner::internNode(const ExprPtr& e, std::vector<ExprPtr> kids) {
+  // Probe with the canonical kids in place. `e` may still hold the
+  // un-interned originals, so compare against the canonical `kids` vector.
+  Expr probe;
+  probe.op = e->op;
+  probe.type = e->type;
+  probe.value = e->value;
+  probe.sym = e->sym;
+  probe.kids = std::move(kids);
+  uint64_t h = shapeHash(probe);
+
+  auto& bucket = table_[h];
+  for (const ExprPtr& cand : bucket) {
+    if (cand->op != probe.op || cand->type != probe.type ||
+        cand->value != probe.value || cand->sym != probe.sym ||
+        cand->kids.size() != probe.kids.size())
+      continue;
+    bool same = true;
+    for (size_t i = 0; i < probe.kids.size(); ++i)
+      same &= cand->kids[i].get() == probe.kids[i].get();
+    if (same) {
+      ++hits_;
+      return cand;
+    }
+  }
+
+  // Reuse `e` itself as the representative when its kids were already
+  // canonical; otherwise rebuild with the canonical kids.
+  bool kidsCanonical = true;
+  for (size_t i = 0; i < probe.kids.size(); ++i)
+    kidsCanonical &= probe.kids[i].get() == e->kids[i].get();
+  ExprPtr canon = e;
+  if (!kidsCanonical) {
+    auto n = std::make_shared<Expr>(*e);
+    n->kids = std::move(probe.kids);
+    canon = n;
+  }
+
+  canon->internOwner = this;
+  canon->internId = static_cast<uint32_t>(nodes_.size());
+  nodes_.push_back(canon);
+  bucket.push_back(canon);
+  return canon;
+}
+
+}  // namespace record

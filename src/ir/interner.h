@@ -1,0 +1,75 @@
+// Hash-consing arena for expression trees.
+//
+// The rewrite engine enumerates up to `rewriteBudget` algebraic variants of
+// every statement, and those variants share almost all of their subtrees --
+// each rewrite step rebuilds only one spine. Interning maps every
+// structurally distinct subtree to one canonical ExprPtr, so
+//
+//   * structural equality becomes pointer equality (O(1), no collision
+//     risk, unlike the raw 64-bit structural hashes it replaces),
+//   * every node gets a small stable ID (intern order), and
+//   * downstream per-subtree caches (the BURS label memo, the rewrite
+//     neighbor cache) can key on the canonical pointer and hit across
+//     variants, statements, and whole compiles.
+//
+// The interner owns a shared_ptr to every canonical node, so canonical
+// pointers stay valid -- and pointer-keyed caches stay sound -- for the
+// interner's whole lifetime.
+//
+// Canonical nodes are tagged in place (Expr::internOwner/internId), so the
+// re-intern fast path -- the overwhelmingly common case when interning a
+// rewrite neighbor whose subtrees are already canonical -- is a single
+// pointer compare, not a hash lookup.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "ir/expr.h"
+
+namespace record {
+
+class ExprInterner {
+ public:
+  /// Clears the in-place tags so a later interner at the same address can
+  /// never mistake surviving nodes for its own. Tags are an accelerator
+  /// only: several interners canonicalizing shared trees steal each other's
+  /// tags, which costs a table probe on the next visit but never changes
+  /// the canonical node returned. idOf()/isInterned() assume the queried
+  /// node's tag still belongs to this interner (single-interner usage).
+  ~ExprInterner() {
+    for (auto& n : nodes_)
+      if (n->internOwner == this) n->internOwner = nullptr;
+  }
+
+  /// Canonical node for `e`: recursively interns the kids, then returns the
+  /// unique representative of the (op, value, sym, type, kids) shape.
+  /// Idempotent; interning an already-canonical tree is O(1).
+  ExprPtr intern(const ExprPtr& e);
+
+  /// Stable ID of a canonical node (dense, in intern order). Only valid for
+  /// pointers returned by intern().
+  uint32_t idOf(const Expr* e) const { return e->internId; }
+
+  bool isInterned(const Expr* e) const { return e->internOwner == this; }
+
+  /// Number of distinct nodes interned.
+  size_t size() const { return nodes_.size(); }
+
+  /// How many intern() node visits found an existing representative --
+  /// the sharing the arena actually discovered.
+  int64_t hits() const { return hits_; }
+
+ private:
+  ExprPtr internNode(const ExprPtr& e, std::vector<ExprPtr> kids);
+  static uint64_t shapeHash(const Expr& e);
+
+  // Hash -> canonical nodes with that shape hash (collisions resolved by a
+  // direct field compare; no per-lookup key object is ever built).
+  std::unordered_map<uint64_t, std::vector<ExprPtr>> table_;
+  std::vector<ExprPtr> nodes_;  // keeps every canonical node alive
+  int64_t hits_ = 0;
+};
+
+}  // namespace record

@@ -1,11 +1,73 @@
 #include "isel/burs.h"
 
+#include <algorithm>
 #include <cassert>
 
 namespace record {
 
+namespace {
+
+int patternDepth(const PatNode& p) {
+  if (p.kind != PatNode::Kind::OpNode) return 0;
+  int d = 0;
+  for (const auto& k : p.kids) d = std::max(d, patternDepth(k));
+  return d + 1;
+}
+
+}  // namespace
+
 BursMatcher::BursMatcher(const RuleSet& rules, CostKind costKind)
-    : rules_(rules), costKind_(costKind) {}
+    : rules_(rules), costKind_(costKind) {
+  // The kid-sum lower bound used for branch-and-bound assumes a pattern
+  // rooted at a node reaches at most its grandchildren (every deeper node
+  // is then covered through its own labeled cost). Rule sets with deeper
+  // patterns simply run unbounded.
+  int maxDepth = 0;
+  for (const auto& r : rules_.rules)
+    maxDepth = std::max(maxDepth, patternDepth(r.pat));
+  boundable_ = maxDepth <= 2;
+
+  rulesByOp_.resize(static_cast<size_t>(Op::Store) + 1);
+  for (size_t ri = 0; ri < rules_.rules.size(); ++ri) {
+    const PatNode& p = rules_.rules[ri].pat;
+    if (p.kind == PatNode::Kind::NtLeaf)
+      chainRules_.push_back(static_cast<int>(ri));
+    else if (p.kind == PatNode::Kind::OpNode)
+      rulesByOp_[static_cast<size_t>(p.op)].push_back(static_cast<int>(ri));
+    else  // ConstLeaf patterns only ever match Const nodes
+      rulesByOp_[static_cast<size_t>(Op::Const)].push_back(
+          static_cast<int>(ri));
+  }
+}
+
+void BursMatcher::enableMemo(bool on) {
+  memo_ = on;
+  states_.clear();
+  memoSig_ = ~0ull;
+}
+
+void BursMatcher::beginLabeling(OperandBinder& binder) {
+  if (memo_) {
+    uint64_t sig = binder.stateSignature();
+    if (sig != memoSig_) {
+      states_.clear();
+      memoSig_ = sig;
+    }
+  } else {
+    states_.clear();
+  }
+}
+
+int BursMatcher::subtreeMin(const Expr* e) const {
+  // Constant nodes can be absorbed by ConstLeaf pattern positions at no
+  // cost, so they never contribute to a lower bound.
+  if (e->op == Op::Const) return 0;
+  const NodeState& st = states_.at(e);
+  int best = kInfCost;
+  for (const Choice& c : st.nt)
+    if (c.kind != Choice::Kind::None) best = std::min(best, c.cost);
+  return best;
+}
 
 bool BursMatcher::matchPattern(const PatNode& pat, const ExprPtr& e,
                                int& cost) {
@@ -13,8 +75,11 @@ bool BursMatcher::matchPattern(const PatNode& pat, const ExprPtr& e,
     case PatNode::Kind::ConstLeaf:
       return e->op == Op::Const && e->value == pat.cval;
     case PatNode::Kind::NtLeaf: {
-      const NodeState& st = label(e, *binder_);
-      const Choice& c = st.nt[static_cast<int>(pat.nt)];
+      // Pattern leaves are strict descendants of the node being labeled,
+      // already labeled by the post-order walk -- this lookup cannot abort.
+      const NodeState* st = label(e, *binder_);
+      if (!st) return false;
+      const Choice& c = st->nt[static_cast<int>(pat.nt)];
       if (c.kind == Choice::Kind::None) return false;
       cost += c.cost;
       return true;
@@ -30,64 +95,117 @@ bool BursMatcher::matchPattern(const PatNode& pat, const ExprPtr& e,
   return false;
 }
 
-BursMatcher::NodeState& BursMatcher::label(const ExprPtr& e,
+BursMatcher::NodeState* BursMatcher::label(const ExprPtr& e,
                                            OperandBinder& binder) {
   auto it = states_.find(e.get());
-  if (it != states_.end()) return it->second;
-
-  // Label children first (post-order).
-  for (const auto& k : e->kids) label(k, binder);
+  if (it != states_.end()) {
+    if (memo_) ++memoHits_;
+    return &it->second;
+  }
+  if (memo_) ++memoMisses_;
 
   NodeState st;
   // 1. Leaf bindings from the binder (variables, array elements, constants).
+  //    Queried before the kids: a leaf-bindable node admits covers that
+  //    leave its subtree uncovered, which disables the kid-sum bound below.
+  bool leafBindable = false;
   for (Nonterm nt : {Nonterm::Mem, Nonterm::Imm8, Nonterm::Imm16}) {
     if (auto c = binder.leafCost(*e, nt)) {
       Choice& ch = st.nt[static_cast<int>(nt)];
       if (*c < ch.cost) ch = {Choice::Kind::LeafBind, -1, *c};
+      leafBindable = true;
     }
   }
-  // 2. Structural rules.
-  for (size_t ri = 0; ri < rules_.rules.size(); ++ri) {
+
+  // Label children (post-order), accumulating a lower bound on this
+  // subtree's cover cost: each kid is either a pattern leaf of some rule
+  // (costing at least its own cheapest cover) or an interior node of a
+  // rule rooted here (costing at least the sum of its kids' cheapest
+  // covers, since pattern depth <= 2 makes the grandkids pattern leaves).
+  const bool bound = limit_ < kInfCost && !leafBindable;
+  int partial = 0;
+  for (const auto& k : e->kids) {
+    if (!label(k, binder)) return nullptr;  // abort propagates up
+    if (!bound) continue;
+    int lb = subtreeMin(k.get());
+    if (!k->kids.empty()) {
+      int interior = 0;
+      for (const auto& g : k->kids)
+        interior = std::min(kInfCost, interior + subtreeMin(g.get()));
+      lb = std::min(lb, interior);
+    }
+    partial += lb;
+    if (partial > limit_) return nullptr;  // branch-and-bound prune
+  }
+  // 2. Structural rules. The memoized path iterates only the root-op bucket
+  //    (same rules, same ascending order as the full scan -- see header).
+  auto tryStructural = [&](size_t ri) {
     const Rule& r = rules_.rules[ri];
-    if (r.pat.kind != PatNode::Kind::OpNode &&
-        r.pat.kind != PatNode::Kind::ConstLeaf)
-      continue;  // chain rules handled in closure below
     int cost = ruleCost(r);
     // Pattern leaves always map to strict descendants of `e`, which are
     // already labeled, so matching needs no state for `e` itself.
-    if (!matchPattern(r.pat, e, cost)) continue;
+    if (!matchPattern(r.pat, e, cost)) return;
     Choice& ch = st.nt[static_cast<int>(r.lhs)];
     if (cost < ch.cost) ch = {Choice::Kind::Rule, static_cast<int>(ri), cost};
-  }
-  // 3. Chain-rule closure to fixpoint.
-  bool changed = true;
-  while (changed) {
-    changed = false;
+  };
+  if (memo_) {
+    for (int ri : rulesByOp_[static_cast<size_t>(e->op)])
+      tryStructural(static_cast<size_t>(ri));
+  } else {
     for (size_t ri = 0; ri < rules_.rules.size(); ++ri) {
-      const Rule& r = rules_.rules[ri];
-      if (r.pat.kind != PatNode::Kind::NtLeaf) continue;
-      const Choice& src = st.nt[static_cast<int>(r.pat.nt)];
-      if (src.kind == Choice::Kind::None) continue;
-      int cost = src.cost + ruleCost(r);
-      Choice& dst = st.nt[static_cast<int>(r.lhs)];
-      if (cost < dst.cost) {
-        dst = {Choice::Kind::Rule, static_cast<int>(ri), cost};
-        changed = true;
-      }
+      if (rules_.rules[ri].pat.kind == PatNode::Kind::NtLeaf)
+        continue;  // chain rules handled in closure below
+      tryStructural(ri);
     }
   }
-  return states_.emplace(e.get(), st).first->second;
+  // 3. Chain-rule closure to fixpoint.
+  auto closeChains = [&](auto&& forEachChain) {
+    bool changed = true;
+    while (changed) {
+      changed = false;
+      forEachChain([&](size_t ri) {
+        const Rule& r = rules_.rules[ri];
+        const Choice& src = st.nt[static_cast<int>(r.pat.nt)];
+        if (src.kind == Choice::Kind::None) return;
+        int cost = src.cost + ruleCost(r);
+        Choice& dst = st.nt[static_cast<int>(r.lhs)];
+        if (cost < dst.cost) {
+          dst = {Choice::Kind::Rule, static_cast<int>(ri), cost};
+          changed = true;
+        }
+      });
+    }
+  };
+  if (memo_) {
+    closeChains([&](auto&& apply) {
+      for (int ri : chainRules_) apply(static_cast<size_t>(ri));
+    });
+  } else {
+    closeChains([&](auto&& apply) {
+      for (size_t ri = 0; ri < rules_.rules.size(); ++ri)
+        if (rules_.rules[ri].pat.kind == PatNode::Kind::NtLeaf) apply(ri);
+    });
+  }
+  return &states_.emplace(e.get(), st).first->second;
 }
 
 std::optional<int> BursMatcher::matchCost(const ExprPtr& tree, Nonterm goal,
                                           OperandBinder& binder) {
-  states_.clear();
+  return matchCostBounded(tree, goal, binder, kInfCost).cost;
+}
+
+MatchOutcome BursMatcher::matchCostBounded(const ExprPtr& tree, Nonterm goal,
+                                           OperandBinder& binder, int limit) {
+  beginLabeling(binder);
   binder_ = &binder;
-  const NodeState& st = label(tree, binder);
-  const Choice& c = st.nt[static_cast<int>(goal)];
+  limit_ = boundable_ ? limit : kInfCost;
+  const NodeState* st = label(tree, binder);
+  limit_ = kInfCost;
   binder_ = nullptr;
-  if (c.kind == Choice::Kind::None) return std::nullopt;
-  return c.cost;
+  if (!st) return {std::nullopt, true};
+  const Choice& c = st->nt[static_cast<int>(goal)];
+  if (c.kind == Choice::Kind::None) return {std::nullopt, false};
+  return {c.cost, false};
 }
 
 void BursMatcher::collectLeafBindings(
@@ -186,9 +304,11 @@ Operand BursMatcher::reduceTo(const ExprPtr& e, Nonterm nt,
 CoverResult BursMatcher::reduce(const ExprPtr& tree, Nonterm goal,
                                 OperandBinder& binder) {
   CoverResult res;
-  states_.clear();
+  beginLabeling(binder);
   binder_ = &binder;
-  const NodeState& st = label(tree, binder);
+  const NodeState* stp = label(tree, binder);
+  assert(stp && "unbounded labeling cannot abort");
+  const NodeState& st = *stp;
   const Choice& c = st.nt[static_cast<int>(goal)];
   if (c.kind == Choice::Kind::None) {
     binder_ = nullptr;

@@ -57,6 +57,11 @@ class OperandBinder {
   /// Allocate / release a one-word spill temp in data memory.
   virtual int allocTemp() = 0;
   virtual void freeTemp(int /*addr*/) {}
+
+  /// Version stamp of everything leafCost() depends on. The label memo is
+  /// valid only while this value is unchanged; binders must bump it on any
+  /// state change that can alter a leafCost() answer.
+  virtual uint64_t stateSignature() const { return 0; }
 };
 
 struct CoverResult {
@@ -65,6 +70,14 @@ struct CoverResult {
   std::vector<MInstr> code;
   /// Number of rule applications in the cover (pattern count of Fig. 5).
   int patternsUsed = 0;
+};
+
+/// Result of a bounded matchCost: `pruned` means labeling was abandoned
+/// because a sound lower bound already exceeded the caller's limit -- the
+/// true cost is strictly greater than the limit, but unknown.
+struct MatchOutcome {
+  std::optional<int> cost;
+  bool pruned = false;
 };
 
 class BursMatcher {
@@ -76,8 +89,25 @@ class BursMatcher {
   std::optional<int> matchCost(const ExprPtr& tree, Nonterm goal,
                                OperandBinder& binder);
 
+  /// Branch-and-bound matchCost: give up as soon as a lower bound on the
+  /// cover cost exceeds `limit` (e.g. the best complete cover found so
+  /// far). Bounding is only applied when the rule set's pattern shapes
+  /// admit a sound bound (pattern depth <= 2); otherwise this is exactly
+  /// matchCost.
+  MatchOutcome matchCostBounded(const ExprPtr& tree, Nonterm goal,
+                                OperandBinder& binder, int limit);
+
   /// Full selection: label then reduce, emitting code.
   CoverResult reduce(const ExprPtr& tree, Nonterm goal, OperandBinder& binder);
+
+  /// Keep node labels across matchCost/reduce calls, keyed on node identity
+  /// and the binder's stateSignature(). Only sound when callers guarantee
+  /// expression nodes outlive the memo (e.g. trees held by an
+  /// ExprInterner); the memo is dropped whenever the signature changes.
+  void enableMemo(bool on);
+
+  int64_t memoHits() const { return memoHits_; }
+  int64_t memoMisses() const { return memoMisses_; }
 
   const RuleSet& rules() const { return rules_; }
 
@@ -101,7 +131,17 @@ class BursMatcher {
   /// false when ops/consts mismatch or a leaf has no cover.
   bool matchPattern(const PatNode& pat, const ExprPtr& e, int& cost);
 
-  NodeState& label(const ExprPtr& e, OperandBinder& binder);
+  /// Post-order labeling with branch-and-bound: returns nullptr when the
+  /// running lower bound exceeded limit_ (only possible when bounding is
+  /// active). Completed node states are always correct and reusable.
+  NodeState* label(const ExprPtr& e, OperandBinder& binder);
+
+  /// Reset or revalidate the label map for a new match/reduce call.
+  void beginLabeling(OperandBinder& binder);
+
+  /// Cheapest cost of covering the subtree at `e` to any nonterminal
+  /// (kInfCost when uncoverable). Requires `e` labeled.
+  int subtreeMin(const Expr* e) const;
 
   /// Reduce `e` to `nt`; returns the operand carrying the value for
   /// Mem/Imm nonterms (unused for Acc/Stmt).
@@ -116,8 +156,29 @@ class BursMatcher {
 
   const RuleSet& rules_;
   CostKind costKind_;
+  // Rule indexes for the memoized fast path: structural rules bucketed by
+  // root op (ConstLeaf rules land in the Const bucket) plus the chain-rule
+  // list. Buckets hold ascending rule indices, so iterating one visits
+  // exactly the rules the full scan could have matched, in the same order
+  // -- the label tables are identical. The flags-off path keeps the
+  // straightforward full scan as the reference implementation.
+  std::vector<std::vector<int>> rulesByOp_;
+  std::vector<int> chainRules_;
   std::unordered_map<const Expr*, NodeState> states_;
   OperandBinder* binder_ = nullptr;  // valid during a match/reduce call
+
+  // Label memo (states_ kept across calls while the binder signature holds).
+  bool memo_ = false;
+  uint64_t memoSig_ = ~0ull;
+  int64_t memoHits_ = 0;
+  int64_t memoMisses_ = 0;
+
+  // Branch-and-bound state for the current bounded call.
+  int limit_ = kInfCost;
+  /// Sound kid-sum lower bounds need every structural pattern to reach at
+  /// most grandchild depth (true for the tdsp grammar); deeper rule sets
+  /// disable bounding.
+  bool boundable_ = false;
 };
 
 }  // namespace record

@@ -4,6 +4,8 @@
 #include <functional>
 #include <unordered_set>
 
+#include "ir/interner.h"
+
 namespace record {
 
 namespace {
@@ -100,12 +102,60 @@ std::vector<ExprPtr> rewriteTop(const ExprPtr& e) {
   return out;
 }
 
-std::vector<ExprPtr> enumerateVariants(const ExprPtr& root, int budget) {
-  std::vector<ExprPtr> result{root};
+namespace {
+
+/// Canonical single-step neighbors of a canonical node, memoized. The list
+/// is rewriteTop's results followed by per-kid expansions in kid order --
+/// exactly the order the uncached recursion produces, so enumeration order
+/// (and therefore every downstream tie-break) is unchanged.
+const std::vector<ExprPtr>& cachedNeighbors(const ExprPtr& e,
+                                            RewriteCache& cache) {
+  auto it = cache.neighbors.find(e.get());
+  if (it != cache.neighbors.end()) return it->second;
+  std::vector<ExprPtr> out;
+  for (auto& t : rewriteTop(e)) out.push_back(cache.interner->intern(t));
+  for (size_t i = 0; i < e->kids.size(); ++i) {
+    // Kids of a canonical node are canonical; references into the map stay
+    // valid across the recursive inserts (node-based container).
+    for (const ExprPtr& sub : cachedNeighbors(e->kids[i], cache))
+      out.push_back(cache.interner->intern(rebuildWithKid(e, i, sub)));
+  }
+  return cache.neighbors.emplace(e.get(), std::move(out)).first->second;
+}
+
+}  // namespace
+
+std::vector<ExprPtr> enumerateVariants(const ExprPtr& root, int budget,
+                                       ExprInterner* interner,
+                                       RewriteCache* cache) {
+  if (cache) interner = cache->interner;
+  ExprPtr start = interner ? interner->intern(root) : root;
+  if (cache) {
+    if (cache->variantBudget != budget) {
+      cache->variants.clear();
+      cache->variantBudget = budget;
+    }
+    auto it = cache->variants.find(start.get());
+    if (it != cache->variants.end()) return it->second;
+  }
+  std::vector<ExprPtr> result{start};
   if (budget <= 1) return result;
 
-  std::unordered_set<uint64_t> seen{root->hash()};
-  std::deque<ExprPtr> frontier{root};
+  // Dedup: canonical-pointer identity with an interner (exact), structural
+  // hash without (collisions possible but astronomically unlikely).
+  std::unordered_set<uint64_t> seen;
+  auto dedup = [&](ExprPtr& e) {  // true when already enumerated
+    if (interner) {
+      e = interner->intern(e);
+      return !seen.insert(reinterpret_cast<uintptr_t>(e.get())).second;
+    }
+    return !seen.insert(e->hash()).second;
+  };
+  {
+    ExprPtr r = start;
+    dedup(r);
+  }
+  std::deque<ExprPtr> frontier{start};
 
   // All single-node rewrites applied anywhere in a tree.
   // (Recursive expansion: for tree e, rewrite the top, or rewrite inside a
@@ -124,15 +174,21 @@ std::vector<ExprPtr> enumerateVariants(const ExprPtr& root, int budget) {
          static_cast<int>(result.size()) < budget) {
     ExprPtr cur = frontier.front();
     frontier.pop_front();
-    for (auto& nb : neighbors(cur)) {
-      uint64_t h = nb->hash();
-      if (seen.count(h)) continue;  // hash collision risk acceptable here
-      seen.insert(h);
+    auto expand = [&](ExprPtr nb) {
+      if (dedup(nb)) return false;
       result.push_back(nb);
       frontier.push_back(nb);
-      if (static_cast<int>(result.size()) >= budget) break;
+      return static_cast<int>(result.size()) >= budget;
+    };
+    if (cache) {
+      for (const ExprPtr& nb : cachedNeighbors(cur, *cache))
+        if (expand(nb)) break;
+    } else {
+      for (auto& nb : neighbors(cur))
+        if (expand(std::move(nb))) break;
     }
   }
+  if (cache) cache->variants.emplace(start.get(), result);
   return result;
 }
 

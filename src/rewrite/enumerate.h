@@ -20,19 +20,48 @@
 // Deliberately ABSENT: constant folding -- the paper notes RECORD "does not
 // contain any standard optimization technique (such as constant folding)".
 //
-// Enumeration is breadth-first with structural-hash deduplication up to a
-// variant budget.
+// Enumeration is breadth-first with deduplication up to a variant budget:
+// exact (hash-consed pointer identity) when an ExprInterner is supplied,
+// structural-hash otherwise.
 #pragma once
 
+#include <unordered_map>
 #include <vector>
 
 #include "ir/expr.h"
 
 namespace record {
 
+class ExprInterner;
+
+/// Memoized single-step neighbor lists, keyed on canonical node pointers.
+/// Rewriting is purely structural, so the neighbors of a canonical subtree
+/// are the same wherever it appears -- across variants, statements, and
+/// compiles. The cache must not outlive its interner (pointer keys).
+struct RewriteCache {
+  explicit RewriteCache(ExprInterner& in) : interner(&in) {}
+  ExprInterner* interner;
+  /// canonical node -> its canonical single-step rewrites, in rule order.
+  std::unordered_map<const Expr*, std::vector<ExprPtr>> neighbors;
+  /// canonical root -> full enumerateVariants result at `variantBudget`.
+  /// The whole BFS is a pure function of (root, budget), so a repeat root
+  /// -- every statement after the first compile of a program -- skips
+  /// enumeration entirely. Invalidated when the budget changes.
+  int variantBudget = -1;
+  std::unordered_map<const Expr*, std::vector<ExprPtr>> variants;
+};
+
 /// All trees reachable from `root` (including `root` itself, always at
 /// index 0), up to `budget` distinct variants. budget <= 1 returns {root}.
-std::vector<ExprPtr> enumerateVariants(const ExprPtr& root, int budget);
+/// With `interner`, every returned tree is canonical (hash-consed): shared
+/// subtrees across variants are pointer-identical, duplicate detection is
+/// exact, and the trees stay alive as long as the interner does. With
+/// `cache` (which carries its own interner), per-subtree neighbor lists are
+/// additionally reused across calls; the enumeration order is identical in
+/// all three modes.
+std::vector<ExprPtr> enumerateVariants(const ExprPtr& root, int budget,
+                                       ExprInterner* interner = nullptr,
+                                       RewriteCache* cache = nullptr);
 
 /// Single-step rewrites of the top node only (building block; exposed for
 /// tests).

@@ -1,0 +1,82 @@
+#include "support/threadpool.h"
+
+#include <algorithm>
+
+namespace record {
+
+ThreadPool::ThreadPool(int threads) {
+  workers_.reserve(static_cast<size_t>(threads > 0 ? threads : 0));
+  for (int i = 0; i < threads; ++i)
+    workers_.emplace_back([this] { workerLoop(); });
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  wake_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+void ThreadPool::drainBatch(std::unique_lock<std::mutex>& lock) {
+  while (batch_.fn && batch_.next < batch_.jobs) {
+    int i = batch_.next++;
+    ++batch_.running;
+    const std::function<void(int)>* fn = batch_.fn;
+    lock.unlock();
+    std::exception_ptr err;
+    try {
+      (*fn)(i);
+    } catch (...) {
+      err = std::current_exception();
+    }
+    lock.lock();
+    if (err && !batch_.error) batch_.error = err;
+    if (--batch_.running == 0 && batch_.next >= batch_.jobs)
+      done_.notify_all();
+  }
+}
+
+void ThreadPool::workerLoop() {
+  std::unique_lock<std::mutex> lock(mu_);
+  while (true) {
+    wake_.wait(lock, [this] {
+      return stop_ || (batch_.fn && batch_.next < batch_.jobs);
+    });
+    if (stop_) return;
+    drainBatch(lock);
+  }
+}
+
+void ThreadPool::parallelFor(int jobs, const std::function<void(int)>& fn) {
+  if (jobs <= 0) return;
+  if (workers_.empty() || jobs == 1) {
+    for (int i = 0; i < jobs; ++i) fn(i);
+    return;
+  }
+  std::unique_lock<std::mutex> lock(mu_);
+  batch_.fn = &fn;
+  batch_.jobs = jobs;
+  batch_.next = 0;
+  batch_.running = 0;
+  batch_.error = nullptr;
+  wake_.notify_all();
+  drainBatch(lock);  // the caller works too
+  done_.wait(lock, [this] {
+    return batch_.running == 0 && batch_.next >= batch_.jobs;
+  });
+  batch_.fn = nullptr;
+  std::exception_ptr err = batch_.error;
+  batch_.error = nullptr;
+  lock.unlock();
+  if (err) std::rethrow_exception(err);
+}
+
+ThreadPool& ThreadPool::shared() {
+  static ThreadPool pool(
+      std::max(1u, std::thread::hardware_concurrency()) - 1);
+  return pool;
+}
+
+}  // namespace record

@@ -1,0 +1,61 @@
+// A small fixed-size worker pool for deterministic fork/join parallelism.
+//
+// The only entry point is parallelFor(jobs, fn): fn(i) runs once for every
+// i in [0, jobs), distributed over the workers plus the calling thread, and
+// the call returns only when all jobs finished. Callers are responsible for
+// making fn's work deterministic in its *results* (e.g. writing to disjoint
+// slots and merging in input order afterwards); the pool guarantees nothing
+// about execution order.
+#pragma once
+
+#include <condition_variable>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace record {
+
+class ThreadPool {
+ public:
+  /// `threads` worker threads (>= 0; 0 makes parallelFor run inline).
+  explicit ThreadPool(int threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  int size() const { return static_cast<int>(workers_.size()); }
+
+  /// Run fn(0) .. fn(jobs-1) across the workers and the calling thread;
+  /// blocks until every job completed. Exceptions thrown by fn are
+  /// rethrown (one of them) on the calling thread.
+  void parallelFor(int jobs, const std::function<void(int)>& fn);
+
+  /// Process-wide pool with hardware_concurrency()-1 workers, created on
+  /// first use.
+  static ThreadPool& shared();
+
+ private:
+  struct Batch {
+    const std::function<void(int)>* fn = nullptr;
+    int jobs = 0;
+    int next = 0;      // next job index to claim
+    int running = 0;   // jobs currently executing
+    std::exception_ptr error;
+  };
+
+  void workerLoop();
+  /// Claim and run jobs from the current batch until it drains. Returns
+  /// when no unclaimed job remains (running jobs may still be in flight).
+  void drainBatch(std::unique_lock<std::mutex>& lock);
+
+  std::mutex mu_;
+  std::condition_variable wake_;   // workers: a batch is available
+  std::condition_variable done_;   // caller: batch fully finished
+  Batch batch_;
+  bool stop_ = false;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace record

@@ -1,0 +1,280 @@
+#include "target/asmtext.h"
+
+#include <cctype>
+#include <map>
+#include <sstream>
+#include <stdexcept>
+#include <vector>
+
+namespace record {
+
+namespace {
+
+struct Assembler {
+  const TargetConfig& cfg;
+  DiagEngine& diag;
+  int lineNo = 0;
+
+  TargetProgram prog;
+  std::map<std::string, int> symAddr;
+  int nextAddr = 0;
+
+  Assembler(const TargetConfig& c, DiagEngine& d) : cfg(c), diag(d) {
+    prog.config = c;
+  }
+
+  void error(const std::string& msg) { diag.error({lineNo, 0}, msg); }
+
+  static std::vector<std::string> split(const std::string& line) {
+    std::vector<std::string> out;
+    std::string cur;
+    for (char c : line) {
+      if (c == ';') break;
+      if (std::isspace(static_cast<unsigned char>(c)) || c == ',') {
+        if (!cur.empty()) out.push_back(cur);
+        cur.clear();
+      } else {
+        cur += c;
+      }
+    }
+    if (!cur.empty()) out.push_back(cur);
+    return out;
+  }
+
+  static bool parseInt(const std::string& s, int& out) {
+    if (s.empty()) return false;
+    size_t i = (s[0] == '-' || s[0] == '+') ? 1 : 0;
+    if (i >= s.size()) return false;
+    for (; i < s.size(); ++i)
+      if (!std::isdigit(static_cast<unsigned char>(s[i]))) return false;
+    out = std::atoi(s.c_str());
+    return true;
+  }
+
+  bool parseArIndex(const std::string& s, int& out) {
+    if (s.size() < 3 || s.compare(0, 2, "AR") != 0) return false;
+    int idx;
+    if (!parseInt(s.substr(2), idx)) return false;
+    if (idx < 0 || idx >= cfg.numAddrRegs) {
+      error("address register out of range: " + s);
+      return false;
+    }
+    out = idx;
+    return true;
+  }
+
+  std::optional<Operand> parseOperand(const std::string& tok) {
+    if (tok.empty()) return std::nullopt;
+    if (tok[0] == '#') {
+      int v;
+      if (!parseInt(tok.substr(1), v)) {
+        error("bad immediate: " + tok);
+        return std::nullopt;
+      }
+      return Operand::imm(v);
+    }
+    if (tok[0] == '*') {
+      std::string body = tok.substr(1);
+      PostMod post = PostMod::None;
+      if (!body.empty() && body.back() == '+') {
+        post = PostMod::Inc;
+        body.pop_back();
+      } else if (!body.empty() && body.back() == '-') {
+        post = PostMod::Dec;
+        body.pop_back();
+      }
+      int ar;
+      if (!parseArIndex(body, ar)) {
+        if (!diag.hasErrors()) error("bad indirect operand: " + tok);
+        return std::nullopt;
+      }
+      return Operand::indirect(ar, post);
+    }
+    // SYM+K / SYM / bare integer -> direct address.
+    std::string base = tok;
+    int offset = 0;
+    size_t plus = tok.find('+');
+    if (plus != std::string::npos && plus > 0) {
+      base = tok.substr(0, plus);
+      if (!parseInt(tok.substr(plus + 1), offset)) {
+        error("bad address offset: " + tok);
+        return std::nullopt;
+      }
+    }
+    int lit;
+    if (parseInt(base, lit)) return Operand::direct(lit + offset);
+    auto it = symAddr.find(base);
+    if (it == symAddr.end()) {
+      error("unknown symbol: " + base);
+      return std::nullopt;
+    }
+    return Operand::direct(it->second + offset);
+  }
+
+  bool directive(const std::vector<std::string>& toks) {
+    if (toks[0] == ".sym") {
+      if (toks.size() < 3) {
+        error(".sym needs a name and a size");
+        return false;
+      }
+      int words;
+      if (!parseInt(toks[2], words) || words <= 0) {
+        error("bad .sym size: " + toks[2]);
+        return false;
+      }
+      int addr = nextAddr;
+      if (toks.size() >= 4 && toks[3][0] == '@') {
+        if (!parseInt(toks[3].substr(1), addr)) {
+          error("bad .sym address: " + toks[3]);
+          return false;
+        }
+      }
+      if (symAddr.count(toks[1])) {
+        error("duplicate symbol: " + toks[1]);
+        return false;
+      }
+      symAddr[toks[1]] = addr;
+      prog.symbolAddr.emplace_back(toks[1], addr);
+      if (addr == nextAddr) nextAddr += words;
+      return true;
+    }
+    if (toks[0] == ".init") {
+      if (toks.size() != 4) {
+        error(".init needs symbol, offset, value");
+        return false;
+      }
+      auto it = symAddr.find(toks[1]);
+      if (it == symAddr.end()) {
+        error("unknown symbol in .init: " + toks[1]);
+        return false;
+      }
+      int offset, value;
+      if (!parseInt(toks[2], offset) || !parseInt(toks[3], value)) {
+        error("bad .init operands");
+        return false;
+      }
+      prog.dataInit.emplace_back(it->second + offset,
+                                 static_cast<int16_t>(value));
+      return true;
+    }
+    error("unknown directive: " + toks[0]);
+    return false;
+  }
+
+  bool instruction(std::vector<std::string> toks, std::string label) {
+    Opcode op;
+    if (!opcodeFromName(toks[0], op)) {
+      error("unknown mnemonic: " + toks[0]);
+      return false;
+    }
+    if (!opcodeAvailable(op, cfg)) {
+      error(std::string("opcode unavailable on this configuration: ") +
+            opcodeName(op));
+      return false;
+    }
+    Instr in;
+    in.op = op;
+    in.label = std::move(label);
+    std::vector<std::string> ops(toks.begin() + 1, toks.end());
+
+    const OpInfo& info = opInfo(op);
+    if (info.isBranch) {
+      // Branch target is the last operand.
+      if (ops.empty()) {
+        error("branch needs a target label");
+        return false;
+      }
+      in.targetLabel = ops.back();
+      ops.pop_back();
+    }
+    size_t next = 0;
+    if (opTakesArIndex(op)) {
+      if (ops.empty()) {
+        error(std::string(opcodeName(op)) + " needs an address register");
+        return false;
+      }
+      int ar;
+      if (!parseArIndex(ops[0], ar)) {
+        if (!diag.hasErrors()) error("expected ARn, got: " + ops[0]);
+        return false;
+      }
+      in.a = Operand::imm(ar);
+      next = 1;
+    }
+    Operand* dst[2] = {&in.a, &in.b};
+    size_t slot = opTakesArIndex(op) ? 1 : 0;
+    for (; next < ops.size(); ++next, ++slot) {
+      if (slot >= 2) {
+        error("too many operands");
+        return false;
+      }
+      auto o = parseOperand(ops[next]);
+      if (!o) return false;
+      *dst[slot] = *o;
+    }
+    prog.code.push_back(std::move(in));
+    return true;
+  }
+
+  bool line(const std::string& text) {
+    auto toks = split(text);
+    if (toks.empty()) return true;
+    if (toks[0][0] == '.') return directive(toks);
+    std::string label;
+    if (toks[0].back() == ':') {
+      label = toks[0].substr(0, toks[0].size() - 1);
+      toks.erase(toks.begin());
+      if (toks.empty()) {
+        pendingLabel = label;
+        return true;
+      }
+    }
+    if (!pendingLabel.empty()) {
+      if (label.empty())
+        label = pendingLabel;
+      pendingLabel.clear();
+    }
+    return instruction(std::move(toks), std::move(label));
+  }
+
+  bool resolveLabels() {
+    bool ok = true;
+    for (const auto& in : prog.code) {
+      if (!opInfo(in.op).isBranch) continue;
+      if (prog.labelIndex(in.targetLabel) < 0) {
+        error("unknown branch target: " + in.targetLabel);
+        ok = false;
+      }
+    }
+    return ok;
+  }
+
+  std::string pendingLabel;
+};
+
+}  // namespace
+
+std::optional<TargetProgram> assembleText(const std::string& src,
+                                          const TargetConfig& cfg,
+                                          DiagEngine& diag) {
+  Assembler as(cfg, diag);
+  std::istringstream is(src);
+  std::string line;
+  bool ok = true;
+  while (std::getline(is, line)) {
+    ++as.lineNo;
+    if (!as.line(line)) ok = false;
+  }
+  if (!as.resolveLabels()) ok = false;
+  if (!ok || diag.hasErrors()) return std::nullopt;
+  return std::move(as.prog);
+}
+
+TargetProgram assembleOrDie(const std::string& src, const TargetConfig& cfg) {
+  DiagEngine diag;
+  auto p = assembleText(src, cfg, diag);
+  if (!p) throw std::runtime_error("assembly failed:\n" + diag.str());
+  return *std::move(p);
+}
+
+}  // namespace record

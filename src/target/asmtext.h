@@ -1,0 +1,29 @@
+// Textual tdsp assembler, used for the hand-written DSPStone reference
+// programs and for round-tripping compiled output in tests.
+//
+// Syntax (one item per line, `;` starts a comment):
+//   .sym NAME WORDS [@ADDR]   reserve data memory (bump-allocated from 0)
+//   .init SYM OFFSET VALUE    initial data memory contents
+//   [LABEL:] MNEMONIC [OPERAND[, OPERAND]]
+//
+// Operands: `#N` immediate, `ARn` address register, `*ARn[+|-]` indirect
+// with optional post-modify, `SYM[+K]` or a bare integer for direct
+// addresses, and a label name for branch targets.
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "support/diag.h"
+#include "target/config.h"
+
+namespace record {
+
+std::optional<TargetProgram> assembleText(const std::string& src,
+                                          const TargetConfig& cfg,
+                                          DiagEngine& diag);
+
+/// Throws std::runtime_error (with the diagnostics) on failure.
+TargetProgram assembleOrDie(const std::string& src, const TargetConfig& cfg);
+
+}  // namespace record

@@ -1,0 +1,59 @@
+#include "target/config.h"
+
+#include <cstdlib>
+#include <sstream>
+
+namespace record {
+
+std::string TargetConfig::describe() const {
+  std::ostringstream os;
+  os << "tdsp[";
+  bool first = true;
+  auto feat = [&](bool on, const char* name) {
+    if (!on) return;
+    if (!first) os << ",";
+    os << name;
+    first = false;
+  };
+  feat(hasMac, "mac");
+  feat(hasDualMul, "dualmul");
+  feat(hasSat, "sat");
+  feat(hasRpt, "rpt");
+  feat(hasDmov, "dmov");
+  if (first) os << "bare";
+  os << " banks=" << memBanks << " ars=" << numAddrRegs << "]";
+  return os.str();
+}
+
+int TargetProgram::addrOf(const std::string& name) const {
+  for (const auto& [sym, addr] : symbolAddr)
+    if (sym == name) return addr;
+  return -1;
+}
+
+int TargetProgram::labelIndex(const std::string& l) const {
+  if (l.empty()) return -1;
+  if (l[0] == '@') {
+    char* end = nullptr;
+    long idx = std::strtol(l.c_str() + 1, &end, 10);
+    if (end && *end == '\0' && idx >= 0 &&
+        idx < static_cast<long>(code.size()))
+      return static_cast<int>(idx);
+    return -1;
+  }
+  for (size_t i = 0; i < code.size(); ++i)
+    if (code[i].label == l) return static_cast<int>(i);
+  return -1;
+}
+
+std::string TargetProgram::listing() const {
+  std::ostringstream os;
+  for (size_t i = 0; i < code.size(); ++i) {
+    const Instr& in = code[i];
+    if (!in.label.empty()) os << in.label << ":";
+    os << "\t" << in.str() << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace record

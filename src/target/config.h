@@ -1,0 +1,6 @@
+// TargetConfig and TargetProgram live in target/isa.h alongside the
+// instruction definitions they parameterise; this header exists for
+// includes that name the configuration explicitly.
+#pragma once
+
+#include "target/isa.h"

@@ -1,0 +1,69 @@
+#include "target/encode.h"
+
+namespace record {
+
+namespace {
+
+// Word layout (LSB first):
+//   [ 0: 7] opcode
+//   [ 8: 9] a.mode    [10:11] a.post   [12:27] a.value (16-bit two's compl.)
+//   [28:29] b.mode    [30:31] b.post   [32:47] b.value
+//   [48:63] branch target index, 0xffff when not a branch
+constexpr uint64_t kNoTarget = 0xffff;
+
+uint64_t packOperand(const Operand& o) {
+  uint64_t w = static_cast<uint64_t>(o.mode) & 0x3;
+  w |= (static_cast<uint64_t>(o.post) & 0x3) << 2;
+  w |= (static_cast<uint64_t>(o.value) & 0xffff) << 4;
+  return w;
+}
+
+Operand unpackOperand(uint64_t w) {
+  Operand o;
+  o.mode = static_cast<AddrMode>(w & 0x3);
+  o.post = static_cast<PostMod>((w >> 2) & 0x3);
+  o.value = static_cast<int16_t>((w >> 4) & 0xffff);  // sign-extend
+  return o;
+}
+
+}  // namespace
+
+std::optional<CodeImage> encode(const TargetProgram& prog, std::string* err) {
+  CodeImage image;
+  image.words.reserve(prog.code.size());
+  for (const Instr& in : prog.code) {
+    uint64_t w = static_cast<uint64_t>(in.op) & 0xff;
+    w |= packOperand(in.a) << 8;
+    w |= packOperand(in.b) << 28;
+    uint64_t target = kNoTarget;
+    if (opInfo(in.op).isBranch) {
+      int idx = prog.labelIndex(in.targetLabel);
+      if (idx < 0) {
+        if (err) *err = "unresolved branch target: " + in.targetLabel;
+        return std::nullopt;
+      }
+      target = static_cast<uint64_t>(idx) & 0xffff;
+    }
+    w |= target << 48;
+    image.words.push_back(w);
+  }
+  return image;
+}
+
+std::vector<Instr> decode(const CodeImage& image) {
+  std::vector<Instr> out;
+  out.reserve(image.words.size());
+  for (uint64_t w : image.words) {
+    Instr in;
+    in.op = static_cast<Opcode>(w & 0xff);
+    in.a = unpackOperand((w >> 8) & 0xfffff);
+    in.b = unpackOperand((w >> 28) & 0xfffff);
+    uint64_t target = (w >> 48) & 0xffff;
+    if (target != kNoTarget)
+      in.targetLabel = "@" + std::to_string(target);
+    out.push_back(std::move(in));
+  }
+  return out;
+}
+
+}  // namespace record

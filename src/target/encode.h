@@ -1,0 +1,31 @@
+// Binary encoding of a TargetProgram: one 64-bit word per instruction.
+// Branch targets are resolved to absolute instruction indices at encode
+// time, so a decoded program is position-independent of its label names
+// (branches come back with the synthetic "@N" labels that
+// TargetProgram::labelIndex resolves numerically).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "target/config.h"
+
+namespace record {
+
+struct CodeImage {
+  std::vector<uint64_t> words;
+};
+
+/// Encode `prog` into one 64-bit word per instruction. Fails (returning
+/// nullopt and naming the offending label in *err) if a branch refers to a
+/// label no instruction carries.
+std::optional<CodeImage> encode(const TargetProgram& prog,
+                                std::string* err = nullptr);
+
+/// Decode an image back to instructions. Branch targets become "@N" labels
+/// with N the absolute instruction index.
+std::vector<Instr> decode(const CodeImage& image);
+
+}  // namespace record

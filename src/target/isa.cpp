@@ -1,0 +1,201 @@
+#include "target/isa.h"
+
+#include <array>
+
+#include "target/config.h"
+
+namespace record {
+
+namespace {
+
+const char* const kOpcodeNames[kNumOpcodes] = {
+    "LAC",  "LACK", "ZAC",  "SACL", "SACH",  //
+    "ADD",  "ADDK", "SUB",  "SUBK", "NEG",   //
+    "AND",  "ANDK", "OR",   "XOR",           //
+    "SFL",  "SFR",                           //
+    "LT",   "MPY",  "MPYK", "PAC",  "APAC", "SPAC", "SPL", "LTA", "LTP",
+    "LTD",                                   //
+    "MPYXY", "MACXY",                        //
+    "LARK", "LAR",  "SAR",  "ADRK", "SBRK",  //
+    "B",    "BZ",   "BGEZ", "BANZ", "RPT",  "DMOV",  //
+    "SOVM", "ROVM", "SSXM", "RSXM", "NOP",  "HALT",
+};
+
+struct OpInfoTable {
+  std::array<OpInfo, kNumOpcodes> t{};
+
+  OpInfo& at(Opcode op) { return t[static_cast<size_t>(op)]; }
+
+  OpInfoTable() {
+    auto set = [&](Opcode op, int nOps, const char* flags) {
+      OpInfo& i = at(op);
+      i.numOperands = nOps;
+      for (const char* f = flags; *f; ++f) {
+        switch (*f) {
+          case 'a': i.aIsMem = true; break;
+          case 'b': i.bIsMem = true; break;
+          case 'B': i.isBranch = true; break;
+          case 'c': i.readsAcc = true; break;
+          case 'C': i.writesAcc = true; break;
+          case 't': i.readsT = true; break;
+          case 'T': i.writesT = true; break;
+          case 'p': i.readsP = true; break;
+          case 'P': i.writesP = true; break;
+          case 'm': i.readsMem = true; break;
+          case 'M': i.writesMem = true; break;
+        }
+      }
+    };
+    set(Opcode::LAC, 1, "amC");
+    set(Opcode::LACK, 1, "C");
+    set(Opcode::ZAC, 0, "C");
+    set(Opcode::SACL, 1, "aMc");
+    set(Opcode::SACH, 1, "aMc");
+    set(Opcode::ADD, 1, "amcC");
+    set(Opcode::ADDK, 1, "cC");
+    set(Opcode::SUB, 1, "amcC");
+    set(Opcode::SUBK, 1, "cC");
+    set(Opcode::NEG, 0, "cC");
+    set(Opcode::AND, 1, "amcC");
+    set(Opcode::ANDK, 1, "cC");
+    set(Opcode::OR, 1, "amcC");
+    set(Opcode::XOR, 1, "amcC");
+    set(Opcode::SFL, 0, "cC");
+    set(Opcode::SFR, 0, "cC");
+    set(Opcode::LT, 1, "amT");
+    set(Opcode::MPY, 1, "amtP");
+    set(Opcode::MPYK, 1, "tP");
+    set(Opcode::PAC, 0, "pC");
+    set(Opcode::APAC, 0, "pcC");
+    set(Opcode::SPAC, 0, "pcC");
+    set(Opcode::SPL, 1, "aMp");
+    set(Opcode::LTA, 1, "ampcCT");
+    set(Opcode::LTP, 1, "ampCT");
+    set(Opcode::LTD, 1, "amMpcCT");
+    set(Opcode::MPYXY, 2, "abmP");
+    set(Opcode::MACXY, 2, "abmpcCP");
+    set(Opcode::LARK, 2, "");
+    set(Opcode::LAR, 2, "bm");
+    set(Opcode::SAR, 2, "bM");
+    set(Opcode::ADRK, 2, "");
+    set(Opcode::SBRK, 2, "");
+    set(Opcode::B, 0, "B");
+    set(Opcode::BZ, 0, "Bc");
+    set(Opcode::BGEZ, 0, "Bc");
+    set(Opcode::BANZ, 1, "B");
+    set(Opcode::RPT, 1, "");
+    set(Opcode::DMOV, 1, "amM");
+    set(Opcode::SOVM, 0, "");
+    set(Opcode::ROVM, 0, "");
+    set(Opcode::SSXM, 0, "");
+    set(Opcode::RSXM, 0, "");
+    set(Opcode::NOP, 0, "");
+    set(Opcode::HALT, 0, "");
+  }
+};
+
+const OpInfoTable kOpInfo;
+
+}  // namespace
+
+const char* opcodeName(Opcode op) {
+  int i = static_cast<int>(op);
+  if (i < 0 || i >= kNumOpcodes) return "?";
+  return kOpcodeNames[i];
+}
+
+bool opcodeFromName(const std::string& name, Opcode& out) {
+  for (int i = 0; i < kNumOpcodes; ++i) {
+    if (name == kOpcodeNames[i]) {
+      out = static_cast<Opcode>(i);
+      return true;
+    }
+  }
+  return false;
+}
+
+bool opcodeAvailable(Opcode op, const TargetConfig& cfg) {
+  switch (op) {
+    case Opcode::LT:
+    case Opcode::MPY:
+    case Opcode::MPYK:
+    case Opcode::PAC:
+    case Opcode::APAC:
+    case Opcode::SPAC:
+    case Opcode::SPL:
+    case Opcode::LTA:
+    case Opcode::LTP:
+      return cfg.hasMac;
+    case Opcode::LTD:
+      return cfg.hasMac && cfg.hasDmov;
+    case Opcode::MPYXY:
+    case Opcode::MACXY:
+      return cfg.hasDualMul;
+    case Opcode::SOVM:
+    case Opcode::ROVM:
+      return cfg.hasSat;
+    case Opcode::RPT:
+      return cfg.hasRpt;
+    case Opcode::DMOV:
+      return cfg.hasDmov;
+    default:
+      return true;
+  }
+}
+
+bool opTakesArIndex(Opcode op) {
+  switch (op) {
+    case Opcode::LARK:
+    case Opcode::LAR:
+    case Opcode::SAR:
+    case Opcode::ADRK:
+    case Opcode::SBRK:
+    case Opcode::BANZ:
+      return true;
+    default:
+      return false;
+  }
+}
+
+const OpInfo& opInfo(Opcode op) {
+  return kOpInfo.t[static_cast<size_t>(op)];
+}
+
+std::string Operand::str() const {
+  switch (mode) {
+    case AddrMode::None:
+      return "";
+    case AddrMode::Direct:
+      return std::to_string(value);
+    case AddrMode::Indirect: {
+      std::string s = "*AR" + std::to_string(value);
+      if (post == PostMod::Inc) s += "+";
+      if (post == PostMod::Dec) s += "-";
+      return s;
+    }
+    case AddrMode::Imm:
+      return "#" + std::to_string(value);
+  }
+  return "";
+}
+
+std::string Instr::str() const {
+  std::string s = opcodeName(op);
+  bool wroteOperand = false;
+  auto append = [&](const std::string& text) {
+    if (text.empty()) return;
+    s += wroteOperand ? ", " : " ";
+    s += text;
+    wroteOperand = true;
+  };
+  // AR-index operands print as register names regardless of operand mode.
+  if (opTakesArIndex(op))
+    append("AR" + std::to_string(a.value));
+  else
+    append(a.str());
+  append(b.str());
+  if (!targetLabel.empty()) append(targetLabel);
+  return s;
+}
+
+}  // namespace record

@@ -1,0 +1,201 @@
+// The tdsp instruction set: a TI TMS320C1x-flavoured single-accumulator
+// fixed-point DSP core, which is the running example target of the paper
+// (§2: "TMS320C2x-like core processors"). The ISA is deliberately small --
+// accumulator machine with a T/P multiplier pipeline, an AR file for
+// indirect addressing, and OVM/SXM mode bits that the mode-change
+// minimization pass manages.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace record {
+
+struct TargetConfig;
+
+enum class Opcode : uint8_t {
+  // Accumulator loads / stores
+  LAC,    // ACC := mem
+  LACK,   // ACC := imm8
+  ZAC,    // ACC := 0
+  SACL,   // mem := ACC (low word)
+  SACH,   // mem := ACC >> 16 (high word)
+  // Accumulator arithmetic
+  ADD,    // ACC += mem        (OVM-sensitive)
+  ADDK,   // ACC += imm        (OVM-sensitive)
+  SUB,    // ACC -= mem
+  SUBK,   // ACC -= imm
+  NEG,    // ACC := -ACC
+  // Bitwise (right operand zero-extended 16-bit)
+  AND,    // ACC &= mem
+  ANDK,   // ACC &= imm
+  OR,     // ACC |= mem
+  XOR,    // ACC ^= mem
+  // Shifts
+  SFL,    // ACC <<= 1
+  SFR,    // ACC >>= 1  (arithmetic when SXM=1, logical when SXM=0)
+  // Multiplier pipeline (hasMac)
+  LT,     // T := mem
+  MPY,    // P := T * mem
+  MPYK,   // P := T * imm
+  PAC,    // ACC := P
+  APAC,   // ACC += P
+  SPAC,   // ACC -= P
+  SPL,    // mem := P (low word)
+  LTA,    // ACC += P; T := mem
+  LTP,    // ACC := P; T := mem
+  LTD,    // ACC += P; T := mem; mem+1 := mem   (hasMac && hasDmov)
+  // Dual-multiplier datapath (hasDualMul): both operands from memory,
+  // single-cycle when the operands sit in different banks.
+  MPYXY,  // P := memA * memB
+  MACXY,  // ACC += P; P := memA * memB
+  // Address-register file
+  LARK,   // ARn := imm8
+  LAR,    // ARn := mem
+  SAR,    // mem := ARn
+  ADRK,   // ARn += imm8
+  SBRK,   // ARn -= imm8
+  // Control
+  B,      // branch always
+  BZ,     // branch if ACC == 0
+  BGEZ,   // branch if ACC >= 0
+  BANZ,   // branch if ARn != 0, post-decrementing ARn
+  RPT,    // repeat next instruction imm+1 times (hasRpt)
+  DMOV,   // mem+1 := mem (delay-line shift, hasDmov)
+  // Mode bits
+  SOVM,   // set saturation mode       (hasSat)
+  ROVM,   // reset saturation mode     (hasSat)
+  SSXM,   // set sign-extension mode
+  RSXM,   // reset sign-extension mode
+  NOP,
+  HALT,   // stop the simulator (assembler-level convenience)
+};
+
+inline constexpr int kNumOpcodes = static_cast<int>(Opcode::HALT) + 1;
+
+const char* opcodeName(Opcode op);
+/// Inverse of opcodeName; returns false (and leaves `out` alone) for
+/// unknown mnemonics.
+bool opcodeFromName(const std::string& name, Opcode& out);
+
+/// Is `op` implemented by the configured datapath?
+bool opcodeAvailable(Opcode op, const TargetConfig& cfg);
+
+/// Does `op` carry an address-register index in operand a (printed "ARn")?
+bool opTakesArIndex(Opcode op);
+
+/// Mode-bit requirements of an instruction: -1 = don't care, 0/1 = the
+/// bit must hold that value when the instruction executes. Resolved into
+/// SOVM/ROVM/SSXM/RSXM instructions by mode-change minimization.
+struct ModeReq {
+  int ovm = -1;
+  int sxm = -1;
+
+  bool operator==(const ModeReq&) const = default;
+};
+
+enum class AddrMode : uint8_t { None, Direct, Indirect, Imm };
+enum class PostMod : uint8_t { None, Inc, Dec };
+
+/// One instruction operand. Direct: value = data address. Indirect:
+/// value = AR index, post = auto-modify. Imm: value = literal (also used
+/// for AR indices of opTakesArIndex instructions).
+struct Operand {
+  AddrMode mode = AddrMode::None;
+  int value = 0;
+  PostMod post = PostMod::None;
+
+  static Operand none() { return {}; }
+  static Operand direct(int addr) { return {AddrMode::Direct, addr, PostMod::None}; }
+  static Operand indirect(int ar, PostMod p = PostMod::None) {
+    return {AddrMode::Indirect, ar, p};
+  }
+  static Operand imm(int v) { return {AddrMode::Imm, v, PostMod::None}; }
+
+  bool operator==(const Operand&) const = default;
+
+  std::string str() const;
+};
+
+/// One target instruction, possibly labeled, possibly a branch.
+struct Instr {
+  Opcode op = Opcode::NOP;
+  Operand a;
+  Operand b;
+  std::string label;        // definition: this instruction carries a label
+  std::string targetLabel;  // branches: where to go
+
+  std::string str() const;
+};
+
+/// Static per-opcode facts used by the optimization passes (dependence
+/// testing, compaction, accumulator promotion, self-test generation).
+struct OpInfo {
+  int numOperands = 0;
+  bool aIsMem = false;   // operand a is a memory reference
+  bool bIsMem = false;   // operand b is a memory reference
+  bool isBranch = false;
+  bool readsAcc = false, writesAcc = false;
+  bool readsT = false, writesT = false;
+  bool readsP = false, writesP = false;
+  bool readsMem = false, writesMem = false;
+};
+
+const OpInfo& opInfo(Opcode op);
+
+/// Structural parameters of a tdsp core variant. RECORD's retargeting story
+/// (§2) is exactly this: the same generator drives many ASIP variants that
+/// differ in datapath features (MAC unit, dual multiplier, saturation,
+/// hardware loops) and memory organisation (banks, AR file size).
+struct TargetConfig {
+  bool hasMac = true;      // T/P multiplier pipeline (LT/MPY/PAC/...)
+  bool hasDualMul = false; // dual-memory-operand multiplier (MPYXY/MACXY)
+  bool hasSat = true;      // saturation mode bit (SOVM/ROVM)
+  bool hasRpt = true;      // single-instruction hardware repeat (RPT)
+  bool hasDmov = true;     // delay-line data move (DMOV, LTD)
+
+  int memBanks = 1;        // X/Y data memory banks (dual-mul wants 2)
+  int dataWords = 2048;    // total data memory size in 16-bit words
+  int numAddrRegs = 8;     // AR file size
+
+  /// Bank of a data address: banks split the address space evenly, so with
+  /// two banks the boundary sits at dataWords/2.
+  int bankOf(int addr) const {
+    if (memBanks <= 1) return 0;
+    int bankSize = dataWords / memBanks;
+    if (bankSize <= 0) return 0;
+    int b = addr / bankSize;
+    return b < memBanks ? b : memBanks - 1;
+  }
+
+  /// Short human-readable variant description, e.g.
+  /// "tdsp[mac,sat,rpt,dmov banks=1 ars=8]".
+  std::string describe() const;
+};
+
+/// A compiled (or assembled) program for one tdsp variant: instructions plus
+/// the data-memory layout the code was generated against.
+struct TargetProgram {
+  TargetConfig config;
+  std::vector<Instr> code;
+  /// Symbol name -> base data address.
+  std::vector<std::pair<std::string, int>> symbolAddr;
+  /// Initial data memory contents as (address, value) pairs.
+  std::vector<std::pair<int, int16_t>> dataInit;
+
+  /// Base address of `name`, or -1 when unknown.
+  int addrOf(const std::string& name) const;
+
+  /// Instruction index carrying label `l`, or -1. Labels of the form "@N"
+  /// (produced by the decoder) resolve numerically.
+  int labelIndex(const std::string& l) const;
+
+  int sizeWords() const { return static_cast<int>(code.size()); }
+
+  /// Assembly-style rendering, one instruction per line.
+  std::string listing() const;
+};
+
+}  // namespace record

@@ -1,0 +1,111 @@
+// Instruction-set description (ISD): tree-pattern rules over the IR ops,
+// the grammar the BURS matcher covers data-flow trees with (§4.3.3, the
+// MSSQ/ISD heritage of RECORD). A rule rewrites a pattern of IR operators
+// and nonterminal leaves (storage classes: accumulator, memory word,
+// immediates) into a sequence of target instructions.
+//
+// The textual form round-trips (RuleSet::str <-> parseIsd) so retargeting
+// experiments can edit rule sets as text:
+//
+//   rule mac acc <- (add acc (mul mem mem)) emit LT $1 ; MPY $2 ; APAC \
+//        cost 3,3
+//
+// `$k` refers to the k-th pattern leaf (preorder over ALL leaves); `#v` is
+// a literal immediate; `%t` is a fresh one-word memory temp.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "ir/expr.h"
+#include "support/diag.h"
+#include "target/config.h"
+
+namespace record {
+
+/// Storage-class nonterminals of the tdsp grammar.
+enum class Nonterm : uint8_t { Stmt, Acc, Mem, Imm8, Imm16 };
+inline constexpr int kNumNonterms = 5;
+
+const char* nontermName(Nonterm nt);
+bool nontermFromName(const std::string& name, Nonterm& out);
+
+/// A pattern-tree node. Mem/Imm8/Imm16 leaves are numbered left-to-right
+/// with operand `slot`s (Acc leaves carry no value operand: slot = -1).
+struct PatNode {
+  enum class Kind : uint8_t { ConstLeaf, NtLeaf, OpNode };
+
+  Kind kind = Kind::NtLeaf;
+  Op op = Op::Add;            // OpNode
+  int64_t cval = 0;           // ConstLeaf
+  Nonterm nt = Nonterm::Acc;  // NtLeaf
+  int slot = -1;              // NtLeaf: operand slot (Mem/Imm leaves only)
+  std::vector<PatNode> kids;
+
+  static PatNode leaf(Nonterm nt);
+  static PatNode constant(int64_t v);
+  static PatNode node(Op op, std::vector<PatNode> kids);
+
+  std::string str() const;
+};
+
+/// Where an emitted instruction's operand comes from.
+struct OperTemplate {
+  enum class Kind : uint8_t { None, Slot, FixedImm, Temp };
+
+  Kind kind = Kind::None;
+  int slot = 0;  // Slot
+  int imm = 0;   // FixedImm
+
+  static OperTemplate none() { return {}; }
+  static OperTemplate fromSlot(int s) { return {Kind::Slot, s, 0}; }
+  static OperTemplate fixedImm(int v) { return {Kind::FixedImm, 0, v}; }
+  static OperTemplate temp() { return {Kind::Temp, 0, 0}; }
+};
+
+/// One instruction of a rule's emit sequence.
+struct EmitTemplate {
+  Opcode op = Opcode::NOP;
+  OperTemplate a;
+  OperTemplate b;
+};
+
+struct Rule {
+  std::string name;
+  Nonterm lhs = Nonterm::Acc;
+  PatNode pat;
+  std::vector<EmitTemplate> emit;
+  int size = 1;    // cost in program words
+  int cycles = 1;  // cost in cycles
+  ModeReq mode;    // OVM/SXM requirements stamped on the emitted code
+
+  /// Chain rules convert between nonterminals without consuming IR
+  /// structure (e.g. acc <- mem is a plain load).
+  bool isChain() const { return pat.kind == PatNode::Kind::NtLeaf; }
+
+  /// Does any emitted operand need a fresh memory temp?
+  bool needsTemp() const;
+};
+
+struct RuleSet {
+  std::vector<Rule> rules;
+  TargetConfig config;
+
+  /// Number of operand slots (Mem/Imm leaves) of a rule's pattern.
+  static int numSlots(const Rule& r);
+
+  /// Textual ISD; parseIsd() accepts exactly this format.
+  std::string str() const;
+};
+
+/// Parse a textual ISD. Returns nullopt (with diagnostics) on any error.
+/// The parsed rule set carries a default TargetConfig; callers retargeting
+/// to a specific core overwrite `config` afterwards.
+std::optional<RuleSet> parseIsd(const std::string& text, DiagEngine& diag);
+
+/// Assign slot numbers to the Mem/Imm leaves of `pat` (preorder,
+/// left-to-right, starting at 0). Used by rule builders.
+void assignSlots(PatNode& pat);
+
+}  // namespace record

@@ -1,0 +1,335 @@
+#include "target/tdsp.h"
+
+#include <sstream>
+
+namespace record {
+
+namespace {
+
+using K = OperTemplate;
+
+struct RuleBuilder {
+  RuleSet& rs;
+
+  Rule& add(const std::string& name, Nonterm lhs, PatNode pat, int size,
+            int cycles, ModeReq mode = {}) {
+    Rule r;
+    r.name = name;
+    r.lhs = lhs;
+    r.pat = std::move(pat);
+    assignSlots(r.pat);
+    r.size = size;
+    r.cycles = cycles;
+    r.mode = mode;
+    rs.rules.push_back(std::move(r));
+    return rs.rules.back();
+  }
+};
+
+void emit(Rule& r, Opcode op, OperTemplate a = K::none(),
+          OperTemplate b = K::none()) {
+  r.emit.push_back({op, a, b});
+}
+
+PatNode acc() { return PatNode::leaf(Nonterm::Acc); }
+PatNode mem() { return PatNode::leaf(Nonterm::Mem); }
+PatNode imm8() { return PatNode::leaf(Nonterm::Imm8); }
+PatNode imm16() { return PatNode::leaf(Nonterm::Imm16); }
+
+}  // namespace
+
+RuleSet buildTdspRules(const TargetConfig& cfg) {
+  RuleSet rs;
+  rs.config = cfg;
+  RuleBuilder b{rs};
+
+  // --- data routing ---------------------------------------------------------
+  {
+    Rule& r = b.add("store", Nonterm::Stmt,
+                    PatNode::node(Op::Store, {mem(), acc()}), 1, 1);
+    emit(r, Opcode::SACL, K::fromSlot(0));
+  }
+  {
+    Rule& r = b.add("load", Nonterm::Acc, mem(), 1, 1);
+    emit(r, Opcode::LAC, K::fromSlot(0));
+  }
+  {
+    Rule& r = b.add("lack", Nonterm::Acc, imm8(), 1, 1);
+    emit(r, Opcode::LACK, K::fromSlot(0));
+  }
+  // Pure conversion chain: any 8-bit immediate is also a 16-bit one.
+  b.add("imm8to16", Nonterm::Imm16, imm8(), 0, 0);
+  {
+    // Data routing through memory: the reducer allocates the temp.
+    Rule& r = b.add("spill", Nonterm::Mem, acc(), 1, 1);
+    emit(r, Opcode::SACL, K::temp());
+  }
+  {
+    Rule& r = b.add("zero", Nonterm::Acc, PatNode::constant(0), 1, 1);
+    emit(r, Opcode::ZAC);
+  }
+
+  // --- wrap-around ALU ------------------------------------------------------
+  {
+    Rule& r = b.add("add_mem", Nonterm::Acc,
+                    PatNode::node(Op::Add, {acc(), mem()}), 1, 1,
+                    ModeReq{0, -1});
+    emit(r, Opcode::ADD, K::fromSlot(0));
+  }
+  {
+    Rule& r = b.add("add_imm", Nonterm::Acc,
+                    PatNode::node(Op::Add, {acc(), imm8()}), 1, 1,
+                    ModeReq{0, -1});
+    emit(r, Opcode::ADDK, K::fromSlot(0));
+  }
+  {
+    Rule& r = b.add("sub_mem", Nonterm::Acc,
+                    PatNode::node(Op::Sub, {acc(), mem()}), 1, 1,
+                    ModeReq{0, -1});
+    emit(r, Opcode::SUB, K::fromSlot(0));
+  }
+  {
+    Rule& r = b.add("sub_imm", Nonterm::Acc,
+                    PatNode::node(Op::Sub, {acc(), imm8()}), 1, 1,
+                    ModeReq{0, -1});
+    emit(r, Opcode::SUBK, K::fromSlot(0));
+  }
+  {
+    Rule& r = b.add("neg", Nonterm::Acc, PatNode::node(Op::Neg, {acc()}), 1,
+                    1, ModeReq{0, -1});
+    emit(r, Opcode::NEG);
+  }
+
+  // --- bitwise --------------------------------------------------------------
+  {
+    Rule& r = b.add("and_mem", Nonterm::Acc,
+                    PatNode::node(Op::And, {acc(), mem()}), 1, 1);
+    emit(r, Opcode::AND, K::fromSlot(0));
+  }
+  {
+    Rule& r = b.add("and_imm", Nonterm::Acc,
+                    PatNode::node(Op::And, {acc(), imm16()}), 1, 1);
+    emit(r, Opcode::ANDK, K::fromSlot(0));
+  }
+  {
+    Rule& r = b.add("or_mem", Nonterm::Acc,
+                    PatNode::node(Op::Or, {acc(), mem()}), 1, 1);
+    emit(r, Opcode::OR, K::fromSlot(0));
+  }
+  {
+    Rule& r = b.add("xor_mem", Nonterm::Acc,
+                    PatNode::node(Op::Xor, {acc(), mem()}), 1, 1);
+    emit(r, Opcode::XOR, K::fromSlot(0));
+  }
+
+  // --- shifts (SFL/SFR shift by one; shift-by-k unrolls) --------------------
+  for (int k = 1; k <= 14; ++k) {
+    Rule& r = b.add("shl" + std::to_string(k), Nonterm::Acc,
+                    PatNode::node(Op::Shl, {acc(), PatNode::constant(k)}), k,
+                    k);
+    for (int i = 0; i < k; ++i) emit(r, Opcode::SFL);
+  }
+  for (int k = 1; k <= 14; ++k) {
+    Rule& r = b.add("shr" + std::to_string(k), Nonterm::Acc,
+                    PatNode::node(Op::Shr, {acc(), PatNode::constant(k)}), k,
+                    k, ModeReq{-1, 1});
+    for (int i = 0; i < k; ++i) emit(r, Opcode::SFR);
+  }
+  for (int k = 1; k <= 14; ++k) {
+    Rule& r = b.add("shru" + std::to_string(k), Nonterm::Acc,
+                    PatNode::node(Op::Shru, {acc(), PatNode::constant(k)}),
+                    k, k, ModeReq{-1, 0});
+    for (int i = 0; i < k; ++i) emit(r, Opcode::SFR);
+  }
+
+  // --- T/P multiplier pipeline ---------------------------------------------
+  if (cfg.hasMac) {
+    {
+      Rule& r = b.add("mul", Nonterm::Acc,
+                      PatNode::node(Op::Mul, {mem(), mem()}), 3, 3);
+      emit(r, Opcode::LT, K::fromSlot(0));
+      emit(r, Opcode::MPY, K::fromSlot(1));
+      emit(r, Opcode::PAC);
+    }
+    {
+      Rule& r = b.add("mul_imm", Nonterm::Acc,
+                      PatNode::node(Op::Mul, {mem(), imm8()}), 3, 3);
+      emit(r, Opcode::LT, K::fromSlot(0));
+      emit(r, Opcode::MPYK, K::fromSlot(1));
+      emit(r, Opcode::PAC);
+    }
+    {
+      Rule& r = b.add(
+          "mac", Nonterm::Acc,
+          PatNode::node(Op::Add,
+                        {acc(), PatNode::node(Op::Mul, {mem(), mem()})}),
+          3, 3, ModeReq{0, -1});
+      emit(r, Opcode::LT, K::fromSlot(0));
+      emit(r, Opcode::MPY, K::fromSlot(1));
+      emit(r, Opcode::APAC);
+    }
+    {
+      Rule& r = b.add(
+          "mac_imm", Nonterm::Acc,
+          PatNode::node(Op::Add,
+                        {acc(), PatNode::node(Op::Mul, {mem(), imm8()})}),
+          3, 3, ModeReq{0, -1});
+      emit(r, Opcode::LT, K::fromSlot(0));
+      emit(r, Opcode::MPYK, K::fromSlot(1));
+      emit(r, Opcode::APAC);
+    }
+    {
+      Rule& r = b.add(
+          "msub", Nonterm::Acc,
+          PatNode::node(Op::Sub,
+                        {acc(), PatNode::node(Op::Mul, {mem(), mem()})}),
+          3, 3, ModeReq{0, -1});
+      emit(r, Opcode::LT, K::fromSlot(0));
+      emit(r, Opcode::MPY, K::fromSlot(1));
+      emit(r, Opcode::SPAC);
+    }
+  }
+
+  // --- saturating forms (OVM=1 rides on the same ALU) -----------------------
+  if (cfg.hasSat) {
+    {
+      Rule& r = b.add("sadd_mem", Nonterm::Acc,
+                      PatNode::node(Op::SatAdd, {acc(), mem()}), 1, 1,
+                      ModeReq{1, -1});
+      emit(r, Opcode::ADD, K::fromSlot(0));
+    }
+    {
+      Rule& r = b.add("sadd_imm", Nonterm::Acc,
+                      PatNode::node(Op::SatAdd, {acc(), imm8()}), 1, 1,
+                      ModeReq{1, -1});
+      emit(r, Opcode::ADDK, K::fromSlot(0));
+    }
+    {
+      Rule& r = b.add("ssub_mem", Nonterm::Acc,
+                      PatNode::node(Op::SatSub, {acc(), mem()}), 1, 1,
+                      ModeReq{1, -1});
+      emit(r, Opcode::SUB, K::fromSlot(0));
+    }
+    {
+      Rule& r = b.add("ssub_imm", Nonterm::Acc,
+                      PatNode::node(Op::SatSub, {acc(), imm8()}), 1, 1,
+                      ModeReq{1, -1});
+      emit(r, Opcode::SUBK, K::fromSlot(0));
+    }
+    if (cfg.hasMac) {
+      {
+        Rule& r = b.add(
+            "smac", Nonterm::Acc,
+            PatNode::node(Op::SatAdd,
+                          {acc(), PatNode::node(Op::Mul, {mem(), mem()})}),
+            3, 3, ModeReq{1, -1});
+        emit(r, Opcode::LT, K::fromSlot(0));
+        emit(r, Opcode::MPY, K::fromSlot(1));
+        emit(r, Opcode::APAC);
+      }
+      {
+        Rule& r = b.add(
+            "smsub", Nonterm::Acc,
+            PatNode::node(Op::SatSub,
+                          {acc(), PatNode::node(Op::Mul, {mem(), mem()})}),
+            3, 3, ModeReq{1, -1});
+        emit(r, Opcode::LT, K::fromSlot(0));
+        emit(r, Opcode::MPY, K::fromSlot(1));
+        emit(r, Opcode::SPAC);
+      }
+    }
+  }
+
+  // --- dual-multiplier datapath ---------------------------------------------
+  if (cfg.hasDualMul) {
+    {
+      Rule& r = b.add("mulxy", Nonterm::Acc,
+                      PatNode::node(Op::Mul, {mem(), mem()}), 2, 2);
+      emit(r, Opcode::MPYXY, K::fromSlot(0), K::fromSlot(1));
+      emit(r, Opcode::PAC);
+    }
+    {
+      Rule& r = b.add(
+          "macxy", Nonterm::Acc,
+          PatNode::node(Op::Add,
+                        {acc(), PatNode::node(Op::Mul, {mem(), mem()})}),
+          2, 2, ModeReq{0, -1});
+      emit(r, Opcode::MPYXY, K::fromSlot(0), K::fromSlot(1));
+      emit(r, Opcode::APAC);
+    }
+    if (cfg.hasSat) {
+      Rule& r = b.add(
+          "smacxy", Nonterm::Acc,
+          PatNode::node(Op::SatAdd,
+                        {acc(), PatNode::node(Op::Mul, {mem(), mem()})}),
+          2, 2, ModeReq{1, -1});
+      emit(r, Opcode::MPYXY, K::fromSlot(0), K::fromSlot(1));
+      emit(r, Opcode::APAC);
+    }
+  }
+
+  return rs;
+}
+
+std::string tdspDatapathNetlist(const TargetConfig& cfg) {
+  // Field layout is computed on the fly; only names matter to the
+  // extraction/simulation consumers.
+  std::ostringstream os;
+  int lsb = 0;
+  auto field = [&](const char* name, int width) {
+    os << "field " << name << " " << width << " " << lsb << "\n";
+    lsb += width;
+  };
+  // Cap the modelled memory so exhaustive RTL property tests stay fast; the
+  // netlist is a datapath model, not the full address space.
+  int memWords = cfg.dataWords < 64 ? cfg.dataWords : 64;
+  int addrBits = 1;
+  while ((1 << addrBits) < memWords) ++addrBits;
+
+  os << "netlist tdsp\n";
+  field("maddr", addrBits);
+  field("imm", 8);
+  field("aluop", 2);
+  field("asel", 1);   // ALU in0: 0 = acc, 1 = zero
+  field("bsel", 1);   // ALU in1 pre-mux: 0 = mem, 1 = sign-extended imm
+  field("accwe", 1);
+  field("memwe", 1);
+  if (cfg.hasMac) {
+    field("psel", 1);  // ALU in1: 0 = bmux, 1 = product register
+    field("twe", 1);
+    field("pwe", 1);
+  }
+
+  os << "storage mem memory " << memWords << " 16 raddr maddr waddr maddr\n";
+  os << "storage acc reg 16\n";
+  if (cfg.hasMac) {
+    os << "storage t reg 16\n";
+    os << "storage p reg 16\n";
+  }
+
+  os << "unit zero const 16 value 0\n";
+  os << "unit immx sext in 8 out 16 from imm\n";
+  os << "unit amux mux2 16 sel asel in0 acc.out in1 zero.out\n";
+  os << "unit bmux mux2 16 sel bsel in0 mem.out in1 immx.out\n";
+  if (cfg.hasMac) {
+    os << "unit pmux mux2 16 sel psel in0 bmux.out in1 p.out\n";
+    os << "unit mul mult in0 t.out in1 mem.out out 16\n";
+    os << "unit alu alu 16 op aluop in0 amux.out in1 pmux.out\n";
+  } else {
+    os << "unit alu alu 16 op aluop in0 amux.out in1 bmux.out\n";
+  }
+
+  os << "connect acc.in alu.out\n";
+  os << "connect acc.we accwe\n";
+  os << "connect mem.in acc.out\n";
+  os << "connect mem.we memwe\n";
+  if (cfg.hasMac) {
+    os << "connect t.in mem.out\n";
+    os << "connect t.we twe\n";
+    os << "connect p.in mul.out\n";
+    os << "connect p.we pwe\n";
+  }
+  return os.str();
+}
+
+}  // namespace record

@@ -1,0 +1,24 @@
+// The built-in tdsp target: a hand-written ISD for the configured core
+// variant, plus the equivalent RT-level netlist of its datapath so the
+// instruction-set-extraction path (src/ise) can re-derive an instruction
+// set from structure alone and cross-check it against this ISD.
+#pragma once
+
+#include <string>
+
+#include "target/config.h"
+#include "target/isd.h"
+
+namespace record {
+
+/// Build the tdsp rule set for one core variant. Feature flags gate rule
+/// families: hasMac the T/P pipeline, hasDualMul the MPYXY path, hasSat the
+/// saturating forms.
+RuleSet buildTdspRules(const TargetConfig& cfg);
+
+/// Textual RT netlist of the tdsp datapath (accumulator, ALU with
+/// zero/immediate/product operand muxes, and -- with hasMac -- the T/P
+/// multiplier pipeline). Parsable by nl::parseNetlist.
+std::string tdspDatapathNetlist(const TargetConfig& cfg);
+
+}  // namespace record
