@@ -1,0 +1,87 @@
+// Long-running differential-testing soak: keeps generating seeded programs
+// and cross-checking interpreter vs. pipeline+simulator until a time or
+// seed budget runs out. On a divergence it greedily minimizes the program
+// and prints a complete repro record, then exits non-zero.
+//
+//   ./bench/difftest_soak                 # 60 seconds from seed 1
+//   ./bench/difftest_soak --seconds 600
+//   ./bench/difftest_soak --seeds 5000 --base 100000
+//
+// Reproduce a reported divergence by rerunning with --base <seed>
+// --seeds 1 (generation is deterministic in the seed).
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "difftest/difftest.h"
+
+int main(int argc, char** argv) {
+  using namespace record;
+  long seconds = 60;
+  long long maxSeeds = -1;  // unlimited
+  unsigned long long base = 1;
+  for (int i = 1; i < argc; ++i) {
+    auto arg = [&](const char* name) {
+      return std::strcmp(argv[i], name) == 0 && i + 1 < argc;
+    };
+    if (arg("--seconds")) seconds = std::atol(argv[++i]);
+    else if (arg("--seeds")) maxSeeds = std::atoll(argv[++i]);
+    else if (arg("--base")) base = std::strtoull(argv[++i], nullptr, 0);
+    else {
+      std::fprintf(stderr,
+                   "usage: %s [--seconds N] [--seeds N] [--base SEED]\n",
+                   argv[0]);
+      return 2;
+    }
+  }
+
+  const auto sweep = difftest::defaultSweep();
+  difftest::OracleStats stats;
+  const auto start = std::chrono::steady_clock::now();
+  auto elapsed = [&start]() {
+    return std::chrono::duration_cast<std::chrono::seconds>(
+               std::chrono::steady_clock::now() - start)
+        .count();
+  };
+
+  unsigned long long seed = base;
+  int divergences = 0;
+  for (;; ++seed) {
+    if (maxSeeds >= 0 &&
+        seed - base >= static_cast<unsigned long long>(maxSeeds))
+      break;
+    if (maxSeeds < 0 && elapsed() >= seconds) break;
+    difftest::ProgSpec spec = difftest::generateProgram(seed);
+    for (const auto& r : difftest::crossCheck(spec, sweep, &stats)) {
+      ++divergences;
+      std::fprintf(stderr, "=== DIVERGENCE ===\n%s\n", r.str().c_str());
+      // Minimize against the failing sweep point.
+      const difftest::SweepPoint* pt = nullptr;
+      for (const auto& p : sweep)
+        if (p.name == r.config) pt = &p;
+      if (pt) {
+        difftest::ProgSpec min = difftest::minimize(
+            spec, difftest::divergesAt(*pt, r.fastPath));
+        std::fprintf(stderr, "=== MINIMIZED (seed=%llu config=%s %s) ===\n%s",
+                     seed, r.config.c_str(),
+                     r.fastPath ? "fast-path" : "slow-path",
+                     min.render().c_str());
+      }
+    }
+    if ((seed - base + 1) % 100 == 0)
+      std::fprintf(stderr,
+                   "[%lds] %d programs, %d runs, %d unsupported skips, "
+                   "%d divergences\n",
+                   static_cast<long>(elapsed()), stats.programs, stats.runs,
+                   stats.unsupported, stats.divergences);
+  }
+
+  std::printf(
+      "difftest_soak: %d programs, %d (config x mode) runs, %d unsupported "
+      "skips, %d divergences in %lds\n",
+      stats.programs, stats.runs, stats.unsupported, stats.divergences,
+      static_cast<long>(elapsed()));
+  return divergences == 0 ? 0 : 1;
+}

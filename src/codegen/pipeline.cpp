@@ -99,6 +99,174 @@ Stmt substStmt(const Stmt& s, const Symbol* ivar, int64_t v) {
   return out;
 }
 
+// ---------------------------------------------------------------------------
+// Exactness: wide-demand analysis + sum canonicalization
+// ---------------------------------------------------------------------------
+//
+// The golden model (ir/interp.cpp) evaluates every operator over full 32-bit
+// intermediates, while instruction covers may route subexpressions through
+// 16-bit memory words (operand spills). A spilled addend changes the sum by
+// a multiple of 2^16 -- invisible to the low 16 bits a store keeps, but NOT
+// to right shifts, saturating ops, or anything else that observes the high
+// accumulator half ("wide demand"). Two measures keep compiled code exact:
+//
+//   1. normalizeSums() rebuilds every +/- chain left-leaning, placing the
+//      (at most one) wide non-product term first. The resulting chain has a
+//      spill-free accumulator cover, and spilled alternatives cost strictly
+//      more, so selection can never pick a lossy one -- even with rewriting
+//      disabled, since the canonical tree itself is variant #0.
+//   2. The same walk rejects the residue no cover can express: two or more
+//      wide non-product terms under wide demand, a saturating op with both
+//      operands wide and compound, or (on cores without a hardware
+//      multiplier) a product whose high bits are observed -- the software
+//      multiply only produces the low 16.
+//
+// Products never count as wide terms: Mul operands are 16-bit by definition
+// (mul16 in ir/type.h), and the product reaches the accumulator through the
+// 32-bit P register in any chain position (MPY/PAC/APAC/SPAC), so spilling
+// a Mul *operand* is exact and the Mul itself never needs to lead a chain.
+
+bool fitsInt16Value(const ExprPtr& e) {
+  if (e->op == Op::Ref || e->op == Op::ArrayRef) return true;  // 16-bit cells
+  if (e->op == Op::Const) return e->value >= -32768 && e->value <= 32767;
+  return false;
+}
+
+/// A term that must stay accumulator-resident under wide demand.
+bool isWideTerm(const ExprPtr& e) {
+  return !fitsInt16Value(e) && e->op != Op::Mul;
+}
+
+struct SumTerm {
+  ExprPtr expr;
+  bool negated = false;
+};
+
+ExprPtr normalizeSums(const ExprPtr& e, bool wide, bool softMul,
+                      const TargetConfig& cfg);
+
+void flattenSumInto(const ExprPtr& e, bool neg, bool wide, bool softMul,
+                    const TargetConfig& cfg, std::vector<SumTerm>& out) {
+  if (e->op == Op::Add) {
+    flattenSumInto(e->kids[0], neg, wide, softMul, cfg, out);
+    flattenSumInto(e->kids[1], neg, wide, softMul, cfg, out);
+    return;
+  }
+  if (e->op == Op::Sub) {
+    flattenSumInto(e->kids[0], neg, wide, softMul, cfg, out);
+    flattenSumInto(e->kids[1], !neg, wide, softMul, cfg, out);
+    return;
+  }
+  if (e->op == Op::Neg) {
+    flattenSumInto(e->kids[0], !neg, wide, softMul, cfg, out);
+    return;
+  }
+  out.push_back({normalizeSums(e, wide, softMul, cfg), neg});
+}
+
+ExprPtr normalizeSums(const ExprPtr& e, bool wide, bool softMul,
+                      const TargetConfig& cfg) {
+  if (e->op == Op::Const) {
+    // DFL literals are wrapped to 16 bits at lowering; an out-of-range
+    // constant can only come from folding (wrap32 adds). The machine
+    // materializes constants through 16-bit pool words, so where the high
+    // bits are observed such a constant is inexpressible.
+    if (wide && !fitsInt16Value(e))
+      throw std::runtime_error(
+          "statement is not exactly representable on " + cfg.describe() +
+          ": folded constant " + std::to_string(e->value) +
+          " does not fit a 16-bit word but its high bits are observed");
+    return e;
+  }
+  if (opIsLeaf(e->op)) return e;
+  // Array indexes are an addressing concern (hoisting, affine/stream
+  // analysis) and always low-16; leave their shape alone.
+  if (e->op == Op::ArrayRef) return e;
+
+  if (e->op == Op::Add || e->op == Op::Sub || e->op == Op::Neg) {
+    std::vector<SumTerm> terms;
+    flattenSumInto(e, false, wide, softMul, cfg, terms);
+    size_t lead = 0;
+    if (wide) {
+      int wideCount = 0;
+      for (size_t i = 0; i < terms.size(); ++i) {
+        if (!isWideTerm(terms[i].expr)) continue;
+        if (wideCount++ == 0) lead = i;
+      }
+      if (wideCount >= 2)
+        throw std::runtime_error(
+            "statement is not exactly representable on " + cfg.describe() +
+            ": " + std::to_string(wideCount) +
+            " wide intermediates feed a right-shift/saturation context and "
+            "only one can stay accumulator-resident, in: " +
+            e->str());
+    }
+    ExprPtr chain = terms[lead].expr;
+    const bool flip = terms[lead].negated;
+    for (size_t i = 0; i < terms.size(); ++i) {
+      if (i == lead) continue;
+      chain = Expr::binary(terms[i].negated != flip ? Op::Sub : Op::Add,
+                           chain, terms[i].expr);
+    }
+    if (flip) chain = Expr::unary(Op::Neg, chain);
+    return exprEquals(chain, e) ? e : chain;
+  }
+
+  std::vector<ExprPtr> kids;
+  kids.reserve(e->kids.size());
+  bool changed = false;
+  for (size_t i = 0; i < e->kids.size(); ++i) {
+    bool kidWide = wide;
+    switch (e->op) {
+      case Op::Shr:
+      case Op::Shru:
+      case Op::SatAdd:
+      case Op::SatSub:
+        kidWide = true;  // these observe the full 32-bit operand value
+        break;
+      case Op::Mul:
+      case Op::And:
+        kidWide = false;  // operands pass a 16-bit port either way
+        break;
+      case Op::Or:
+      case Op::Xor:
+        kidWide = wide && i == 0;  // the right operand is masked to 16 bits
+        break;
+      default:
+        break;  // Shl/Store keep the inherited demand
+    }
+    kids.push_back(normalizeSums(e->kids[i], kidWide, softMul, cfg));
+    changed |= kids.back().get() != e->kids[i].get();
+  }
+
+  if (e->op == Op::Mul && wide && softMul)
+    throw std::runtime_error(
+        "statement is not exactly representable on " + cfg.describe() +
+        ": the software multiply produces only the low 16 bits of a "
+        "product, but its high bits are observed in: " + e->str());
+
+  if (e->op == Op::SatAdd || e->op == Op::SatSub) {
+    bool w0 = isWideTerm(kids[0]);
+    bool w1 = isWideTerm(kids[1]);
+    // Keep the wide operand on the accumulator side; the other side feeds
+    // the 16-bit memory port of the SOVM add/subtract.
+    if (e->op == Op::SatAdd && w1 && !w0) {
+      std::swap(kids[0], kids[1]);
+      std::swap(w0, w1);
+      changed = true;
+    }
+    if (w1)
+      throw std::runtime_error(
+          "statement is not exactly representable on " + cfg.describe() +
+          ": both operands of a saturating op are wider than a memory "
+          "word, in: " + e->str());
+  }
+
+  if (!changed) return e;
+  if (kids.size() == 1) return Expr::unary(e->op, kids[0]);
+  return Expr::binary(e->op, kids[0], kids[1]);
+}
+
 /// Affine analysis: idx as a function of ivar. Returns (coeff, valueAtZero)
 /// when idx = coeff*ivar + c exactly (checked at three points).
 std::optional<std::pair<int64_t, int64_t>> affineIndex(const ExprPtr& idx,
@@ -516,7 +684,12 @@ class Emitter {
     binder_.beginStatement();
     ExprPtr rhs = s.rhs;
     if (opt_.foldConstants) rhs = foldConstants(rhs);
-    if (!cfg_.hasMac && !cfg_.hasDualMul) rhs = legalizeMuls(rhs);
+    const bool softMul = !cfg_.hasMac && !cfg_.hasDualMul;
+    // Canonicalize sums for exactness and reject statements no cover can
+    // implement bit-exactly (throws; see normalizeSums above). The store
+    // root only keeps the low 16 bits, hence wide=false at the root.
+    rhs = normalizeSums(rhs, /*wide=*/false, softMul, cfg_);
+    if (softMul) rhs = legalizeMuls(rhs);
     rhs = hoistIndexes(rhs);
     if (opt_.atomizeExprs) rhs = atomize(rhs, true);
 

@@ -8,7 +8,9 @@
 
 namespace record::dfl {
 
-std::optional<Program> parseDfl(const std::string& source, DiagEngine& diag) {
+std::optional<Program> parseDfl(const std::string& source, DiagEngine& diag,
+                                const std::string& sourceName) {
+  if (!sourceName.empty()) diag.setSourceName(sourceName);
   Lexer lex(source, diag);
   auto toks = lex.lexAll();
   if (diag.hasErrors()) return std::nullopt;
@@ -18,9 +20,10 @@ std::optional<Program> parseDfl(const std::string& source, DiagEngine& diag) {
   return lower(*ast, diag);
 }
 
-Program parseDflOrDie(const std::string& source) {
+Program parseDflOrDie(const std::string& source,
+                      const std::string& sourceName) {
   DiagEngine diag;
-  auto prog = parseDfl(source, diag);
+  auto prog = parseDfl(source, diag, sourceName);
   if (!prog)
     throw std::runtime_error("DFL compilation failed:\n" + diag.str());
   return std::move(*prog);

@@ -11,12 +11,16 @@
 namespace record::dfl {
 
 /// Compile DFL source into an IR program. Returns nullopt on any error;
-/// diagnostics describe what went wrong.
-std::optional<Program> parseDfl(const std::string& source, DiagEngine& diag);
+/// diagnostics describe what went wrong. When `sourceName` is nonempty it
+/// is recorded on the engine and every diagnostic location renders as
+/// "name:line:col".
+std::optional<Program> parseDfl(const std::string& source, DiagEngine& diag,
+                                const std::string& sourceName = "");
 
 /// Convenience wrapper that throws std::runtime_error with the rendered
 /// diagnostics on failure. Used by tests, benches and examples where a
 /// malformed built-in kernel is a programming error.
-Program parseDflOrDie(const std::string& source);
+Program parseDflOrDie(const std::string& source,
+                      const std::string& sourceName = "");
 
 }  // namespace record::dfl

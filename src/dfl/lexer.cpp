@@ -87,7 +87,7 @@ char Lexer::advance() {
 
 bool Lexer::atEnd() const { return pos_ >= src_.size(); }
 
-SourceLoc Lexer::here() const { return {line_, col_}; }
+SourceLoc Lexer::here() const { return {line_, col_, diag_.sourceName()}; }
 
 Token Lexer::next() {
   // Skip whitespace and comments.
@@ -119,29 +119,45 @@ Token Lexer::next() {
     return t;
   }
   if (std::isdigit(static_cast<unsigned char>(c))) {
-    int64_t v = c - '0';
+    // Literals denote 16-bit data words, so anything past 0xffff is a
+    // typo, not a bigger number; accumulate in uint64 with a clamp (the
+    // old int64 accumulation overflowed -- undefined behavior -- on
+    // absurdly long literals) and diagnose once per literal.
+    constexpr uint64_t kMax = 0xffff;
+    uint64_t v = static_cast<uint64_t>(c - '0');
+    bool overflow = false;
     // Hex literals: 0x...
     if (v == 0 && (peek() == 'x' || peek() == 'X')) {
       advance();
-      int64_t h = 0;
       bool any = false;
       while (!atEnd() &&
              std::isxdigit(static_cast<unsigned char>(peek()))) {
         char d = advance();
         any = true;
-        h = h * 16 + (std::isdigit(static_cast<unsigned char>(d))
-                          ? d - '0'
-                          : std::tolower(d) - 'a' + 10);
+        v = v * 16 + static_cast<uint64_t>(
+                         std::isdigit(static_cast<unsigned char>(d))
+                             ? d - '0'
+                             : std::tolower(d) - 'a' + 10);
+        if (v > kMax) {
+          overflow = true;
+          v = kMax;
+        }
       }
       if (!any) diag_.error(t.loc, "hex literal with no digits");
-      t.kind = Tok::Number;
-      t.number = h;
-      return t;
+    } else {
+      while (!atEnd() && std::isdigit(static_cast<unsigned char>(peek()))) {
+        v = v * 10 + static_cast<uint64_t>(advance() - '0');
+        if (v > kMax) {
+          overflow = true;
+          v = kMax;
+        }
+      }
     }
-    while (!atEnd() && std::isdigit(static_cast<unsigned char>(peek())))
-      v = v * 10 + (advance() - '0');
+    if (overflow)
+      diag_.error(t.loc,
+                  "integer literal exceeds the 16-bit data word (max 65535)");
     t.kind = Tok::Number;
-    t.number = v;
+    t.number = static_cast<int64_t>(v);
     return t;
   }
   switch (c) {

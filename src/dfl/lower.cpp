@@ -38,19 +38,23 @@ class Lowerer {
       case AstExpr::Kind::Unary: {
         auto v = evalConst(*e.lhs);
         if (!v) return std::nullopt;
-        return -*v;
+        return static_cast<int64_t>(0 - static_cast<uint64_t>(*v));
       }
       case AstExpr::Kind::Binary: {
         auto a = evalConst(*e.lhs);
         auto b = evalConst(*e.rhs);
         if (!a || !b) return std::nullopt;
+        // Wrap in uint64 (defined) -- the old signed +,*,<< overflowed on
+        // adversarial constant expressions.
+        uint64_t ua = static_cast<uint64_t>(*a);
+        uint64_t ub = static_cast<uint64_t>(*b);
         switch (e.op) {
           case Tok::Plus:
-          case Tok::PlusSat: return *a + *b;
+          case Tok::PlusSat: return static_cast<int64_t>(ua + ub);
           case Tok::Minus:
-          case Tok::MinusSat: return *a - *b;
-          case Tok::Star: return *a * *b;
-          case Tok::Shl: return *a << (*b & 31);
+          case Tok::MinusSat: return static_cast<int64_t>(ua - ub);
+          case Tok::Star: return static_cast<int64_t>(ua * ub);
+          case Tok::Shl: return static_cast<int64_t>(ua << (*b & 31));
           case Tok::Shr: return *a >> (*b & 31);
           case Tok::Shru:
             return static_cast<int64_t>(
@@ -113,7 +117,13 @@ class Lowerer {
   ExprPtr lowerExpr(const AstExpr& e) {
     switch (e.kind) {
       case AstExpr::Kind::Number:
-        return Expr::constant(e.number, Type::Int);
+        // Literals in expressions denote 16-bit data words, exactly like
+        // every storage cell: 0x8000..0xffff wrap to negative values. The
+        // machine can only materialize a literal through a 16-bit constant
+        // pool word, so wrapping here keeps the golden model and the
+        // hardware in exact agreement (difftest caught (0 - 32768) >> 8
+        // diverging when 32768 was kept wide).
+        return Expr::constant(wrap16(e.number), Type::Int);
       case AstExpr::Kind::Name: {
         const Symbol* s = prog_->symbols.lookup(e.name);
         if (!s) {
@@ -126,8 +136,11 @@ class Lowerer {
         }
         // Constants resolve at lowering time (name resolution, not an
         // optimization): index arithmetic and shift amounts must see them.
+        // Like literals, their expression value is the 16-bit word (the
+        // raw value still drives array sizes, bounds and shift amounts
+        // through evalConst).
         if (s->kind == SymKind::Const)
-          return Expr::constant(s->constValue, Type::Int);
+          return Expr::constant(wrap16(s->constValue), Type::Int);
         return Expr::ref(s);
       }
       case AstExpr::Kind::Index: {

@@ -1,0 +1,364 @@
+#include "difftest/difftest.h"
+
+#include <cassert>
+#include <sstream>
+
+namespace record::difftest {
+
+// ---------------------------------------------------------------------------
+// GExpr
+// ---------------------------------------------------------------------------
+
+GExprPtr GExpr::constant(int64_t v) {
+  auto e = std::make_shared<GExpr>();
+  e->op = Op::Const;
+  e->value = v;
+  return e;
+}
+
+GExprPtr GExpr::ref(std::string name, int delay) {
+  auto e = std::make_shared<GExpr>();
+  e->op = Op::Ref;
+  e->name = std::move(name);
+  e->value = delay;
+  return e;
+}
+
+GExprPtr GExpr::arrayRef(std::string name, GExprPtr index) {
+  auto e = std::make_shared<GExpr>();
+  e->op = Op::ArrayRef;
+  e->name = std::move(name);
+  e->kids.push_back(std::move(index));
+  return e;
+}
+
+GExprPtr GExpr::unary(Op op, GExprPtr a) {
+  auto e = std::make_shared<GExpr>();
+  e->op = op;
+  e->kids.push_back(std::move(a));
+  return e;
+}
+
+GExprPtr GExpr::binary(Op op, GExprPtr a, GExprPtr b) {
+  auto e = std::make_shared<GExpr>();
+  e->op = op;
+  e->kids.push_back(std::move(a));
+  e->kids.push_back(std::move(b));
+  return e;
+}
+
+namespace {
+
+const char* opToken(Op op) {
+  switch (op) {
+    case Op::Add: return "+";
+    case Op::Sub: return "-";
+    case Op::Mul: return "*";
+    case Op::SatAdd: return "+|";
+    case Op::SatSub: return "-|";
+    case Op::Shl: return "<<";
+    case Op::Shr: return ">>";
+    case Op::Shru: return ">>>";
+    case Op::And: return "&";
+    case Op::Or: return "|";
+    case Op::Xor: return "^";
+    default: return "?";
+  }
+}
+
+}  // namespace
+
+std::string renderExpr(const GExpr& e) {
+  switch (e.op) {
+    case Op::Const:
+      // DFL literals denote 16-bit words, so a negative value renders as
+      // its unsigned 16-bit representation (-1 -> 65535); the grammar has
+      // no unary minus.
+      if (e.value < 0)
+        return std::to_string(static_cast<uint64_t>(e.value) & 0xffff);
+      return std::to_string(e.value);
+    case Op::Ref:
+      if (e.value > 0) return e.name + "@" + std::to_string(e.value);
+      return e.name;
+    case Op::ArrayRef:
+      return e.name + "[" + renderExpr(*e.kids[0]) + "]";
+    case Op::Neg:
+      return "(0 - " + renderExpr(*e.kids[0]) + ")";
+    default:
+      return "(" + renderExpr(*e.kids[0]) + " " + opToken(e.op) + " " +
+             renderExpr(*e.kids[1]) + ")";
+  }
+}
+
+std::string ProgSpec::render() const {
+  std::ostringstream os;
+  os << "program difftest_" << seed << ";\n";
+  for (const auto& d : decls) {
+    switch (d.kind) {
+      case GDecl::Kind::Input: os << "input "; break;
+      case GDecl::Kind::Output: os << "output "; break;
+      case GDecl::Kind::Var: os << "var "; break;
+    }
+    os << d.name;
+    if (d.arraySize > 0) os << "[" << d.arraySize << "]";
+    if (d.delay > 0) os << " delay " << d.delay;
+    os << " : fix;\n";
+  }
+  os << "begin\n";
+  auto emitStmt = [&os](const GStmt& s, const char* pad) {
+    os << pad << s.lhs;
+    if (s.lhsIndex) os << "[" << renderExpr(*s.lhsIndex) << "]";
+    os << " := " << renderExpr(*s.rhs) << ";\n";
+  };
+  for (const auto& it : items) {
+    if (!it.isLoop) {
+      emitStmt(it.stmts[0], "  ");
+      continue;
+    }
+    os << "  for " << it.ivar << " := " << it.lo << " to " << it.hi
+       << " do\n";
+    for (const auto& s : it.stmts) emitStmt(s, "    ");
+    os << "  endfor\n";
+  }
+  os << "end\n";
+  return os.str();
+}
+
+// ---------------------------------------------------------------------------
+// Generator
+// ---------------------------------------------------------------------------
+
+namespace {
+
+/// splitmix64: tiny, high-quality, and fully specified -- identical streams
+/// on every platform (std::uniform_int_distribution is not portable).
+struct Rng {
+  uint64_t state;
+  explicit Rng(uint64_t seed) : state(seed + 0x9e3779b97f4a7c15ull) {}
+  uint64_t next() {
+    uint64_t z = (state += 0x9e3779b97f4a7c15ull);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+  }
+  /// Uniform in [0, n).
+  int range(int n) { return static_cast<int>(next() % static_cast<uint64_t>(n)); }
+  bool chance(int pct) { return range(100) < pct; }
+};
+
+/// Boundary-biased 16-bit constant pool: half overflow-provoking corner
+/// values, half full-range random.
+int64_t pickValue(Rng& rng) {
+  static const int64_t kCorners[] = {0,      1,       -1,      2,
+                                     0x7fff, -0x8000, 0x7ffe,  -0x7fff,
+                                     0x4000, -0x4000, 0x2000,  0x5555};
+  if (rng.chance(50))
+    return kCorners[rng.range(static_cast<int>(sizeof(kCorners) /
+                                               sizeof(kCorners[0])))];
+  return static_cast<int64_t>(rng.next() % 0x10000u) - 0x8000;
+}
+
+struct GenCtx {
+  Rng& rng;
+  const std::vector<GDecl>& decls;
+  // Loop context: induction variable usable in array indices.
+  std::string ivar;   // empty outside loops
+  int ivarMax = 0;    // loop hi bound (inclusive)
+};
+
+const GDecl* pickDecl(GenCtx& cx, bool wantArray) {
+  std::vector<const GDecl*> pool;
+  for (const auto& d : cx.decls) {
+    if (d.kind == GDecl::Kind::Output) continue;  // outputs are write-only
+    if ((d.arraySize > 0) != wantArray) continue;
+    pool.push_back(&d);
+  }
+  if (pool.empty()) return nullptr;
+  return pool[cx.rng.range(static_cast<int>(pool.size()))];
+}
+
+GExprPtr genIndex(GenCtx& cx, int arraySize) {
+  // Inside a loop whose bounds fit the array, prefer the induction
+  // variable (exercises AR streaming / post-increment addressing).
+  if (!cx.ivar.empty() && cx.ivarMax < arraySize && cx.rng.chance(70))
+    return GExpr::ref(cx.ivar);
+  if (cx.rng.chance(50)) return GExpr::constant(cx.rng.range(arraySize));
+  // Dynamic index, mask-guarded to stay in bounds (sizes are powers of 2).
+  const GDecl* d = pickDecl(cx, /*wantArray=*/false);
+  GExprPtr base = d ? GExpr::ref(d->name) : GExpr::constant(cx.rng.range(arraySize));
+  return GExpr::binary(Op::And, std::move(base),
+                       GExpr::constant(arraySize - 1));
+}
+
+GExprPtr genLeaf(GenCtx& cx) {
+  for (int attempt = 0; attempt < 4; ++attempt) {
+    int roll = cx.rng.range(100);
+    if (roll < 55) {
+      const GDecl* d = pickDecl(cx, /*wantArray=*/false);
+      if (!d) continue;
+      int delay = d->delay > 0 && cx.rng.chance(40)
+                      ? 1 + cx.rng.range(d->delay)
+                      : 0;
+      return GExpr::ref(d->name, delay);
+    }
+    if (roll < 75) {
+      const GDecl* d = pickDecl(cx, /*wantArray=*/true);
+      if (!d) continue;
+      return GExpr::arrayRef(d->name, genIndex(cx, d->arraySize));
+    }
+    break;
+  }
+  return GExpr::constant(pickValue(cx.rng));
+}
+
+GExprPtr genExpr(GenCtx& cx, int depth) {
+  if (depth <= 0 || cx.rng.chance(20)) return genLeaf(cx);
+  int roll = cx.rng.range(100);
+  if (roll < 22)
+    return GExpr::binary(Op::Add, genExpr(cx, depth - 1),
+                         genExpr(cx, depth - 1));
+  if (roll < 38)
+    return GExpr::binary(Op::Sub, genExpr(cx, depth - 1),
+                         genExpr(cx, depth - 1));
+  if (roll < 54)
+    return GExpr::binary(Op::Mul, genExpr(cx, depth - 1),
+                         genExpr(cx, depth - 1));
+  if (roll < 62)  // shift amounts stay small and constant (grammar rule)
+    return GExpr::binary(Op::Shl, genExpr(cx, depth - 1),
+                         GExpr::constant(1 + cx.rng.range(8)));
+  if (roll < 70)
+    return GExpr::binary(Op::Shr, genExpr(cx, depth - 1),
+                         GExpr::constant(1 + cx.rng.range(8)));
+  if (roll < 74)
+    return GExpr::binary(Op::Shru, genExpr(cx, depth - 1),
+                         GExpr::constant(1 + cx.rng.range(8)));
+  if (roll < 80)
+    return GExpr::binary(Op::And, genExpr(cx, depth - 1), genLeaf(cx));
+  if (roll < 85)
+    return GExpr::binary(Op::Or, genExpr(cx, depth - 1), genLeaf(cx));
+  if (roll < 90)
+    return GExpr::binary(Op::Xor, genExpr(cx, depth - 1), genLeaf(cx));
+  if (roll < 95)
+    // Keep one saturating operand simple: both-wide shapes are correctly
+    // rejected by the compiler, and we want mostly-compilable programs.
+    return GExpr::binary(Op::SatAdd, genExpr(cx, depth - 1), genLeaf(cx));
+  return GExpr::binary(Op::SatSub, genExpr(cx, depth - 1), genLeaf(cx));
+}
+
+}  // namespace
+
+ProgSpec generateProgram(uint64_t seed) {
+  Rng rng(seed);
+  ProgSpec spec;
+  spec.seed = seed;
+  spec.ticks = 3 + rng.range(4);
+
+  // Declarations. Names are stable so repros read uniformly.
+  int nIn = 2 + rng.range(2);
+  for (int i = 0; i < nIn; ++i) {
+    GDecl d;
+    d.kind = GDecl::Kind::Input;
+    d.name = "i" + std::to_string(i);
+    if (rng.chance(30)) d.delay = 1 + rng.range(2);
+    spec.decls.push_back(d);
+  }
+  int nOut = 1 + rng.range(2);
+  for (int i = 0; i < nOut; ++i)
+    spec.decls.push_back({GDecl::Kind::Output, "o" + std::to_string(i), 0, 0});
+  int nVar = rng.range(3);
+  for (int i = 0; i < nVar; ++i) {
+    GDecl d;
+    d.kind = GDecl::Kind::Var;
+    d.name = "v" + std::to_string(i);
+    if (rng.chance(35)) d.delay = 1 + rng.range(2);
+    spec.decls.push_back(d);
+  }
+  if (rng.chance(60)) {
+    GDecl d;
+    d.kind = GDecl::Kind::Var;
+    d.name = "a0";
+    d.arraySize = rng.chance(50) ? 4 : 8;  // powers of 2: maskable indices
+    spec.decls.push_back(d);
+  }
+
+  GenCtx cx{rng, spec.decls, "", 0};
+
+  // Writable left-hand sides: outputs and vars.
+  auto pickLhs = [&](bool inLoop) {
+    std::vector<const GDecl*> pool;
+    for (const auto& d : spec.decls)
+      if (d.kind != GDecl::Kind::Input) pool.push_back(&d);
+    const GDecl* d = pool[rng.range(static_cast<int>(pool.size()))];
+    GStmt s;
+    s.lhs = d->name;
+    if (d->arraySize > 0)
+      s.lhsIndex = inLoop && !cx.ivar.empty() && cx.ivarMax < d->arraySize
+                       ? GExpr::ref(cx.ivar)
+                       : GExpr::constant(rng.range(d->arraySize));
+    return s;
+  };
+
+  int nItems = 1 + rng.range(3);
+  for (int i = 0; i < nItems; ++i) {
+    GItem it;
+    if (rng.chance(30)) {
+      it.isLoop = true;
+      it.ivar = "k" + std::to_string(i);
+      it.lo = 0;
+      it.hi = 1 + rng.range(5);
+      cx.ivar = it.ivar;
+      cx.ivarMax = it.hi;
+      int nBody = 1 + rng.range(2);
+      for (int b = 0; b < nBody; ++b) {
+        GStmt s = pickLhs(/*inLoop=*/true);
+        s.rhs = genExpr(cx, 2 + rng.range(2));
+        it.stmts.push_back(std::move(s));
+      }
+      cx.ivar.clear();
+      cx.ivarMax = 0;
+    } else {
+      GStmt s = pickLhs(/*inLoop=*/false);
+      s.rhs = genExpr(cx, 2 + rng.range(3));
+      it.stmts.push_back(std::move(s));
+    }
+    spec.items.push_back(std::move(it));
+  }
+
+  // Every output gets at least one assignment so the comparison is not
+  // trivially 0 == 0.
+  for (const auto& d : spec.decls) {
+    if (d.kind != GDecl::Kind::Output) continue;
+    bool assigned = false;
+    for (const auto& it : spec.items)
+      for (const auto& s : it.stmts) assigned |= s.lhs == d.name;
+    if (assigned) continue;
+    GItem it;
+    GStmt s;
+    s.lhs = d.name;
+    s.rhs = genExpr(cx, 2);
+    it.stmts.push_back(std::move(s));
+    spec.items.push_back(std::move(it));
+  }
+  return spec;
+}
+
+Stimulus makeStimulus(const Program& prog, uint64_t seed, int ticks) {
+  Rng rng(seed ^ 0xd1f7e57ull);
+  Stimulus stim;
+  stim.ticks = ticks;
+  for (const auto& sym : prog.symbols.all()) {
+    if (sym->kind != SymKind::Input) continue;
+    if (sym->isArray()) {
+      std::vector<int64_t> vals(static_cast<size_t>(sym->arraySize));
+      for (auto& v : vals) v = pickValue(rng);
+      stim.arrays[sym->name] = std::move(vals);
+    } else {
+      std::vector<int64_t> vals(static_cast<size_t>(ticks));
+      for (auto& v : vals) v = pickValue(rng);
+      stim.scalars[sym->name] = std::move(vals);
+    }
+  }
+  return stim;
+}
+
+}  // namespace record::difftest

@@ -1,0 +1,126 @@
+#include "difftest/difftest.h"
+
+#include <utility>
+
+namespace record::difftest {
+
+namespace {
+
+/// All single-step shrinks of an expression tree, smallest-first-ish:
+/// replace the whole tree by a constant, by one of its children, or shrink
+/// one child in place.
+void exprShrinks(const GExprPtr& e, std::vector<GExprPtr>& out) {
+  if (e->op != Op::Const || e->value != 0) out.push_back(GExpr::constant(0));
+  for (const auto& k : e->kids)
+    if (e->op != Op::ArrayRef) out.push_back(k);  // an index is not a value
+  for (size_t i = 0; i < e->kids.size(); ++i) {
+    std::vector<GExprPtr> kidShrinks;
+    exprShrinks(e->kids[i], kidShrinks);
+    for (auto& ks : kidShrinks) {
+      auto copy = std::make_shared<GExpr>(*e);
+      copy->kids[i] = std::move(ks);
+      out.push_back(std::move(copy));
+    }
+  }
+}
+
+/// One round of candidate mutations, coarse to fine. Returns candidate
+/// specs; the caller keeps the first one that still fails.
+std::vector<ProgSpec> mutations(const ProgSpec& spec) {
+  std::vector<ProgSpec> out;
+  // Drop a whole item.
+  if (spec.items.size() > 1) {
+    for (size_t i = 0; i < spec.items.size(); ++i) {
+      ProgSpec m = spec;
+      m.items.erase(m.items.begin() + static_cast<long>(i));
+      out.push_back(std::move(m));
+    }
+  }
+  // Drop one statement from a loop body.
+  for (size_t i = 0; i < spec.items.size(); ++i) {
+    if (!spec.items[i].isLoop || spec.items[i].stmts.size() <= 1) continue;
+    for (size_t s = 0; s < spec.items[i].stmts.size(); ++s) {
+      ProgSpec m = spec;
+      m.items[i].stmts.erase(m.items[i].stmts.begin() +
+                             static_cast<long>(s));
+      out.push_back(std::move(m));
+    }
+  }
+  // Shrink loop bounds.
+  for (size_t i = 0; i < spec.items.size(); ++i) {
+    if (!spec.items[i].isLoop || spec.items[i].hi <= spec.items[i].lo)
+      continue;
+    ProgSpec m = spec;
+    m.items[i].hi = m.items[i].lo + (m.items[i].hi - m.items[i].lo) / 2;
+    out.push_back(std::move(m));
+  }
+  // Fewer ticks.
+  if (spec.ticks > 1) {
+    ProgSpec m = spec;
+    m.ticks = spec.ticks / 2 > 0 ? spec.ticks / 2 : 1;
+    out.push_back(std::move(m));
+  }
+  // Shrink right-hand sides (and dynamic store indices).
+  for (size_t i = 0; i < spec.items.size(); ++i) {
+    for (size_t s = 0; s < spec.items[i].stmts.size(); ++s) {
+      std::vector<GExprPtr> cands;
+      exprShrinks(spec.items[i].stmts[s].rhs, cands);
+      for (auto& c : cands) {
+        ProgSpec m = spec;
+        m.items[i].stmts[s].rhs = std::move(c);
+        out.push_back(std::move(m));
+      }
+      if (spec.items[i].stmts[s].lhsIndex) {
+        std::vector<GExprPtr> icands;
+        exprShrinks(spec.items[i].stmts[s].lhsIndex, icands);
+        for (auto& c : icands) {
+          ProgSpec m = spec;
+          m.items[i].stmts[s].lhsIndex = std::move(c);
+          out.push_back(std::move(m));
+        }
+      }
+    }
+  }
+  // Drop declarations nothing references (keeps repros tidy).
+  for (size_t d = 0; d < spec.decls.size(); ++d) {
+    const std::string& name = spec.decls[d].name;
+    bool used = false;
+    std::function<void(const GExpr&)> scan = [&](const GExpr& e) {
+      if (e.name == name) used = true;
+      for (const auto& k : e.kids) scan(*k);
+    };
+    for (const auto& it : spec.items)
+      for (const auto& s : it.stmts) {
+        if (s.lhs == name) used = true;
+        if (s.lhsIndex) scan(*s.lhsIndex);
+        scan(*s.rhs);
+      }
+    if (used) continue;
+    ProgSpec m = spec;
+    m.decls.erase(m.decls.begin() + static_cast<long>(d));
+    out.push_back(std::move(m));
+  }
+  return out;
+}
+
+}  // namespace
+
+ProgSpec minimize(const ProgSpec& spec, const StillFailing& still,
+                  int maxProbes) {
+  ProgSpec cur = spec;
+  int probes = 0;
+  bool shrunk = true;
+  while (shrunk && probes < maxProbes) {
+    shrunk = false;
+    for (auto& cand : mutations(cur)) {
+      if (probes++ >= maxProbes) break;
+      if (!still(cand)) continue;
+      cur = std::move(cand);
+      shrunk = true;
+      break;  // restart from the smaller spec
+    }
+  }
+  return cur;
+}
+
+}  // namespace record::difftest

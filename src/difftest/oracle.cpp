@@ -1,0 +1,123 @@
+#include "difftest/difftest.h"
+
+#include <sstream>
+#include <stdexcept>
+
+#include "codegen/baseline.h"
+#include "dfl/frontend.h"
+
+namespace record::difftest {
+
+std::vector<SweepPoint> defaultSweep() {
+  std::vector<SweepPoint> sweep;
+  auto add = [&sweep](const char* name, auto mutate) {
+    TargetConfig cfg;
+    mutate(cfg);
+    sweep.push_back({name, cfg});
+  };
+  add("default", [](TargetConfig&) {});
+  add("no-mac", [](TargetConfig& c) { c.hasMac = false; });
+  add("dual-mul", [](TargetConfig& c) {
+    c.hasDualMul = true;
+    c.memBanks = 2;
+  });
+  add("no-sat", [](TargetConfig& c) { c.hasSat = false; });
+  add("two-banks", [](TargetConfig& c) { c.memBanks = 2; });
+  add("two-ars", [](TargetConfig& c) { c.numAddrRegs = 2; });
+  add("one-ar", [](TargetConfig& c) { c.numAddrRegs = 1; });
+  add("no-rpt-dmov", [](TargetConfig& c) {
+    c.hasRpt = false;
+    c.hasDmov = false;
+  });
+  add("kitchen-sink", [](TargetConfig& c) {
+    c.hasDualMul = true;
+    c.memBanks = 2;
+    c.numAddrRegs = 4;
+    c.hasRpt = false;
+  });
+  return sweep;
+}
+
+std::string Repro::str() const {
+  std::ostringstream os;
+  os << "seed=" << seed << " config=" << config << " (" << configDesc << ") "
+     << (fastPath ? "fast-path" : "slow-path") << "\n  divergence: "
+     << divergence << "\n--- program ---\n" << source;
+  return os.str();
+}
+
+namespace {
+
+CodegenOptions modeOptions(bool fastPath) {
+  CodegenOptions opt = recordOptions();
+  opt.internExprs = fastPath;
+  opt.memoLabels = fastPath;
+  opt.pruneSearch = fastPath;
+  opt.cacheRules = fastPath;
+  opt.searchThreads = fastPath ? 0 : 1;
+  return opt;
+}
+
+}  // namespace
+
+std::vector<Repro> crossCheck(const ProgSpec& spec,
+                              const std::vector<SweepPoint>& sweep,
+                              OracleStats* stats) {
+  const std::string source = spec.render();
+  DiagEngine diag;
+  auto prog = dfl::parseDfl(source, diag);
+  if (!prog)
+    throw std::logic_error("difftest generator produced unparseable DFL:\n" +
+                           diag.str() + source);
+  Stimulus stim = makeStimulus(*prog, spec.seed, spec.ticks);
+  if (stats) ++stats->programs;
+
+  std::vector<Repro> out;
+  for (const auto& pt : sweep) {
+    for (bool fast : {true, false}) {
+      CompileResult res;
+      try {
+        RecordCompiler rc(pt.cfg, modeOptions(fast));
+        res = rc.compile(*prog);
+      } catch (const std::runtime_error&) {
+        // Capability rejection (no saturation hardware, inexpressible wide
+        // intermediate, ...): a clean skip, not a divergence.
+        if (stats) ++stats->unsupported;
+        continue;
+      }
+      if (stats) ++stats->runs;
+      Measurement m = runAndCompare(res.prog, *prog, stim);
+      if (m.ok) continue;
+      Repro r;
+      r.seed = spec.seed;
+      r.config = pt.name;
+      r.configDesc = pt.cfg.describe();
+      r.fastPath = fast;
+      r.divergence = m.error;
+      r.source = source;
+      out.push_back(std::move(r));
+      if (stats) ++stats->divergences;
+    }
+  }
+  return out;
+}
+
+StillFailing divergesAt(const SweepPoint& pt, bool fastPath) {
+  return [pt, fastPath](const ProgSpec& spec) {
+    const std::string source = spec.render();
+    DiagEngine diag;
+    auto prog = dfl::parseDfl(source, diag);
+    if (!prog) return false;  // a mutation broke the program; reject it
+    CompileResult res;
+    try {
+      RecordCompiler rc(pt.cfg, modeOptions(fastPath));
+      res = rc.compile(*prog);
+    } catch (const std::runtime_error&) {
+      return false;  // now rejected instead of miscompiled; not the bug
+    }
+    Stimulus stim = makeStimulus(*prog, spec.seed, spec.ticks);
+    return !runAndCompare(res.prog, *prog, stim).ok;
+  };
+}
+
+}  // namespace record::difftest

@@ -23,7 +23,10 @@ enum class Op : uint8_t {
   ArrayRef,  // array read: sym, kid[0] = index expression
   Add,       // wrap-around 2's-complement add
   Sub,
-  Mul,       // 16x16 -> value kept to accumulator precision
+  Mul,       // hardware-exact 16x16 multiplier: BOTH operands are wrapped
+             // to 16 bits (they pass through T / the memory port), the
+             // product keeps accumulator (32-bit) precision. mul16() in
+             // ir/type.h is the single definition.
   Neg,
   SatAdd,    // saturating add (OVM=1 semantics)
   SatSub,

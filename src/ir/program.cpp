@@ -98,21 +98,20 @@ ExprPtr foldConstants(const ExprPtr& e) {
     int64_t a = kids[0]->value;
     int64_t b = kids.size() > 1 ? kids[1]->value : 0;
     switch (e->op) {
+      // Folding must agree bit-for-bit with Interp::eval (the golden
+      // model), so every case goes through the same type.h helpers.
       case Op::Add: v = wrap32(a + b); break;
       case Op::Sub: v = wrap32(a - b); break;
-      case Op::Mul: v = wrap32(a * b); break;
+      case Op::Mul: v = mul16(a, b); break;
       case Op::Neg: v = wrap32(-a); break;
       case Op::SatAdd: v = sat32(a + b); break;
       case Op::SatSub: v = sat32(a - b); break;
-      case Op::Shl: v = wrap32(a << (b & 31)); break;
-      case Op::Shr: v = a >> (b & 31); break;
-      case Op::Shru:
-        v = static_cast<int64_t>((static_cast<uint64_t>(a) & 0xffffffffull) >>
-                                 (b & 31));
-        break;
-      case Op::And: v = a & (b & 0xffff); break;
-      case Op::Or: v = wrap32(a | (b & 0xffff)); break;
-      case Op::Xor: v = wrap32(a ^ (b & 0xffff)); break;
+      case Op::Shl: v = wrapShl32(a, b); break;
+      case Op::Shr: v = asr32(a, b); break;
+      case Op::Shru: v = lsr32(a, b); break;
+      case Op::And: v = and16(a, b); break;
+      case Op::Or: v = or16(a, b); break;
+      case Op::Xor: v = xor16(a, b); break;
       default: v = 0; break;
     }
     return Expr::constant(v, e->type);

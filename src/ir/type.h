@@ -50,4 +50,50 @@ inline int64_t sat32(int64_t v) {
   return v;
 }
 
+// --- shared datapath primitives --------------------------------------------
+// The interpreter (golden model), the instruction-set simulator, and the
+// constant folder all express their arithmetic through these helpers, so
+// "what an operator means" has exactly one definition. All shifting is done
+// in uint64_t: shifting a negative signed value is at best
+// implementation-defined and trips UBSan either way.
+
+/// 32-bit left shift with wraparound (SFL chain semantics).
+inline int64_t wrapShl32(int64_t v, int64_t k) {
+  return wrap32(
+      static_cast<int64_t>(static_cast<uint64_t>(v) << (k & 31)));
+}
+
+/// Arithmetic right shift of a 32-bit value (SFR with SXM=1).
+inline int64_t asr32(int64_t v, int64_t k) {
+  k &= 31;
+  if (k == 0) return wrap32(v);
+  uint64_t u = static_cast<uint64_t>(v) & 0xffffffffull;
+  uint64_t sign = (u & 0x80000000ull) ? (~0ull << (32 - k)) : 0;
+  return wrap32(static_cast<int64_t>((u >> k) | (sign & 0xffffffffull)));
+}
+
+/// Logical right shift of a 32-bit value (SFR with SXM=0).
+inline int64_t lsr32(int64_t v, int64_t k) {
+  return static_cast<int64_t>((static_cast<uint64_t>(v) & 0xffffffffull) >>
+                              (k & 31));
+}
+
+/// The hardware multiplier: both operands pass through the 16-bit T register
+/// / memory port, the product is kept to 32 bits. This is the *semantic*
+/// definition of IR Mul, not an approximation: operand spills through 16-bit
+/// memory words are therefore exact.
+inline int64_t mul16(int64_t a, int64_t b) {
+  return wrap32(wrap16(a) * wrap16(b));
+}
+
+/// Bitwise ops mirror the ALU: the right operand arrives on the 16-bit
+/// memory port (zero-extended); AND therefore clears the high half too.
+inline int64_t and16(int64_t a, int64_t b) { return a & (b & 0xffff); }
+inline int64_t or16(int64_t a, int64_t b) {
+  return wrap32(a | (b & 0xffff));
+}
+inline int64_t xor16(int64_t a, int64_t b) {
+  return wrap32(a ^ (b & 0xffff));
+}
+
 }  // namespace record

@@ -14,7 +14,7 @@ struct NlParser {
   int lineNo = 0;
 
   explicit NlParser(DiagEngine& d) : diag(d) {}
-  SourceLoc loc() const { return {lineNo, 1}; }
+  SourceLoc loc() const { return {lineNo, 1, diag.sourceName()}; }
 
   bool num(std::istringstream& is, int& out, const char* what) {
     std::string t;
@@ -178,7 +178,7 @@ struct NlParser {
     }
     if (diag.hasErrors()) return std::nullopt;
     if (auto err = out.check()) {
-      diag.error({0, 0}, *err);
+      diag.error({0, 0, diag.sourceName()}, *err);
       return std::nullopt;
     }
     return out;
@@ -188,13 +188,16 @@ struct NlParser {
 }  // namespace
 
 std::optional<Netlist> parseNetlist(const std::string& text,
-                                    DiagEngine& diag) {
+                                    DiagEngine& diag,
+                                    const std::string& sourceName) {
+  if (!sourceName.empty()) diag.setSourceName(sourceName);
   return NlParser(diag).run(text);
 }
 
-Netlist parseNetlistOrDie(const std::string& text) {
+Netlist parseNetlistOrDie(const std::string& text,
+                          const std::string& sourceName) {
   DiagEngine diag;
-  auto nl = parseNetlist(text, diag);
+  auto nl = parseNetlist(text, diag, sourceName);
   if (!nl) throw std::runtime_error("netlist parse failed:\n" + diag.str());
   return std::move(*nl);
 }

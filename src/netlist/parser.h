@@ -22,10 +22,14 @@
 
 namespace record::nl {
 
+/// When `sourceName` is nonempty every diagnostic location renders as
+/// "name:line:col" (see DiagEngine::setSourceName).
 std::optional<Netlist> parseNetlist(const std::string& text,
-                                    DiagEngine& diag);
+                                    DiagEngine& diag,
+                                    const std::string& sourceName = "");
 
 /// Throws std::runtime_error on failure (for built-in netlists).
-Netlist parseNetlistOrDie(const std::string& text);
+Netlist parseNetlistOrDie(const std::string& text,
+                          const std::string& sourceName = "");
 
 }  // namespace record::nl

@@ -73,6 +73,19 @@ std::vector<MInstr> promoteAccumulators(
           sacl = k;
           continue;
         }
+        // Promotion keeps the carried value live in the 32-bit accumulator
+        // where the SACL/LAC round trip truncates to 16 bits and
+        // sign-extends. That is invisible to wrap-around arithmetic (the
+        // low 16 bits of every later result are unchanged) but NOT to
+        // instructions that observe the high accumulator half: right
+        // shifts, high-word stores, and anything running under OVM=1
+        // (saturation reads the full 32-bit value). A saturating MAC loop
+        // must therefore keep truncating -- difftest caught this at
+        // 0x40000000-scale partial sums.
+        if (opInfo(in.op).readsAcc &&
+            (in.op == Opcode::SFR || in.op == Opcode::SACH ||
+             cur[k].need.ovm == 1))
+          legal = false;
         if (touchesAddr(in, addr, indirectMayTouch)) legal = false;
       }
       if (!legal || sacls != 1) continue;

@@ -21,6 +21,41 @@ bool accDeadAfter(const std::vector<Instr>& code, size_t i) {
   return false;
 }
 
+/// May the SACL x ; LAC x -> SACL x forwarding at position i (the LAC) be
+/// observed? Forwarding keeps the full 32-bit accumulator where the reload
+/// would have truncated to the low 16 bits and sign-extended. Wrap-around
+/// arithmetic, shifts left, and bitwise ops all preserve "low 16 bits
+/// equal", so the difference is confined to the high half until ACC is
+/// redefined -- but SFR shifts the high half into view, SACH stores it, and
+/// saturating adds/subtracts under OVM=1 read the full value (difftest
+/// caught exactly this: a0 := i*i ; y := a0 >>> 3 shifted the raw 32-bit
+/// product). Conservative over labels and branches.
+bool truncationObservable(const std::vector<Instr>& code, size_t i) {
+  // OVM state at i from the nearest dominating mode set in straight-line
+  // code; unknown (-1) at labels/branches, 0 at program start (reset).
+  int ovm = 0;
+  for (size_t k = i; k-- > 0;) {
+    const Instr& b = code[k];
+    if (b.op == Opcode::SOVM) { ovm = 1; break; }
+    if (b.op == Opcode::ROVM) { ovm = 0; break; }
+    if (!b.label.empty() || opInfo(b.op).isBranch) { ovm = -1; break; }
+  }
+  for (size_t j = i + 1; j < code.size(); ++j) {
+    const Instr& in = code[j];
+    if (!in.label.empty()) return true;  // unknown join point
+    if (in.op == Opcode::SOVM) { ovm = 1; continue; }
+    if (in.op == Opcode::ROVM) { ovm = 0; continue; }
+    const OpInfo& info = opInfo(in.op);
+    if (info.readsAcc) {
+      if (in.op == Opcode::SFR || in.op == Opcode::SACH) return true;
+      if (ovm != 0) return true;  // saturation observes the high half
+    }
+    if (info.writesAcc && !info.readsAcc) return false;  // ACC redefined
+    if (blockBoundary(in)) return true;  // path escapes the window
+  }
+  return false;  // fell off the end: nothing observed the difference
+}
+
 }  // namespace
 
 std::vector<Instr> peephole(const std::vector<Instr>& code,
@@ -36,10 +71,12 @@ std::vector<Instr> peephole(const std::vector<Instr>& code,
       bool joinable = !out.empty() && in.label.empty() &&
                       !blockBoundary(out.back());
 
-      // SACL x ; LAC x -> SACL x
+      // SACL x ; LAC x -> SACL x  (only while the skipped 16-bit
+      // truncate + sign-extend round trip stays unobservable)
       if (joinable && in.op == Opcode::LAC &&
           out.back().op == Opcode::SACL &&
-          in.a.mode == AddrMode::Direct && out.back().a == in.a) {
+          in.a.mode == AddrMode::Direct && out.back().a == in.a &&
+          !truncationObservable(cur, i)) {
         if (stats) ++stats->removedLoads;
         changed = true;
         continue;

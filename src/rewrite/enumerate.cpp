@@ -26,6 +26,24 @@ ExprPtr rebuildWithKid(const ExprPtr& e, size_t idx, ExprPtr kid) {
   return Expr::binary(e->op, kids[0], kids[1]);
 }
 
+/// Is the value of `e` provably in int16 range (so wrap16(e) == e)? Storage
+/// reads are sign-extended 16-bit words. Note And does NOT qualify: its
+/// result ranges over [0, 65535] (the mask zero-extends), and 0x8000..0xffff
+/// change value under wrap16. Needed to guard rewrites that silently insert
+/// or remove a pass through the 16-bit multiplier port: Mul(a, 1) -> a is
+/// only sound when a already fits.
+bool fitsInt16(const ExprPtr& e) {
+  switch (e->op) {
+    case Op::Ref:
+    case Op::ArrayRef:
+      return true;
+    case Op::Const:
+      return e->value >= -32768 && e->value <= 32767;
+    default:
+      return false;
+  }
+}
+
 }  // namespace
 
 std::vector<ExprPtr> rewriteTop(const ExprPtr& e) {
@@ -37,8 +55,11 @@ std::vector<ExprPtr> rewriteTop(const ExprPtr& e) {
   if (opCommutes(e->op) && k.size() == 2)
     out.push_back(Expr::binary(e->op, k[1], k[0]));
 
-  // Associativity (wrap-exact ops only).
-  if ((e->op == Op::Add || e->op == Op::Mul) && k.size() == 2) {
+  // Associativity. Add only: it is exact mod 2^32. Mul is NOT associative
+  // under the 16x16 semantics -- x*(y*z) wraps the inner product to 16 bits
+  // where (x*y)*z wraps a different one (x=y=256, z=1: 0 vs 65536) -- so it
+  // gets no associativity rewrite at all.
+  if (e->op == Op::Add && k.size() == 2) {
     if (k[0]->op == e->op)  // (a op b) op c -> a op (b op c)
       out.push_back(Expr::binary(e->op, k[0]->kids[0],
                                  Expr::binary(e->op, k[0]->kids[1], k[1])));
@@ -53,8 +74,10 @@ std::vector<ExprPtr> rewriteTop(const ExprPtr& e) {
     if (k[1]->isConstValue(0)) out.push_back(k[0]);
   }
   if (e->op == Op::Mul) {
-    if (k[1]->isConstValue(1)) out.push_back(k[0]);
-    if (k[0]->isConstValue(1)) out.push_back(k[1]);
+    // Mul wraps its operands to 16 bits, so dropping the multiply must not
+    // drop that wrap: only operands already in int16 range may pass through.
+    if (k[1]->isConstValue(1) && fitsInt16(k[0])) out.push_back(k[0]);
+    if (k[0]->isConstValue(1) && fitsInt16(k[1])) out.push_back(k[1]);
     if (k[0]->isConstValue(0) || k[1]->isConstValue(0))
       out.push_back(Expr::constant(0, e->type));
   }
@@ -72,33 +95,24 @@ std::vector<ExprPtr> rewriteTop(const ExprPtr& e) {
   if (e->op == Op::Sub && k[1]->op == Op::Neg)
     out.push_back(Expr::binary(Op::Add, k[0], k[1]->kids[0]));
 
-  // Strength exchange: a * 2^k <-> a << k.
+  // Strength exchange: a * 2^k <-> a << k. Shl shifts the full 32-bit
+  // value where Mul first wraps `a` to 16 bits, so the exchange is exact
+  // only when `a` provably fits int16 (and, for Shl -> Mul, when 2^k does).
   if (e->op == Op::Mul && k[1]->op == Op::Const &&
-      isPowerOfTwo(k[1]->value)) {
+      isPowerOfTwo(k[1]->value) && fitsInt16(k[0])) {
     out.push_back(Expr::binary(
         Op::Shl, k[0], Expr::constant(log2i(k[1]->value), Type::Int)));
   }
   if (e->op == Op::Shl && k[1]->op == Op::Const && k[1]->value >= 1 &&
-      k[1]->value <= 14) {
+      k[1]->value <= 14 && fitsInt16(k[0])) {
     out.push_back(Expr::binary(
         Op::Mul, k[0], Expr::constant(1LL << k[1]->value, e->type)));
   }
 
-  // Factoring: a*c + b*c -> (a+b)*c.
-  if (e->op == Op::Add && k[0]->op == Op::Mul && k[1]->op == Op::Mul) {
-    for (int i = 0; i < 2; ++i) {
-      for (int j = 0; j < 2; ++j) {
-        if (exprEquals(k[0]->kids[static_cast<size_t>(i)],
-                       k[1]->kids[static_cast<size_t>(j)])) {
-          out.push_back(Expr::binary(
-              Op::Mul,
-              Expr::binary(Op::Add, k[0]->kids[static_cast<size_t>(1 - i)],
-                           k[1]->kids[static_cast<size_t>(1 - j)]),
-              k[0]->kids[static_cast<size_t>(i)]));
-        }
-      }
-    }
-  }
+  // NOTE: the factoring rewrite a*c + b*c -> (a+b)*c that used to live here
+  // was a miscompile (found by difftest): a+b can wrap through the 16-bit
+  // multiplier port even when a and b individually fit, so the factored
+  // product differs from the sum of products by a multiple of c << 16.
   return out;
 }
 

@@ -124,33 +124,23 @@ RunResult Machine::run(int64_t maxCycles) {
           case Opcode::SACH:
             writeData(resolveAddr(a), (acc_ >> 16) & 0xffff);
             break;
-          case Opcode::AND:
-            acc_ = acc_ & (static_cast<uint64_t>(readOperand(a)) & 0xffff);
-            break;
-          case Opcode::ANDK:
-            acc_ = acc_ & (static_cast<uint64_t>(a.value) & 0xffff);
-            break;
-          case Opcode::OR:
-            acc_ = wrap32(acc_ |
-                          (static_cast<uint64_t>(readOperand(a)) & 0xffff));
-            break;
-          case Opcode::XOR:
-            acc_ = wrap32(acc_ ^
-                          (static_cast<uint64_t>(readOperand(a)) & 0xffff));
-            break;
-          case Opcode::SFL: acc_ = wrap32(acc_ << 1); break;
+          case Opcode::AND: acc_ = and16(acc_, readOperand(a)); break;
+          case Opcode::ANDK: acc_ = and16(acc_, a.value); break;
+          case Opcode::OR: acc_ = or16(acc_, readOperand(a)); break;
+          case Opcode::XOR: acc_ = xor16(acc_, readOperand(a)); break;
+          // Shifts go through the shared uint64-based helpers: `acc_ << 1`
+          // on a negative accumulator is what tier-1 ran on for a while --
+          // defined-but-subtle in C++20, UB in earlier standards, and
+          // flagged by -fsanitize=shift either way.
+          case Opcode::SFL: acc_ = wrapShl32(acc_, 1); break;
           case Opcode::SFR:
-            if (sxm_)
-              acc_ = acc_ >> 1;
-            else
-              acc_ = static_cast<int64_t>(
-                  (static_cast<uint64_t>(acc_) & 0xffffffffull) >> 1);
-            acc_ = wrap32(acc_);
+            // SXM selects arithmetic (sign-extending) vs. logical shift-in.
+            acc_ = sxm_ ? asr32(acc_, 1) : lsr32(acc_, 1);
             break;
           case Opcode::NEG: acc_ = ovm_ ? sat32(-acc_) : wrap32(-acc_); break;
           case Opcode::LT: t_ = readOperand(a); break;
-          case Opcode::MPY: p_ = wrap32(t_ * readOperand(a)); break;
-          case Opcode::MPYK: p_ = wrap32(t_ * a.value); break;
+          case Opcode::MPY: p_ = mul16(t_, readOperand(a)); break;
+          case Opcode::MPYK: p_ = mul16(t_, a.value); break;
           case Opcode::PAC: acc_ = p_; break;
           case Opcode::APAC: acc_ = ovmAdd(acc_, p_); break;
           case Opcode::SPAC: acc_ = ovmSub(acc_, p_); break;
@@ -175,7 +165,7 @@ RunResult Machine::run(int64_t maxCycles) {
           case Opcode::MPYXY: {
             int addrA = resolveAddr(a);
             int addrB = resolveAddr(b);
-            p_ = wrap32(readData(addrA) * readData(addrB));
+            p_ = mul16(readData(addrA), readData(addrB));
             cyc = (prog_.config.bankOf(addrA) != prog_.config.bankOf(addrB))
                       ? 1
                       : 2;
@@ -185,7 +175,7 @@ RunResult Machine::run(int64_t maxCycles) {
             acc_ = ovmAdd(acc_, p_);
             int addrA = resolveAddr(a);
             int addrB = resolveAddr(b);
-            p_ = wrap32(readData(addrA) * readData(addrB));
+            p_ = mul16(readData(addrA), readData(addrB));
             cyc = (prog_.config.bankOf(addrA) != prog_.config.bankOf(addrB))
                       ? 1
                       : 2;

@@ -5,8 +5,9 @@
 namespace record {
 
 std::string SourceLoc::str() const {
-  if (!valid()) return "<unknown>";
+  if (!valid()) return file ? std::string(file) : "<unknown>";
   std::ostringstream os;
+  if (file) os << file << ":";
   os << line << ":" << col;
   return os.str();
 }

@@ -12,8 +12,12 @@ namespace record {
 struct SourceLoc {
   int line = 0;
   int col = 0;
+  /// Source/file name, or null when unknown. Non-owning: points into the
+  /// DiagEngine that produced it (see DiagEngine::setSourceName).
+  const char* file = nullptr;
 
   bool valid() const { return line > 0; }
+  /// "file:line:col" when the source name is known, else "line:col".
   std::string str() const;
 };
 
@@ -43,8 +47,18 @@ class DiagEngine {
 
   void clear();
 
+  /// Name of the compilation unit (file name, test label, ...). Locations
+  /// created by front ends point at this storage, so set it before lexing
+  /// and keep the engine alive as long as the locations are.
+  void setSourceName(std::string name) { sourceName_ = std::move(name); }
+  /// Null when no source name was set.
+  const char* sourceName() const {
+    return sourceName_.empty() ? nullptr : sourceName_.c_str();
+  }
+
  private:
   std::vector<Diagnostic> diags_;
+  std::string sourceName_;
   int errorCount_ = 0;
 };
 

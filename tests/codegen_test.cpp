@@ -31,14 +31,37 @@ TEST(Codegen, SaturatingProgram) {
     program sat;
     input a : fix;
     input b : fix;
+    input c : fix;
+    output y : fix;
+    begin
+      y := (a +| b) -| c;
+      y := c +| (a -| b);
+    end
+  )");
+  TargetConfig cfg;
+  auto m = compileRun(prog, cfg, recordOptions());
+  EXPECT_TRUE(m.ok) << m.error;
+}
+
+TEST(Codegen, SaturatingBothOperandsWideRejected) {
+  // The right operand of a saturating op feeds the 16-bit memory port; a
+  // compound saturating subexpression there can exceed int16 range, so the
+  // required spill would change the saturated result. The compiler must
+  // reject this rather than miscompile it (the old behavior, caught by
+  // difftest: a = 0x7fff, b = -0x7fff makes a -| b saturate at 0x7fffffff
+  // while its 16-bit spill reloads as -1).
+  auto prog = dfl::parseDflOrDie(R"(
+    program sat;
+    input a : fix;
+    input b : fix;
     output y : fix;
     begin
       y := (a +| b) -| (a -| b);
     end
   )");
   TargetConfig cfg;
-  auto m = compileRun(prog, cfg, recordOptions());
-  EXPECT_TRUE(m.ok) << m.error;
+  RecordCompiler rc(cfg, recordOptions());
+  EXPECT_THROW(rc.compile(prog), std::runtime_error);
 }
 
 TEST(Codegen, SaturatingProgramRejectedWithoutSatHardware) {

@@ -187,6 +187,40 @@ INSTANTIATE_TEST_SUITE_P(
       return info.param.name;
     });
 
+TEST(Frontend, ErrorsCarrySourceName) {
+  DiagEngine diag;
+  auto prog = dfl::parseDfl(
+      "program p;\noutput y : fix;\nbegin\n  y := zz;\nend\n", diag,
+      "kernel.dfl");
+  EXPECT_FALSE(prog.has_value());
+  EXPECT_NE(diag.str().find("kernel.dfl:4:"), std::string::npos)
+      << "diagnostics were:\n"
+      << diag.str();
+}
+
+TEST(Frontend, LiteralOverflowIsDiagnosed) {
+  // Literals denote 16-bit data words; anything above 65535 cannot be
+  // materialized and is rejected with a located error. The enormous one
+  // used to trigger signed-accumulation overflow (UB) in the lexer.
+  for (const char* lit : {"70000", "0x10000", "99999999999999999999"}) {
+    DiagEngine diag;
+    auto prog = dfl::parseDfl(std::string("program p; output y : fix; "
+                                          "begin y := ") +
+                                  lit + "; end",
+                              diag, "big.dfl");
+    EXPECT_FALSE(prog.has_value()) << lit;
+    EXPECT_NE(diag.str().find("exceeds the 16-bit data word"),
+              std::string::npos)
+        << "diagnostics for " << lit << " were:\n"
+        << diag.str();
+    EXPECT_NE(diag.str().find("big.dfl:"), std::string::npos);
+  }
+  // 65535 itself is fine and wraps to -1.
+  auto prog = dfl::parseDflOrDie(
+      "program p; output y : fix; begin y := 65535; end");
+  EXPECT_EQ(prog.body[0].rhs->value, -1);
+}
+
 TEST(Frontend, SyntaxErrorRecovery) {
   DiagEngine diag;
   auto prog = dfl::parseDfl("program p; output y : fix; begin y := ; end",

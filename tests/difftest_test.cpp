@@ -1,0 +1,134 @@
+// Bounded differential-testing run: seeded generated programs, golden-model
+// interpreter vs. the full pipeline + simulator, across the configuration
+// sweep and both compile modes. Fixed seeds keep this deterministic and
+// tier-1-safe; bench/difftest_soak is the open-ended version.
+#include <gtest/gtest.h>
+
+#include "dfl/frontend.h"
+#include "difftest/difftest.h"
+
+namespace record {
+namespace {
+
+using difftest::GDecl;
+using difftest::GExpr;
+using difftest::GItem;
+using difftest::GStmt;
+using difftest::ProgSpec;
+
+TEST(DiffTest, GeneratedProgramsParse) {
+  for (uint64_t seed = 1; seed <= 50; ++seed) {
+    ProgSpec spec = difftest::generateProgram(seed);
+    DiagEngine diag;
+    auto prog = dfl::parseDfl(spec.render(), diag);
+    ASSERT_TRUE(prog.has_value())
+        << "seed " << seed << ":\n" << diag.str() << spec.render();
+  }
+}
+
+TEST(DiffTest, GenerationIsDeterministic) {
+  for (uint64_t seed : {1ull, 42ull, 31337ull}) {
+    EXPECT_EQ(difftest::generateProgram(seed).render(),
+              difftest::generateProgram(seed).render());
+  }
+}
+
+TEST(DiffTest, SweepCoversAtLeastEightConfigs) {
+  auto sweep = difftest::defaultSweep();
+  EXPECT_GE(sweep.size(), 8u);
+  // All structurally distinct.
+  for (size_t i = 0; i < sweep.size(); ++i)
+    for (size_t j = i + 1; j < sweep.size(); ++j)
+      EXPECT_NE(sweep[i].cfg.describe() + std::to_string(sweep[i].cfg.memBanks) +
+                    std::to_string(sweep[i].cfg.numAddrRegs),
+                sweep[j].cfg.describe() + std::to_string(sweep[j].cfg.memBanks) +
+                    std::to_string(sweep[j].cfg.numAddrRegs));
+}
+
+// The oracle proper: >= 200 seeded programs x the full sweep x fast/slow
+// compile modes, zero divergences. Any failure prints a complete repro
+// (seed, config, first divergent observable, program text).
+TEST(DiffTest, NoDivergencesOnBoundedRun) {
+  auto sweep = difftest::defaultSweep();
+  difftest::OracleStats stats;
+  std::string failures;
+  for (uint64_t seed = 1; seed <= 200; ++seed) {
+    ProgSpec spec = difftest::generateProgram(seed);
+    for (const auto& r : difftest::crossCheck(spec, sweep, &stats))
+      failures += r.str() + "\n";
+  }
+  EXPECT_EQ(stats.divergences, 0) << failures;
+  EXPECT_EQ(stats.programs, 200);
+  // Most (config x mode) pairs must actually execute -- capability skips
+  // are expected (no-sat configs, inexpressible wide shapes) but must not
+  // hollow out the oracle.
+  EXPECT_GT(stats.runs, stats.programs * 8);
+}
+
+TEST(DiffTest, MinimizerShrinksWhilePreservingPredicate) {
+  // Deterministic predicate decoupled from any real divergence: "the
+  // program still contains a saturating op". The minimizer must converge
+  // on a small program that still has one.
+  ProgSpec spec;
+  spec.seed = 7;
+  spec.ticks = 6;
+  spec.decls.push_back({GDecl::Kind::Input, "i0", 0, 0});
+  spec.decls.push_back({GDecl::Kind::Input, "i1", 0, 0});
+  spec.decls.push_back({GDecl::Kind::Output, "o0", 0, 0});
+  spec.decls.push_back({GDecl::Kind::Var, "v0", 0, 0});
+  GItem noise;
+  noise.stmts.push_back(
+      {"v0", nullptr,
+       GExpr::binary(Op::Mul, GExpr::ref("i0"), GExpr::ref("i1"))});
+  spec.items.push_back(noise);
+  GItem payload;
+  payload.stmts.push_back(
+      {"o0", nullptr,
+       GExpr::binary(Op::Add,
+                     GExpr::binary(Op::SatAdd, GExpr::ref("i0"),
+                                   GExpr::ref("i1")),
+                     GExpr::ref("v0"))});
+  spec.items.push_back(payload);
+
+  auto hasSatOp = [](const ProgSpec& s) {
+    return s.render().find("+|") != std::string::npos;
+  };
+  ProgSpec min = difftest::minimize(spec, hasSatOp);
+  EXPECT_TRUE(hasSatOp(min));
+  EXPECT_EQ(min.items.size(), 1u);  // the noise statement is gone
+  EXPECT_EQ(min.ticks, 1);
+  // The payload rhs shrank to just the saturating op over leaves.
+  EXPECT_EQ(min.items[0].stmts.size(), 1u);
+  EXPECT_NE(difftest::renderExpr(*min.items[0].stmts[0].rhs).find("+|"),
+            std::string::npos);
+}
+
+TEST(DiffTest, MinimizedRealDivergencePredicateRejectsCleanPrograms) {
+  // divergesAt() must return false for a program that agrees (so the
+  // minimizer never wanders onto healthy specs).
+  auto sweep = difftest::defaultSweep();
+  ProgSpec spec = difftest::generateProgram(3);
+  auto still = difftest::divergesAt(sweep[0], /*fastPath=*/true);
+  EXPECT_FALSE(still(spec));
+}
+
+TEST(DiffTest, BoundaryStimulusHitsCorners) {
+  auto prog = dfl::parseDflOrDie(R"(
+    program stim;
+    input x : fix;
+    output y : fix;
+    begin
+      y := x;
+    end
+  )");
+  bool corner = false;
+  for (uint64_t seed = 1; seed <= 20 && !corner; ++seed) {
+    Stimulus s = difftest::makeStimulus(prog, seed, 8);
+    for (int64_t v : s.scalars.at("x"))
+      corner |= (v == 0x7fff || v == -0x8000);
+  }
+  EXPECT_TRUE(corner);
+}
+
+}  // namespace
+}  // namespace record

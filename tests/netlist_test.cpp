@@ -67,6 +67,22 @@ connect acc.in m.out
   EXPECT_FALSE(nl.has_value());
 }
 
+TEST(NetlistParser, ErrorsCarrySourceName) {
+  DiagEngine diag;
+  auto nl = parseNetlist(R"(
+netlist bad
+storage acc reg 16
+unit m mux2 16 sel nofield in0 acc.out in1 acc.out
+connect acc.in m.out
+)",
+                         diag, "dp.net");
+  EXPECT_FALSE(nl.has_value());
+  EXPECT_TRUE(diag.hasErrors());
+  EXPECT_NE(diag.str().find("dp.net:"), std::string::npos)
+      << "diagnostics were:\n"
+      << diag.str();
+}
+
 TEST(NetlistParser, DetectsCombinationalCycle) {
   DiagEngine diag;
   auto nl = parseNetlist(R"(

@@ -88,11 +88,24 @@ TEST_F(RewriteTest, StrengthExchangeBothWays) {
   EXPECT_TRUE(containsVariant(rewriteTop(shl), "(mul a 8)"));
 }
 
-TEST_F(RewriteTest, Factoring) {
+TEST_F(RewriteTest, FactoringIsUnsoundAndNotProduced) {
+  // a*c + b*c -> (a+b)*c is NOT an identity under the 16x16 multiplier
+  // semantics: a+b can wrap through the 16-bit operand port even when a and
+  // b individually fit (a = b = 0x4000, c = 1: 0x8000 vs -0x8000). The
+  // rewriter used to produce this variant; difftest flagged it.
   auto e = Expr::binary(
       Op::Add, Expr::binary(Op::Mul, Expr::ref(a), Expr::ref(c)),
       Expr::binary(Op::Mul, Expr::ref(b), Expr::ref(c)));
-  EXPECT_TRUE(containsVariant(rewriteTop(e), "(mul (add a b) c)"));
+  EXPECT_FALSE(containsVariant(rewriteTop(e), "(mul (add a b) c)"));
+}
+
+TEST_F(RewriteTest, MulIsNotAssociative) {
+  // x*(y*z) and (x*y)*z wrap different intermediate products to 16 bits
+  // (x = y = 256, z = 1: 0 vs 65536), so Mul gets no associativity rewrite.
+  auto e = Expr::binary(
+      Op::Mul, Expr::binary(Op::Mul, Expr::ref(a), Expr::ref(b)),
+      Expr::ref(c));
+  EXPECT_FALSE(containsVariant(rewriteTop(e), "(mul a (mul b c))"));
 }
 
 TEST_F(RewriteTest, NoConstantFolding) {

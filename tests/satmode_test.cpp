@@ -1,0 +1,214 @@
+// Saturation-mode and shift semantics at the INT16/INT32 boundaries:
+// table-driven agreement between the IR golden model and the compiled +
+// simulated program on the exact values where wrap-around and saturation
+// differ (0x7fff, -0x8000, MAC partial sums at 0x40000000), plus direct
+// machine-level tests pinning down SFL/SFR (arithmetic vs. logical right
+// shift, negative accumulator left shift -- previously signed-shift UB).
+#include <gtest/gtest.h>
+
+#include "codegen/baseline.h"
+#include "codegen/pipeline.h"
+#include "dfl/frontend.h"
+#include "dspstone/harness.h"
+#include "ir/type.h"
+#include "sim/machine.h"
+#include "target/asmtext.h"
+
+namespace record {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Table-driven interp-vs-machine agreement on boundary values
+// ---------------------------------------------------------------------------
+
+struct BoundaryCase {
+  const char* name;
+  const char* body;  // statements between begin/end, inputs a and b
+};
+
+const BoundaryCase kBoundaryCases[] = {
+    {"sat_add", "y := a +| b;"},
+    {"sat_sub", "y := a -| b;"},
+    {"wrap_add", "y := a + b;"},
+    {"wrap_sub", "y := a - b;"},
+    {"mul_high", "y := (a * b) >> 8;"},
+    {"mul_low", "y := a * b;"},
+    {"sat_of_product", "y := (a * b) +| b;"},
+    {"shift_left_sat", "y := (a << 4) +| b;"},
+    {"shift_right_arith", "y := (a - b) >> 3;"},
+    {"shift_right_logical", "y := (a - b) >>> 3;"},
+};
+
+const int64_t kBoundaryValues[] = {0,      1,       -1,      0x7fff,
+                                   -0x8000, 0x4000, -0x4000, 0x7ffe,
+                                   -0x7fff, 0x2001};
+
+TEST(SatMode, BoundaryValueAgreement) {
+  for (const auto& bc : kBoundaryCases) {
+    auto prog = dfl::parseDflOrDie(std::string("program bt;\n"
+                                               "input a : fix;\n"
+                                               "input b : fix;\n"
+                                               "output y : fix;\n"
+                                               "begin\n") +
+                                   bc.body + "\nend\n");
+    for (bool hasSat : {true, false}) {
+      TargetConfig cfg;
+      cfg.hasSat = hasSat;
+      RecordCompiler rc(cfg, recordOptions());
+      CompileResult res;
+      try {
+        res = rc.compile(prog);
+      } catch (const std::runtime_error&) {
+        // Saturating programs on non-saturating hardware: clean rejection.
+        ASSERT_FALSE(hasSat) << bc.name;
+        continue;
+      }
+      for (int64_t a : kBoundaryValues) {
+        for (int64_t b : kBoundaryValues) {
+          Stimulus stim;
+          stim.ticks = 1;
+          stim.scalars["a"] = {a};
+          stim.scalars["b"] = {b};
+          Measurement m = runAndCompare(res.prog, prog, stim);
+          EXPECT_TRUE(m.ok) << bc.name << " hasSat=" << hasSat
+                            << " a=" << a << " b=" << b << ": " << m.error;
+        }
+      }
+    }
+  }
+}
+
+TEST(SatMode, SaturatingMacLoopAtAccumulatorBoundary) {
+  // 0x4000 * 0x4000 = 0x10000000: four accumulations reach 0x40000000,
+  // well past INT32 saturation territory when doubled -- the exact shape
+  // where promoting the loop-carried scalar into the accumulator (skipping
+  // the per-iteration 16-bit truncation) used to diverge under OVM=1.
+  auto prog = dfl::parseDflOrDie(R"(
+    program macsat;
+    input x0 : fix;
+    var w[8] : fix;
+    var x[8] : fix;
+    var s : fix;
+    output y : fix;
+    begin
+      for i := 0 to 7 do
+        x[i] := x0;
+        w[i] := x0;
+      endfor
+      s := 0;
+      for i := 0 to 7 do
+        s := s +| (w[i] * x[i]);
+      endfor
+      y := s;
+    end
+  )");
+  TargetConfig cfg;
+  RecordCompiler rc(cfg, recordOptions());
+  auto res = rc.compile(prog);
+  for (int64_t v : {0x4000ll, 0x7fffll, -0x8000ll, 0x2000ll, -0x4000ll}) {
+    Stimulus stim;
+    stim.ticks = 1;
+    stim.scalars["x0"] = {v};
+    Measurement m = runAndCompare(res.prog, prog, stim);
+    EXPECT_TRUE(m.ok) << "x0=" << v << ": " << m.error;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Machine-level shift semantics (the UB fixes pinned down exactly)
+// ---------------------------------------------------------------------------
+
+TEST(SatMode, SflOnNegativeAccumulatorWraps) {
+  // acc = -0x8000; SFL doubles it to -0x10000 (bit 31 shifted out, no UB,
+  // no saturation: SFL is a plain 32-bit logical left shift).
+  auto tp = assembleOrDie(R"(
+      .sym a 1
+      .sym lo 1
+      .sym hi 1
+      LAC a
+      SFL
+      SACL lo
+      SACH hi
+      HALT
+  )", {});
+  Machine m(tp);
+  m.writeSymbol("a", 0, -0x8000);
+  m.run();
+  // -0x10000 = 0xffff0000: low word 0, high word -1.
+  EXPECT_EQ(m.readSymbol("lo"), 0);
+  EXPECT_EQ(m.readSymbol("hi"), -1);
+}
+
+TEST(SatMode, SflShiftsTopBitOutWithoutSaturating) {
+  // acc = 0x40000000 (via 0x4000 << 16 using SACH trickery is overkill:
+  // build it as 0x4000 * 0x4000 through the MAC).
+  auto tp = assembleOrDie(R"(
+      .sym a 1
+      .sym lo 1
+      .sym hi 1
+      LT a
+      MPY a
+      PAC
+      SFL
+      SFL
+      SACH hi
+      SACL lo
+      HALT
+  )", {});
+  Machine m(tp);
+  m.writeSymbol("a", 0, 0x4000);
+  m.run();
+  // 0x10000000 << 2 = 0x40000000: hi = 0x4000, lo = 0.
+  EXPECT_EQ(m.readSymbol("hi"), 0x4000);
+  EXPECT_EQ(m.readSymbol("lo"), 0);
+  // One more SFL would shift into bit 31 (negative) -- still defined.
+}
+
+TEST(SatMode, SfrIsArithmeticUnderSxmAndLogicalOtherwise) {
+  for (bool sxm : {true, false}) {
+    std::string src = std::string(sxm ? "      SSXM\n" : "      RSXM\n");
+    auto tp = assembleOrDie(R"(
+      .sym a 1
+      .sym lo 1
+      .sym hi 1
+)" + src + R"(
+      LAC a
+      SFR
+      SACL lo
+      SACH hi
+      HALT
+  )", {});
+    Machine m(tp);
+    m.writeSymbol("a", 0, -2);  // acc = 0xfffffffe after sign-extended load
+    m.run();
+    if (sxm) {
+      // Arithmetic: 0xfffffffe >> 1 = 0xffffffff.
+      EXPECT_EQ(m.readSymbol("lo"), -1);
+      EXPECT_EQ(m.readSymbol("hi"), -1);
+    } else {
+      // Logical: 0xfffffffe >> 1 = 0x7fffffff.
+      EXPECT_EQ(m.readSymbol("lo"), -1);
+      EXPECT_EQ(m.readSymbol("hi"), 0x7fff);
+    }
+  }
+}
+
+TEST(SatMode, TypeHelpersMatchMachineShifts) {
+  // The single-definition helpers in ir/type.h are what interp, machine
+  // and constant folding all call; spot-check their boundary behavior.
+  EXPECT_EQ(wrapShl32(-0x8000, 1), -0x10000);
+  EXPECT_EQ(wrapShl32(0x40000000, 1), INT64_C(-0x80000000));
+  EXPECT_EQ(wrapShl32(1, 0), 1);
+  EXPECT_EQ(asr32(-2, 1), -1);
+  EXPECT_EQ(asr32(-1, 31), -1);
+  EXPECT_EQ(asr32(5, 0), 5);
+  EXPECT_EQ(lsr32(-2, 1), 0x7fffffff);
+  EXPECT_EQ(lsr32(-1, 31), 1);
+  EXPECT_EQ(mul16(0x4000, 0x4000), 0x10000000);
+  EXPECT_EQ(mul16(-0x8000, -0x8000), 0x40000000);
+  EXPECT_EQ(mul16(0x8000, 1), -0x8000);  // operand wraps to 16 bits first
+  EXPECT_EQ(sat32(INT64_C(0x40000000) + INT64_C(0x40000000)), 0x7fffffff);
+}
+
+}  // namespace
+}  // namespace record

@@ -71,5 +71,23 @@ TEST(Diag, UnknownLocation) {
   EXPECT_EQ(loc.str(), "<unknown>");
 }
 
+TEST(Diag, LocationWithFileName) {
+  SourceLoc loc{3, 7, "kernel.dfl"};
+  EXPECT_EQ(loc.str(), "kernel.dfl:3:7");
+  // A file with no line/col (e.g. whole-netlist checks) renders as just
+  // the file name instead of "<unknown>".
+  SourceLoc fileOnly{0, 0, "dp.net"};
+  EXPECT_EQ(fileOnly.str(), "dp.net");
+}
+
+TEST(Diag, EngineSourceNameFlowsIntoLocations) {
+  DiagEngine d;
+  EXPECT_EQ(d.sourceName(), nullptr);
+  d.setSourceName("fir.dfl");
+  ASSERT_NE(d.sourceName(), nullptr);
+  d.error({2, 5, d.sourceName()}, "boom");
+  EXPECT_NE(d.str().find("fir.dfl:2:5: error: boom"), std::string::npos);
+}
+
 }  // namespace
 }  // namespace record
