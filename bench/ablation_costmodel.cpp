@@ -60,5 +60,6 @@ int main(int argc, char** argv) {
   record::printTable();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
+  record::bench::writeGlobalStats("ablation_costmodel");
   return 0;
 }

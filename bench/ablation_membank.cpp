@@ -116,5 +116,6 @@ int main(int argc, char** argv) {
   record::printGraphTable();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
+  record::bench::writeGlobalStats("ablation_membank");
   return 0;
 }

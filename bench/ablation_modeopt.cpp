@@ -98,5 +98,6 @@ int main(int argc, char** argv) {
   record::printTable();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
+  record::bench::writeGlobalStats("ablation_modeopt");
   return 0;
 }

@@ -107,5 +107,6 @@ int main(int argc, char** argv) {
   record::printTable();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
+  record::bench::writeGlobalStats("ablation_rewrite");
   return 0;
 }

@@ -107,11 +107,10 @@ void verifyOnce() {
   }
 }
 
-double secondsOf(const std::function<void()>& fn, int reps) {
-  auto t0 = std::chrono::steady_clock::now();
+bench::DualTimes timesOf(const std::function<void()>& fn, int reps) {
+  bench::DualTimer t;
   for (int i = 0; i < reps; ++i) fn();
-  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
-      .count();
+  return t.elapsed();
 }
 
 void printHeadline() {
@@ -122,13 +121,23 @@ void printHeadline() {
   // Warm up (fast-path caches, thread pool, first-touch allocations).
   compileSuite(fastRc);
   compileSuite(slowRc);
-  double slow = secondsOf([&] { compileSuite(slowRc); }, reps);
-  double fast = secondsOf([&] { compileSuite(fastRc); }, reps);
+  auto slowT = timesOf([&] { compileSuite(slowRc); }, reps);
+  auto fastT = timesOf([&] { compileSuite(fastRc); }, reps);
+  double slow = slowT.steadySec;
+  double fast = fastT.steadySec;
   bench::hr();
   std::printf(
       "DSPStone suite compile x%d @ rewriteBudget=48: "
-      "flags-off %.3fs, fast path %.3fs  ->  %.2fx speedup\n",
-      reps, slow, fast, slow / fast);
+      "flags-off %.3fs, fast path %.3fs  ->  %.2fx speedup "
+      "(wall %.3fs / %.3fs)\n",
+      reps, slow, fast, slow / fast, slowT.wallSec, fastT.wallSec);
+  auto& g = bench::globalStats();
+  g.set("headline", "reps", reps);
+  g.set("headline", "slow_steady_sec", slow);
+  g.set("headline", "fast_steady_sec", fast);
+  g.set("headline", "slow_wall_sec", slowT.wallSec);
+  g.set("headline", "fast_wall_sec", fastT.wallSec);
+  g.set("headline", "speedup", slow / fast);
 
   // Where the time went (one warm compile of the whole suite, per path).
   CompileStats total;
@@ -164,6 +173,8 @@ void printHeadline() {
       static_cast<long long>(total.memoMisses),
       100.0 * static_cast<double>(total.memoHits) /
           static_cast<double>(total.memoHits + total.memoMisses));
+  bench::recordCompileStats("suite_fast", total);
+  bench::recordCompileStats("suite_slow", slowTotal);
   bench::hr();
 }
 
@@ -225,5 +236,6 @@ int main(int argc, char** argv) {
   int n = static_cast<int>(args.size());
   benchmark::Initialize(&n, args.data());
   benchmark::RunSpecifiedBenchmarks();
+  record::bench::writeGlobalStats("compile_throughput");
   return 0;
 }

@@ -8,14 +8,43 @@
 //   ./bench/difftest_soak --seeds 5000 --base 100000
 //
 // Reproduce a reported divergence by rerunning with --base <seed>
-// --seeds 1 (generation is deterministic in the seed).
+// --seeds 1 (generation is deterministic in the seed). Each divergence also
+// lands on disk as divergence-<seed>-<config>-<mode>.txt (repro + pass
+// trace) and .trace.json (Chrome trace_event), which CI archives.
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
 #include <string>
 
 #include "difftest/difftest.h"
+
+namespace {
+
+/// Write the repro + its trace artifacts next to the binary; returns the
+/// base filename (empty on I/O failure, which is only warned about -- the
+/// stderr record is still complete).
+std::string dumpDivergence(const record::difftest::Repro& r,
+                           const std::string& minimized) {
+  std::string base = "divergence-" + std::to_string(r.seed) + "-" +
+                     r.config + "-" + (r.fastPath ? "fast" : "slow");
+  std::ofstream txt(base + ".txt");
+  if (!txt) {
+    std::fprintf(stderr, "WARNING: cannot write %s.txt\n", base.c_str());
+    return "";
+  }
+  txt << r.str() << "\n";
+  if (!minimized.empty())
+    txt << "--- minimized ---\n" << minimized;
+  if (!r.traceText.empty())
+    txt << "--- pass trace ---\n" << r.traceText;
+  if (!r.traceJson.empty())
+    std::ofstream(base + ".trace.json") << r.traceJson << "\n";
+  return base;
+}
+
+}  // namespace
 
 int main(int argc, char** argv) {
   using namespace record;
@@ -58,17 +87,23 @@ int main(int argc, char** argv) {
       ++divergences;
       std::fprintf(stderr, "=== DIVERGENCE ===\n%s\n", r.str().c_str());
       // Minimize against the failing sweep point.
+      std::string minimized;
       const difftest::SweepPoint* pt = nullptr;
       for (const auto& p : sweep)
         if (p.name == r.config) pt = &p;
       if (pt) {
         difftest::ProgSpec min = difftest::minimize(
             spec, difftest::divergesAt(*pt, r.fastPath));
+        minimized = min.render();
         std::fprintf(stderr, "=== MINIMIZED (seed=%llu config=%s %s) ===\n%s",
                      seed, r.config.c_str(),
                      r.fastPath ? "fast-path" : "slow-path",
-                     min.render().c_str());
+                     minimized.c_str());
       }
+      std::string dumped = dumpDivergence(r, minimized);
+      if (!dumped.empty())
+        std::fprintf(stderr, "=== dumped %s.txt / %s.trace.json ===\n",
+                     dumped.c_str(), dumped.c_str());
     }
     if ((seed - base + 1) % 100 == 0)
       std::fprintf(stderr,

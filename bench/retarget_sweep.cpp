@@ -133,5 +133,6 @@ int main(int argc, char** argv) {
   record::printTable();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
+  record::bench::writeGlobalStats("retarget_sweep");
   return 0;
 }

@@ -99,5 +99,6 @@ int main(int argc, char** argv) {
   record::printTable();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
+  record::bench::writeGlobalStats("table1_dspstone");
   return 0;
 }

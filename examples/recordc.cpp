@@ -17,7 +17,13 @@
 //   --emit-isd            print the core's instruction-set description
 //   --isd FILE            retarget: compile against an ISD text file
 //   --run                 execute on the simulator with zero inputs
-//   --stats               print compilation statistics
+//   --stats               print compilation statistics (incl. counters)
+//   --trace               print the pass trace (timers, counters, remarks)
+//                         to stderr
+//   --trace-json[=FILE]   write a Chrome trace_event JSON trace to FILE;
+//                         with no FILE, the trace goes to stdout and the
+//                         listing is suppressed (pipe into jq / save for
+//                         chrome://tracing or Perfetto)
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -30,6 +36,7 @@
 #include "dspstone/kernels.h"
 #include "sim/machine.h"
 #include "target/tdsp.h"
+#include "trace/trace.h"
 
 int main(int argc, char** argv) {
   using namespace record;
@@ -37,6 +44,8 @@ int main(int argc, char** argv) {
   CodegenOptions opt = recordOptions();
   std::string file, kernel, isdFile;
   bool run = false, stats = false, emitIsd = false;
+  bool traceText = false, traceJson = false;
+  std::string traceJsonFile;
 
   for (int i = 1; i < argc; ++i) {
     std::string a = argv[i];
@@ -56,6 +65,12 @@ int main(int argc, char** argv) {
     else if (a == "--no-dmov") cfg.hasDmov = false;
     else if (a == "--run") run = true;
     else if (a == "--stats") stats = true;
+    else if (a == "--trace") traceText = true;
+    else if (a == "--trace-json") traceJson = true;
+    else if (a.rfind("--trace-json=", 0) == 0) {
+      traceJson = true;
+      traceJsonFile = a.substr(std::strlen("--trace-json="));
+    }
     else if (a == "--emit-isd") emitIsd = true;
     else if (a == "--isd") isdFile = i + 1 < argc ? argv[++i] : "";
     else if (a == "--kernel") kernel = i + 1 < argc ? argv[++i] : "";
@@ -105,6 +120,9 @@ int main(int argc, char** argv) {
     return 1;
   }
 
+  TraceContext trace;
+  if (traceText || traceJson) opt.trace = &trace;
+
   try {
     std::optional<RecordCompiler> compilerStorage;
     if (!isdFile.empty()) {
@@ -128,8 +146,33 @@ int main(int argc, char** argv) {
     }
     RecordCompiler& compiler = *compilerStorage;
     auto res = compiler.compile(*prog);
-    std::printf("%s", res.prog.listing().c_str());
-    if (stats) {
+    // --trace-json with no file streams the JSON to stdout (for jq); the
+    // listing would corrupt it, so it is suppressed in that mode.
+    const bool jsonToStdout = traceJson && traceJsonFile.empty();
+    if (!jsonToStdout) std::printf("%s", res.prog.listing().c_str());
+    if (traceText) std::fprintf(stderr, "%s", trace.text().c_str());
+    if (traceJson) {
+      std::string json = trace.chromeJson();
+      // The schema check is cheap; a malformed trace is a bug worth an
+      // exit code, not a silently broken artifact.
+      std::string verr;
+      if (!validateChromeTrace(json, &verr)) {
+        std::fprintf(stderr, "internal error: bad trace JSON: %s\n",
+                     verr.c_str());
+        return 2;
+      }
+      if (jsonToStdout) {
+        std::printf("%s\n", json.c_str());
+      } else {
+        std::ofstream out(traceJsonFile);
+        if (!out) {
+          std::fprintf(stderr, "cannot write %s\n", traceJsonFile.c_str());
+          return 2;
+        }
+        out << json << "\n";
+      }
+    }
+    if (stats && !jsonToStdout) {
       std::printf(
           "; stats: %d words, %d statements, %d variants tried, %d "
           "patterns,\n;        %d promotions, %d merges, %d mode switches, "
@@ -139,6 +182,10 @@ int main(int argc, char** argv) {
           res.stats.promote.promotions, res.stats.compacted.merges,
           res.stats.modes.switchesInserted,
           res.stats.loops.rptConversions);
+      if (traceText || traceJson)
+        for (const auto& [name, value] : trace.counterValues())
+          std::printf("; counter %-28s %lld\n", name.c_str(),
+                      static_cast<long long>(value));
     }
     if (run) {
       Machine m(res.prog);
@@ -156,6 +203,13 @@ int main(int argc, char** argv) {
     }
   } catch (const std::exception& e) {
     std::fprintf(stderr, "compilation failed: %s\n", e.what());
+    // The trace still explains how far compilation got (and carries the
+    // "reject" remark), so emit it even on failure.
+    if (traceText) std::fprintf(stderr, "%s", trace.text().c_str());
+    if (traceJson && traceJsonFile.empty())
+      std::printf("%s\n", trace.chromeJson().c_str());
+    else if (traceJson)
+      std::ofstream(traceJsonFile) << trace.chromeJson() << "\n";
     return 1;
   }
   return 0;

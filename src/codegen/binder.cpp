@@ -171,6 +171,7 @@ Operand CodegenBinder::bind(const Expr& e, Nonterm nt,
 int CodegenBinder::allocTemp() {
   int a = layout_.allocTemp();
   stmtTemps_.push_back(a);
+  ++tempAllocs_;
   return a;
 }
 

@@ -52,6 +52,11 @@ class CodegenBinder : public OperandBinder {
   /// Resolve the base data address of any symbol (program or synthetic).
   int addrFor(const Symbol* s) const;
 
+  /// Total allocTemp() calls over the binder's lifetime -- every spill
+  /// through a memory temp (data routing + dynamic-index reads). Feeds the
+  /// "binder.spill_temps" observability counter.
+  int64_t tempAllocs() const { return tempAllocs_; }
+
  private:
   /// Emit scratch-AR setup for a dynamic array access; returns the indirect
   /// operand.
@@ -66,6 +71,7 @@ class CodegenBinder : public OperandBinder {
   /// Bumped whenever synthetic_/streams_ change; leafCost answers (and so
   /// the matcher's label memo) are valid only within one signature value.
   uint64_t sig_ = 0;
+  int64_t tempAllocs_ = 0;
 };
 
 }  // namespace record

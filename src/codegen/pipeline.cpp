@@ -20,6 +20,7 @@
 #include "rewrite/enumerate.h"
 #include "support/threadpool.h"
 #include "target/tdsp.h"
+#include "trace/trace.h"
 
 namespace record {
 
@@ -88,9 +89,11 @@ bool programUsesSat(const std::vector<Stmt>& body) {
 /// Substitute an induction variable in a whole statement (for unrolling).
 Stmt substStmt(const Stmt& s, const Symbol* ivar, int64_t v) {
   if (s.kind == Stmt::Kind::Assign) {
-    return Stmt::assign(s.lhs, substInduction(s.rhs, ivar, v),
-                        s.lhsIndex ? substInduction(s.lhsIndex, ivar, v)
-                                   : nullptr);
+    Stmt out = Stmt::assign(s.lhs, substInduction(s.rhs, ivar, v),
+                            s.lhsIndex ? substInduction(s.lhsIndex, ivar, v)
+                                       : nullptr);
+    out.loc = s.loc;
+    return out;
   }
   Stmt out = s;
   std::vector<Stmt> body;
@@ -315,7 +318,16 @@ class Emitter {
         layout_(prog, cfg, banks),
         arfile_(cfg.numAddrRegs),
         binder_(layout_, cfg, arfile_),
-        prog_(prog) {
+        prog_(prog),
+        trace_(opt.trace) {
+    if (trace_) {
+      // Resolve the hot-path counters once; searchSlice workers bump them
+      // with relaxed atomic adds.
+      cExplored_ = trace_->counter("rewrite.variants_explored");
+      cPruned_ = trace_->counter("rewrite.variants_pruned");
+      cLabelings_ = trace_->counter("search.labelings");
+      matcher_.setTrace(trace_, &curLoc_);
+    }
     if (fast) {
       fast_ = fast;
       interner_ = &fast->interner;
@@ -344,23 +356,43 @@ class Emitter {
   }
 
   CompileResult run() {
-    emitStmts(prog_.body);
-    emitDelayShifts();
-    appendRaw(Opcode::HALT, Operand::none(), Operand::none());
+    const int64_t vHits0 = rcache_ ? rcache_->variantHits : 0;
+    const int64_t vMiss0 = rcache_ ? rcache_->variantMisses : 0;
+    {
+      TraceSpan span(trace_, "select");
+      emitStmts(prog_.body);
+      emitDelayShifts();
+      appendRaw(Opcode::HALT, Operand::none(), Operand::none());
+    }
 
     auto tLate = Clock::now();
     auto mcode = std::move(code_);
-    if (opt_.accPromote)
+    if (opt_.accPromote) {
+      TraceSpan span(trace_, "accpromote");
       mcode = promoteAccumulators(
           mcode, &stats_.promote,
-          [this](int addr) { return layout_.inArrayRegion(addr); });
-    auto icode = resolveModes(mcode, cfg_, opt_.modeOpt, &stats_.modes);
-    icode = compact(icode, cfg_, opt_.compaction, &stats_.compacted);
-    if (opt_.loopTransforms)
+          [this](int addr) { return layout_.inArrayRegion(addr); }, trace_);
+    }
+    std::vector<Instr> icode;
+    {
+      TraceSpan span(trace_, "modes");
+      icode = resolveModes(mcode, cfg_, opt_.modeOpt, &stats_.modes);
+    }
+    {
+      TraceSpan span(trace_, "compact");
+      icode = compact(icode, cfg_, opt_.compaction, &stats_.compacted,
+                      trace_);
+    }
+    if (opt_.loopTransforms) {
+      TraceSpan span(trace_, "looptrans");
       icode = applyLoopTransforms(icode, cfg_,
                                   opt_.cost == CostKind::Cycles,
                                   &stats_.loops);
-    if (opt_.peephole) icode = peephole(icode, cfg_, &stats_.peep);
+    }
+    if (opt_.peephole) {
+      TraceSpan span(trace_, "peephole");
+      icode = peephole(icode, cfg_, &stats_.peep, trace_);
+    }
     stats_.msLate += msSince(tLate);
 
     for (const BursMatcher* m : matchers_) {
@@ -379,6 +411,37 @@ class Emitter {
     res.prog.dataInit = layout_.dataInit();
     res.stats = stats_;
     res.stats.sizeWords = res.prog.sizeWords();
+
+    if (trace_) {
+      // Publish the pass statistics as counters (the hot-path counters --
+      // variants explored/pruned, labelings, rules fired -- were already
+      // bumped in place).
+      trace_->add("isel.statements", stats_.statements);
+      trace_->add("isel.patterns_used", stats_.patternsUsed);
+      if (rcache_) {
+        trace_->add("rewrite.variant_cache_hits",
+                    rcache_->variantHits - vHits0);
+        trace_->add("rewrite.variant_cache_misses",
+                    rcache_->variantMisses - vMiss0);
+      }
+      trace_->add("intern.nodes", stats_.internedNodes);
+      trace_->add("intern.hits", stats_.internHits);
+      trace_->add("burs.memo_hits", stats_.memoHits);
+      trace_->add("burs.memo_misses", stats_.memoMisses);
+      trace_->add("accpromote.promotions", stats_.promote.promotions);
+      trace_->add("modes.switches_inserted", stats_.modes.switchesInserted);
+      trace_->add("compact.merges", stats_.compacted.merges);
+      trace_->add("compact.blocks_reordered",
+                  stats_.compacted.blocksReordered);
+      trace_->add("looptrans.rpt_conversions", stats_.loops.rptConversions);
+      trace_->add("looptrans.mac_pipelined", stats_.loops.macPipelined);
+      trace_->add("looptrans.mac_rotations", stats_.loops.macRotations);
+      trace_->add("peephole.removed_loads", stats_.peep.removedLoads);
+      trace_->add("peephole.dmov_fusions", stats_.peep.dmovFusions);
+      trace_->add("peephole.dead_ar_loads", stats_.peep.deadArLoads);
+      trace_->add("binder.spill_temps", binder_.tempAllocs());
+      trace_->add("codegen.size_words", res.stats.sizeWords);
+    }
     return res;
   }
 
@@ -470,14 +533,22 @@ class Emitter {
   // parallel slice search can therefore never change which cover is emitted
   // (a pruned variant is provably strictly worse than the running bound).
   void selectAndEmit(const ExprPtr& storeTree) {
+    TraceSpan stmtSpan(trace_, "stmt");
     auto tRewrite = Clock::now();
-    ExprPtr root = interner_ ? interner_->intern(storeTree) : storeTree;
-    std::vector<ExprPtr> variants =
-        opt_.rewriteBudget > 1
-            ? enumerateVariants(root, opt_.rewriteBudget, interner_, rcache_)
-            : std::vector<ExprPtr>{root};
+    ExprPtr root;
+    std::vector<ExprPtr> variants;
+    {
+      TraceSpan span(trace_, "rewrite");
+      root = interner_ ? interner_->intern(storeTree) : storeTree;
+      variants =
+          opt_.rewriteBudget > 1
+              ? enumerateVariants(root, opt_.rewriteBudget, interner_,
+                                  rcache_)
+              : std::vector<ExprPtr>{root};
+    }
     stats_.msRewrite += msSince(tRewrite);
 
+    TraceSpan searchSpan(trace_, "search");
     auto tSearch = Clock::now();
     const int n = static_cast<int>(variants.size());
     constexpr int kNone = std::numeric_limits<int>::max();
@@ -511,8 +582,10 @@ class Emitter {
                                       Nonterm::Stmt, binder_, limit);
         if (out.pruned) {
           pruned.fetch_add(1, std::memory_order_relaxed);
+          if (cPruned_) cPruned_->add(1);
           continue;
         }
+        if (cLabelings_) cLabelings_->add(1);
         if (!out.cost) continue;
         costs[static_cast<size_t>(i)] = *out.cost;
         int cur = bound.load(std::memory_order_relaxed);
@@ -536,13 +609,23 @@ class Emitter {
       }
     }
     stats_.msSearch += msSince(tSearch);
+    searchSpan.close();
     if (bestCost == kNone)
       throw std::runtime_error("no instruction cover for: " +
                                storeTree->str() + " on " + cfg_.describe());
     stats_.variantsTried += n;
     stats_.variantsPruned += pruned.load(std::memory_order_relaxed);
+    if (cExplored_) cExplored_->add(n);
+    if (trace_)
+      trace_->remark("select",
+                     "picked variant " + std::to_string(bestIdx + 1) + "/" +
+                         std::to_string(n) + " (cost " +
+                         std::to_string(bestCost) + ") for " +
+                         storeTree->str(),
+                     curLoc_);
 
     auto tReduce = Clock::now();
+    TraceSpan reduceSpan(trace_, "reduce");
     auto res = matcher_.reduce(variants[bestIdx], Nonterm::Stmt, binder_);
     assert(res.ok);
     stats_.patternsUsed += res.patternsUsed;
@@ -682,6 +765,14 @@ class Emitter {
 
   void emitAssign(const Stmt& s) {
     binder_.beginStatement();
+    if (trace_) {
+      curLoc_.clear();
+      if (s.loc.line > 0) {
+        curLoc_ = (prog_.name.empty() ? "<dfl>" : prog_.name) + ":" +
+                  std::to_string(s.loc.line);
+        if (s.loc.col > 0) curLoc_ += ":" + std::to_string(s.loc.col);
+      }
+    }
     ExprPtr rhs = s.rhs;
     if (opt_.foldConstants) rhs = foldConstants(rhs);
     const bool softMul = !cfg_.hasMac && !cfg_.hasDualMul;
@@ -869,6 +960,7 @@ class Emitter {
       Stmt nb = Stmt::assign(streamLhs ? streamLhs : b.lhs,
                              replaceStreams(b.rhs, s.ivar, groups),
                              streamLhs ? nullptr : lhsIndex);
+      nb.loc = b.loc;
       body.push_back(std::move(nb));
     }
 
@@ -993,6 +1085,14 @@ class Emitter {
   std::vector<std::unique_ptr<BursMatcher>> extraMatchers_;
   ThreadPool* pool_ = nullptr;
   int threads_ = 1;
+  // Observability (null/unused when tracing is off).
+  TraceContext* trace_ = nullptr;
+  TraceCounter* cExplored_ = nullptr;
+  TraceCounter* cPruned_ = nullptr;
+  TraceCounter* cLabelings_ = nullptr;
+  /// Rendered source attribution ("prog.dfl:12:3") of the statement being
+  /// selected; the matcher reads it through setTrace at remark time.
+  std::string curLoc_;
   std::vector<std::unique_ptr<Symbol>> synths_;
   std::vector<MInstr> code_;
   std::string pendingLabel_;
@@ -1036,20 +1136,36 @@ RecordCompiler::RecordCompiler(RuleSet rules, CodegenOptions opt)
       rules_(std::make_shared<const RuleSet>(std::move(rules))) {}
 
 CompileResult RecordCompiler::compile(const Program& prog) const {
-  if (!cfg_.hasSat && programUsesSat(prog.body))
-    throw std::runtime_error(
-        "program uses saturating arithmetic but target " + cfg_.describe() +
-        " has no saturation mode");
-  BankAssignment banks;
-  const BankAssignment* banksPtr = nullptr;
-  if (opt_.memBankOpt && cfg_.hasDualMul && cfg_.memBanks >= 2) {
-    banks = assignBanks(collectMulPairs(prog));
-    banksPtr = &banks;
+  TraceContext* trace = opt_.trace;
+  TraceSpan compileSpan(trace, "compile");
+  try {
+    if (!cfg_.hasSat && programUsesSat(prog.body))
+      throw std::runtime_error(
+          "program uses saturating arithmetic but target " + cfg_.describe() +
+          " has no saturation mode");
+    BankAssignment banks;
+    const BankAssignment* banksPtr = nullptr;
+    if (opt_.memBankOpt && cfg_.hasDualMul && cfg_.memBanks >= 2) {
+      TraceSpan span(trace, "membank");
+      banks = assignBanks(collectMulPairs(prog));
+      banksPtr = &banks;
+      if (trace) {
+        trace->remark("membank", banks.str());
+        trace->add("membank.cut_weight", banks.cutWeight);
+        trace->add("membank.total_weight", banks.totalWeight);
+      }
+    }
+    if (opt_.internExprs && !fast_) fast_ = std::make_shared<FastPathState>();
+    Emitter em(cfg_, opt_, *rules_, prog, banksPtr,
+               opt_.internExprs ? fast_.get() : nullptr);
+    return em.run();
+  } catch (const std::exception& e) {
+    // Capability rejections (unsupported saturation, inexpressible wide
+    // intermediates, no cover) surface in the remark stream too, so a trace
+    // artifact explains *why* a target/program pair failed.
+    if (trace) trace->remark("reject", e.what());
+    throw;
   }
-  if (opt_.internExprs && !fast_) fast_ = std::make_shared<FastPathState>();
-  Emitter em(cfg_, opt_, *rules_, prog, banksPtr,
-             opt_.internExprs ? fast_.get() : nullptr);
-  return em.run();
 }
 
 }  // namespace record

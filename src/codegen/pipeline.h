@@ -28,6 +28,8 @@
 
 namespace record {
 
+class TraceContext;
+
 struct CodegenOptions {
   CostKind cost = CostKind::Size;
   /// Max algebraically equivalent trees tried per statement (<=1 disables
@@ -64,6 +66,15 @@ struct CodegenOptions {
   /// Worker threads for the per-statement variant search: 0 = one per
   /// hardware thread (shared process pool), 1 = sequential.
   int searchThreads = 0;
+
+  // -- observability --------------------------------------------------------
+  /// Optional trace sink (src/trace): per-pass spans, counters, and
+  /// optimization remarks are recorded into it during compile(). Null (the
+  /// default) disables all instrumentation; tracing never changes the
+  /// emitted program (asserted by the determinism test). The context must
+  /// outlive every compile() that uses it and may be shared by several
+  /// compilers (counters are thread-safe).
+  TraceContext* trace = nullptr;
 };
 
 struct CompileStats {

@@ -229,7 +229,12 @@ class Lowerer {
         diag_.error(s.loc, "array '" + s.lhsName + "' assigned without index");
         return std::nullopt;
       }
-      return Stmt::assign(lhs, lowerExpr(*s.rhs), std::move(idx));
+      Stmt st = Stmt::assign(lhs, lowerExpr(*s.rhs), std::move(idx));
+      // Keep only line/col: `file` points into the DiagEngine, which may
+      // not outlive the lowered Program.
+      st.loc.line = s.loc.line;
+      st.loc.col = s.loc.col;
+      return st;
     }
     // For loop: bounds must be compile-time constants.
     auto lo = evalConst(*s.lo);
@@ -261,7 +266,10 @@ class Lowerer {
     // Induction variable stays defined (it is referenced by the body), but
     // rename it so a later loop can reuse the source name.
     ivar->name = s.ivar + "." + std::to_string(loopCounter_++);
-    return Stmt::forLoop(ivar, *lo, *hi, step, std::move(body));
+    Stmt st = Stmt::forLoop(ivar, *lo, *hi, step, std::move(body));
+    st.loc.line = s.loc.line;
+    st.loc.col = s.loc.col;
+    return st;
   }
 
   const AstProgram& ast_;

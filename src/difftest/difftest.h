@@ -118,6 +118,12 @@ struct Repro {
   bool fastPath = true;
   std::string divergence;  // first divergent observable (tick/symbol/values)
   std::string source;      // DFL text of the (possibly minimized) program
+  /// Trace artifact of a re-compile of the diverging (config, mode) pair:
+  /// human pass trace + Chrome trace_event JSON. Shows which rewrite
+  /// variants, rules, and late-pass firings produced the bad code; written
+  /// into the soak driver's divergence dumps.
+  std::string traceText;
+  std::string traceJson;
   std::string str() const;
 };
 

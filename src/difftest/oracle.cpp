@@ -5,6 +5,7 @@
 
 #include "codegen/baseline.h"
 #include "dfl/frontend.h"
+#include "trace/trace.h"
 
 namespace record::difftest {
 
@@ -95,6 +96,20 @@ std::vector<Repro> crossCheck(const ProgSpec& spec,
       r.fastPath = fast;
       r.divergence = m.error;
       r.source = source;
+      // Recompile the diverging pair with tracing on so the repro carries
+      // the full pass/remark history (tracing never changes codegen, so
+      // this reproduces the same bad program).
+      try {
+        TraceContext trace;
+        CodegenOptions topt = modeOptions(fast);
+        topt.trace = &trace;
+        RecordCompiler rc(pt.cfg, topt);
+        rc.compile(*prog);
+        r.traceText = trace.text();
+        r.traceJson = trace.chromeJson();
+      } catch (const std::exception& e) {
+        r.traceText = std::string("trace recompile failed: ") + e.what();
+      }
       out.push_back(std::move(r));
       if (stats) ++stats->divergences;
     }

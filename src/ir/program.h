@@ -12,6 +12,7 @@
 
 #include "ir/expr.h"
 #include "ir/symbol.h"
+#include "support/diag.h"
 
 namespace record {
 
@@ -19,6 +20,11 @@ struct Stmt {
   enum class Kind : uint8_t { Assign, For };
 
   Kind kind = Kind::Assign;
+
+  /// Source position this statement was lowered from (line/col only;
+  /// `file` is left null so the location never dangles past the front
+  /// end's DiagEngine). Used by optimization remarks; 0 = unknown.
+  SourceLoc loc;
 
   // Kind::Assign -- lhs[lhsIndex] = rhs  (lhsIndex null for scalars)
   const Symbol* lhs = nullptr;

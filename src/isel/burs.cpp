@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cassert>
 
+#include "trace/trace.h"
+
 namespace record {
 
 namespace {
@@ -38,6 +40,12 @@ BursMatcher::BursMatcher(const RuleSet& rules, CostKind costKind)
       rulesByOp_[static_cast<size_t>(Op::Const)].push_back(
           static_cast<int>(ri));
   }
+}
+
+void BursMatcher::setTrace(TraceContext* trace, const std::string* loc) {
+  trace_ = trace;
+  traceLoc_ = loc;
+  rulesFired_ = trace ? trace->counter("isel.rules_fired") : nullptr;
 }
 
 void BursMatcher::enableMemo(bool on) {
@@ -236,6 +244,13 @@ Operand BursMatcher::reduceTo(const ExprPtr& e, Nonterm nt,
 
   const Rule& r = rules_.rules[static_cast<size_t>(c.rule)];
   ++patterns;
+  if (trace_) {
+    rulesFired_->add(1);
+    std::string node = e->str();
+    if (node.size() > 48) node.replace(45, node.size() - 45, "...");
+    trace_->remark("isel.rule", "fired '" + r.name + "' on " + node,
+                   traceLoc_ ? *traceLoc_ : std::string());
+  }
 
   // Gather the rule's leaves paired with the expression nodes they cover.
   std::vector<std::pair<const PatNode*, ExprPtr>> leaves;

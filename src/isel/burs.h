@@ -25,6 +25,9 @@
 
 namespace record {
 
+class TraceContext;
+struct TraceCounter;
+
 /// Cost dimension optimized by the matcher. Table 1 reports size, so Size is
 /// the default; Cycles is used by the speed-oriented experiments.
 enum class CostKind : uint8_t { Size, Cycles };
@@ -109,6 +112,13 @@ class BursMatcher {
   int64_t memoHits() const { return memoHits_; }
   int64_t memoMisses() const { return memoMisses_; }
 
+  /// Attach an optimization-remark stream: every reduce() afterwards
+  /// reports each rule fired in the winning cover ("isel.rule" remarks)
+  /// and bumps the "isel.rules_fired" counter. `loc` (may be null) points
+  /// at a caller-owned rendered source attribution, read at remark time.
+  /// Observability only -- never changes labeling or reduction.
+  void setTrace(TraceContext* trace, const std::string* loc = nullptr);
+
   const RuleSet& rules() const { return rules_; }
 
  private:
@@ -172,6 +182,11 @@ class BursMatcher {
   uint64_t memoSig_ = ~0ull;
   int64_t memoHits_ = 0;
   int64_t memoMisses_ = 0;
+
+  // Optimization-remark stream (null = off).
+  TraceContext* trace_ = nullptr;
+  TraceCounter* rulesFired_ = nullptr;
+  const std::string* traceLoc_ = nullptr;
 
   // Branch-and-bound state for the current bounded call.
   int limit_ = kInfCost;

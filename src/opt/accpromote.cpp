@@ -2,6 +2,8 @@
 
 #include <map>
 
+#include "trace/trace.h"
+
 namespace record {
 
 namespace {
@@ -29,7 +31,7 @@ bool touchesAddr(const Instr& in, int addr,
 
 std::vector<MInstr> promoteAccumulators(
     const std::vector<MInstr>& code, AccPromoteStats* stats,
-    const std::function<bool(int)>& indirectMayTouch) {
+    const std::function<bool(int)>& indirectMayTouch, TraceContext* trace) {
   // Label -> number of branches targeting it.
   std::map<std::string, int> targetCount;
   for (const auto& mi : code)
@@ -121,6 +123,10 @@ std::vector<MInstr> promoteAccumulators(
       if (!labelPlaced) continue;  // body was empty besides SACL; skip
       out.push_back(saclMi);
       for (size_t k = j + 1; k < cur.size(); ++k) out.push_back(cur[k]);
+      if (trace)
+        trace->remark("accpromote", "hoisted '" + head.str() +
+                                        "' out of loop '" + head.label +
+                                        "', sunk matching SACL past BANZ");
       cur = std::move(out);
       if (stats) ++stats->promotions;
       changed = true;

@@ -23,6 +23,8 @@
 
 namespace record {
 
+class TraceContext;
+
 struct AccPromoteStats {
   int promotions = 0;
 };
@@ -31,9 +33,11 @@ struct AccPromoteStats {
 /// address `addr`? Compiled code only ever points address registers into
 /// array storage, so the codegen driver passes a predicate that returns
 /// false for scalar addresses, unlocking promotion in stream loops. The
-/// default is fully conservative.
+/// default is fully conservative. `trace` (optional) receives one
+/// "accpromote" remark per promoted loop; observability only.
 std::vector<MInstr> promoteAccumulators(
     const std::vector<MInstr>& code, AccPromoteStats* stats = nullptr,
-    const std::function<bool(int)>& indirectMayTouch = {});
+    const std::function<bool(int)>& indirectMayTouch = {},
+    TraceContext* trace = nullptr);
 
 }  // namespace record

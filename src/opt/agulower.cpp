@@ -4,6 +4,8 @@
 #include <map>
 #include <vector>
 
+#include "trace/trace.h"
+
 namespace record {
 
 namespace {
@@ -18,7 +20,8 @@ struct Access {
 }  // namespace
 
 std::optional<AguResult> lowerToAgu(const TargetProgram& in, int numAgus,
-                                    SoaKind kind, std::string* error) {
+                                    SoaKind kind, std::string* error,
+                                    TraceContext* trace) {
   auto fail = [&](const std::string& msg) -> std::optional<AguResult> {
     if (error) *error = msg;
     return std::nullopt;
@@ -179,6 +182,23 @@ std::optional<AguResult> lowerToAgu(const TargetProgram& in, int numAgus,
     if (isBoundary(ins)) std::fill(cur.begin(), cur.end(), -1);
   }
   res.prog.code = std::move(out);
+  if (trace) {
+    std::string msg;
+    if (numAgus == 1) {
+      SoaResult summary{slotOf, static_cast<int64_t>(res.addressInstrs)};
+      msg = "SOA " + summary.str();
+    } else {
+      GoaResult summary;
+      summary.arOf = arOf;
+      summary.slotOf = slotOf;
+      summary.cost = res.addressInstrs;
+      msg = "GOA k=" + std::to_string(numAgus) + " " + summary.str();
+    }
+    trace->remark("agu", msg);
+    trace->add("agu.accesses", res.accesses);
+    trace->add("agu.address_instrs", res.addressInstrs);
+    trace->add("agu.variables", res.variables);
+  }
   return res;
 }
 

@@ -25,6 +25,8 @@
 
 namespace record {
 
+class TraceContext;
+
 enum class SoaKind : uint8_t { Naive, Liao, Leupers };
 
 struct AguResult {
@@ -36,9 +38,12 @@ struct AguResult {
 
 /// Lower `in` to AR-walk addressing using `numAgus` address registers and
 /// the chosen layout heuristic. Returns nullopt (with `error`) if the
-/// program uses features the AGU model cannot express.
+/// program uses features the AGU model cannot express. `trace` (optional)
+/// receives an "agu" remark with the chosen offset-assignment layout and
+/// counters for accesses / inserted address instructions.
 std::optional<AguResult> lowerToAgu(const TargetProgram& in, int numAgus,
                                     SoaKind kind,
-                                    std::string* error = nullptr);
+                                    std::string* error = nullptr,
+                                    TraceContext* trace = nullptr);
 
 }  // namespace record

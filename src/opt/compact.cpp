@@ -6,6 +6,8 @@
 #include <map>
 #include <optional>
 
+#include "trace/trace.h"
+
 namespace record {
 
 namespace {
@@ -185,11 +187,15 @@ std::optional<Instr> tryMerge(const Instr& a, const Instr& b,
 }
 
 std::vector<Instr> compactList(const std::vector<Instr>& block,
-                               const TargetConfig& cfg, CompactStats* stats) {
+                               const TargetConfig& cfg, CompactStats* stats,
+                               TraceContext* trace) {
   std::vector<Instr> out;
   for (const auto& in : block) {
     if (!out.empty() && !isBarrier(out.back()) && !isBarrier(in)) {
       if (auto m = tryMerge(out.back(), in, cfg)) {
+        if (trace)
+          trace->remark("compact", "merged '" + out.back().str() + "' + '" +
+                                       in.str() + "' -> '" + m->str() + "'");
         out.back() = *m;
         if (stats) ++stats->merges;
         continue;
@@ -205,10 +211,10 @@ std::vector<Instr> compactList(const std::vector<Instr>& block,
 /// plus greedy merging for large blocks.
 std::vector<Instr> compactOptimal(const std::vector<Instr>& block,
                                   const TargetConfig& cfg,
-                                  CompactStats* stats) {
+                                  CompactStats* stats, TraceContext* trace) {
   const size_t n = block.size();
   constexpr size_t kMaxN = 14;
-  if (n > kMaxN || n < 2) return compactList(block, cfg, stats);
+  if (n > kMaxN || n < 2) return compactList(block, cfg, stats, trace);
 
   // deps[j] = bitmask of instructions that must precede j.
   std::vector<uint32_t> deps(n, 0);
@@ -277,7 +283,7 @@ std::vector<Instr> compactOptimal(const std::vector<Instr>& block,
         bestLast = last;
         bestConsumed = c;
       }
-  if (bestVal <= 0) return compactList(block, cfg, stats);
+  if (bestVal <= 0) return compactList(block, cfg, stats, trace);
 
   // Reconstruct the order.
   std::vector<size_t> order;
@@ -307,22 +313,27 @@ std::vector<Instr> compactOptimal(const std::vector<Instr>& block,
   }
   if (!reordered.empty()) reordered[0].label = label;
   if (stats) ++stats->blocksReordered;
-  return compactList(reordered, cfg, stats);
+  if (trace)
+    trace->remark("compact",
+                  "reordered a " + std::to_string(n) +
+                      "-instruction block for " + std::to_string(bestVal) +
+                      " merge(s)");
+  return compactList(reordered, cfg, stats, trace);
 }
 
 }  // namespace
 
 std::vector<Instr> compact(const std::vector<Instr>& code,
                            const TargetConfig& cfg, CompactMode mode,
-                           CompactStats* stats) {
+                           CompactStats* stats, TraceContext* trace) {
   if (mode == CompactMode::None) return code;
   std::vector<Instr> out;
   std::vector<Instr> block;
   auto flush = [&]() {
     if (block.empty()) return;
     auto compacted = (mode == CompactMode::Optimal)
-                         ? compactOptimal(block, cfg, stats)
-                         : compactList(block, cfg, stats);
+                         ? compactOptimal(block, cfg, stats, trace)
+                         : compactList(block, cfg, stats, trace);
     out.insert(out.end(), compacted.begin(), compacted.end());
     block.clear();
   };

@@ -19,6 +19,8 @@
 
 namespace record {
 
+class TraceContext;
+
 enum class CompactMode : uint8_t { None, List, Optimal };
 
 struct CompactStats {
@@ -26,9 +28,12 @@ struct CompactStats {
   int blocksReordered = 0;
 };
 
+/// `trace` (optional) receives one "compact" remark per merged pair and per
+/// reordered block; observability only.
 std::vector<Instr> compact(const std::vector<Instr>& code,
                            const TargetConfig& cfg, CompactMode mode,
-                           CompactStats* stats = nullptr);
+                           CompactStats* stats = nullptr,
+                           TraceContext* trace = nullptr);
 
 /// True if instructions i and j (i before j) can be swapped without changing
 /// observable behaviour. Exposed for the reordering tests.

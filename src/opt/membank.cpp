@@ -5,6 +5,25 @@
 
 namespace record {
 
+std::string BankAssignment::str() const {
+  std::vector<std::string> b0, b1;
+  for (const auto& [sym, bank] : bankOf)
+    (bank == 0 ? b0 : b1).push_back(sym->name);
+  std::sort(b0.begin(), b0.end());
+  std::sort(b1.begin(), b1.end());
+  auto join = [](const std::vector<std::string>& v) {
+    std::string s;
+    for (const auto& n : v) {
+      if (!s.empty()) s += ",";
+      s += n;
+    }
+    return s;
+  };
+  return "cut " + std::to_string(cutWeight) + "/" +
+         std::to_string(totalWeight) + ": b0={" + join(b0) + "} b1={" +
+         join(b1) + "}";
+}
+
 namespace {
 
 void collectFromExpr(const ExprPtr& e, int64_t weight,

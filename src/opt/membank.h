@@ -37,6 +37,10 @@ struct BankAssignment {
     auto it = bankOf.find(s);
     return it == bankOf.end() ? 0 : it->second;
   }
+
+  /// Human-readable summary ("cut 12/14: b0={x,y} b1={h}") for remarks and
+  /// debug dumps. Symbols are listed in name order.
+  std::string str() const;
 };
 
 /// Greedy + hill-climbing max-cut.

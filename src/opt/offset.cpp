@@ -9,6 +9,24 @@
 
 namespace record {
 
+std::string SoaResult::str() const {
+  // Print variables in slot order: slot 0's variable first.
+  std::vector<int> varAt(slotOf.size(), -1);
+  for (size_t v = 0; v < slotOf.size(); ++v)
+    varAt[static_cast<size_t>(slotOf[v])] = static_cast<int>(v);
+  std::string s = "cost " + std::to_string(cost) + ", layout";
+  for (int v : varAt) s += " v" + std::to_string(v);
+  return s;
+}
+
+std::string GoaResult::str() const {
+  std::string s = "cost " + std::to_string(cost) + ", ar";
+  for (int ar : arOf) s += " " + std::to_string(ar);
+  s += ", slots";
+  for (int sl : slotOf) s += " " + std::to_string(sl);
+  return s;
+}
+
 int64_t soaCost(const AccessSeq& s, const SlotAssignment& slotOf) {
   if (s.seq.empty()) return 0;
   int64_t cost = 1;  // initial AR load

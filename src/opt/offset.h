@@ -36,6 +36,10 @@ int64_t soaCost(const AccessSeq& s, const SlotAssignment& slotOf);
 struct SoaResult {
   SlotAssignment slotOf;
   int64_t cost = 0;
+
+  /// Human-readable layout summary ("cost 3, layout v2 v0 v1") for
+  /// optimization remarks and debug dumps.
+  std::string str() const;
 };
 
 /// Declaration order (the unoptimized baseline).
@@ -52,6 +56,9 @@ struct GoaResult {
   std::vector<int> arOf;  // variable -> AR index (0..k-1)
   SlotAssignment slotOf;  // global slots (partitions laid out consecutively)
   int64_t cost = 0;       // sum of per-AR SOA costs (incl. k initial loads)
+
+  /// Human-readable partition + layout summary for optimization remarks.
+  std::string str() const;
 };
 
 /// General offset assignment with k address registers.

@@ -1,5 +1,7 @@
 #include "opt/peephole.h"
 
+#include "trace/trace.h"
+
 namespace record {
 
 namespace {
@@ -59,7 +61,8 @@ bool truncationObservable(const std::vector<Instr>& code, size_t i) {
 }  // namespace
 
 std::vector<Instr> peephole(const std::vector<Instr>& code,
-                            const TargetConfig& cfg, PeepholeStats* stats) {
+                            const TargetConfig& cfg, PeepholeStats* stats,
+                            TraceContext* trace) {
   std::vector<Instr> cur = code;
   bool changed = true;
   while (changed) {
@@ -78,6 +81,9 @@ std::vector<Instr> peephole(const std::vector<Instr>& code,
           in.a.mode == AddrMode::Direct && out.back().a == in.a &&
           !truncationObservable(cur, i)) {
         if (stats) ++stats->removedLoads;
+        if (trace)
+          trace->remark("peephole",
+                        "removed reload '" + in.str() + "' (ACC holds it)");
         changed = true;
         continue;
       }
@@ -89,6 +95,9 @@ std::vector<Instr> peephole(const std::vector<Instr>& code,
         repl.label = out.back().label;
         out.back() = repl;
         if (stats) ++stats->deadArLoads;
+        if (trace)
+          trace->remark("peephole", "dropped dead AR load before '" +
+                                        in.str() + "'");
         changed = true;
         continue;
       }
@@ -104,6 +113,9 @@ std::vector<Instr> peephole(const std::vector<Instr>& code,
         dmov.label = out.back().label;
         out.back() = dmov;
         if (stats) ++stats->dmovFusions;
+        if (trace)
+          trace->remark("peephole",
+                        "fused LAC/SACL pair into '" + dmov.str() + "'");
         changed = true;
         continue;
       }

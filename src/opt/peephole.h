@@ -14,14 +14,19 @@
 
 namespace record {
 
+class TraceContext;
+
 struct PeepholeStats {
   int removedLoads = 0;
   int dmovFusions = 0;
   int deadArLoads = 0;
 };
 
+/// `trace` (optional) receives one "peephole" remark per rewrite applied;
+/// observability only.
 std::vector<Instr> peephole(const std::vector<Instr>& code,
                             const TargetConfig& cfg,
-                            PeepholeStats* stats = nullptr);
+                            PeepholeStats* stats = nullptr,
+                            TraceContext* trace = nullptr);
 
 }  // namespace record

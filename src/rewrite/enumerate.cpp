@@ -150,7 +150,11 @@ std::vector<ExprPtr> enumerateVariants(const ExprPtr& root, int budget,
       cache->variantBudget = budget;
     }
     auto it = cache->variants.find(start.get());
-    if (it != cache->variants.end()) return it->second;
+    if (it != cache->variants.end()) {
+      ++cache->variantHits;
+      return it->second;
+    }
+    ++cache->variantMisses;
   }
   std::vector<ExprPtr> result{start};
   if (budget <= 1) return result;

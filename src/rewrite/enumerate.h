@@ -49,6 +49,12 @@ struct RewriteCache {
   /// enumeration entirely. Invalidated when the budget changes.
   int variantBudget = -1;
   std::unordered_map<const Expr*, std::vector<ExprPtr>> variants;
+
+  /// Observability: whole-enumeration cache hits/misses (enumeration is
+  /// single-threaded, so plain ints). Read by the trace layer; never
+  /// consulted by the compiler itself.
+  int64_t variantHits = 0;
+  int64_t variantMisses = 0;
 };
 
 /// All trees reachable from `root` (including `root` itself, always at

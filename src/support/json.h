@@ -1,0 +1,44 @@
+// A minimal JSON reader/escaper for the observability layer: validating
+// Chrome trace_event output, checking that bench stats artifacts parse, and
+// escaping strings emitted by the trace sinks. Deliberately tiny -- no DOM
+// mutation, no serialization of arbitrary values -- because the repo's JSON
+// producers all write their own fixed schemas.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace record::json {
+
+/// A parsed JSON value. Objects keep key order (handy for golden tests).
+struct Value {
+  enum class Kind { Null, Bool, Number, String, Array, Object };
+  Kind kind = Kind::Null;
+  bool boolean = false;
+  double number = 0;
+  std::string str;
+  std::vector<Value> arr;
+  std::vector<std::pair<std::string, Value>> obj;
+
+  bool isNull() const { return kind == Kind::Null; }
+  bool isNumber() const { return kind == Kind::Number; }
+  bool isString() const { return kind == Kind::String; }
+  bool isArray() const { return kind == Kind::Array; }
+  bool isObject() const { return kind == Kind::Object; }
+
+  /// Member lookup on objects; nullptr when absent or not an object.
+  const Value* find(const std::string& key) const;
+};
+
+/// Parse a complete JSON document (trailing whitespace allowed, nothing
+/// else). On failure returns nullopt and, when `err` is non-null, a
+/// one-line description with the byte offset.
+std::optional<Value> parse(const std::string& text, std::string* err = nullptr);
+
+/// Escape `s` for inclusion inside a JSON string literal (quotes not
+/// included).
+std::string escape(const std::string& s);
+
+}  // namespace record::json
