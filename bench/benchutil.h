@@ -18,6 +18,7 @@
 #include "dfl/frontend.h"
 #include "dspstone/harness.h"
 #include "dspstone/kernels.h"
+#include "sim/profile.h"
 #include "support/json.h"
 #include "target/asmtext.h"
 
@@ -171,6 +172,55 @@ inline Measured measureCompiled(const Program& prog, const TargetConfig& cfg,
   }
   recordCompileStats(what, res.stats);
   globalStats().set(what, "cycles", static_cast<double>(m.cycles));
+  return {m.sizeWords, m.cycles};
+}
+
+/// Record a run profile's deterministic statistics as a stats row (opcode
+/// class cycle breakdown, bank pressure, hottest source line).
+inline void recordProfileStats(const std::string& row, const Profile& p) {
+  auto& g = globalStats();
+  g.set(row, "cycles", static_cast<double>(p.totalCycles()));
+  g.set(row, "instructions", static_cast<double>(p.totalInstructions()));
+  for (int c = 0; c < kNumOpClasses; ++c) {
+    std::string name = opClassName(static_cast<OpClass>(c));
+    for (auto& ch : name)
+      if (ch == '-') ch = '_';
+    g.set(row, "class_" + name + "_cycles",
+          static_cast<double>(p.classCycles(static_cast<OpClass>(c))));
+  }
+  g.set(row, "bank_conflicts", static_cast<double>(p.bankConflicts()));
+  int hotLine = 0;
+  int64_t hotCycles = -1;
+  for (const auto& [line, cyc] : p.lineCycles())
+    if (line > 0 && cyc > hotCycles) {
+      hotLine = line;
+      hotCycles = cyc;
+    }
+  if (hotCycles >= 0) {
+    g.set(row, "hot_line", hotLine);
+    g.set(row, "hot_line_cycles", static_cast<double>(hotCycles));
+  }
+}
+
+/// Like measureCompiled, but runs under the execution profiler and records
+/// the profile breakdown as a stats row named `<what>.profile`. Optionally
+/// hands back the Profile's human-readable report.
+inline Measured measureProfiled(const Program& prog, const TargetConfig& cfg,
+                                const CodegenOptions& opt, int ticks,
+                                const char* what,
+                                std::string* textOut = nullptr) {
+  RecordCompiler rc(cfg, opt);
+  auto res = rc.compile(prog);
+  Profile prof(res.prog);
+  auto m = runAndCompare(res.prog, prog, defaultStimulus(prog, 1, ticks),
+                         &prof);
+  if (!m.ok) {
+    std::fprintf(stderr, "FATAL: %s failed verification under profiling: %s\n",
+                 what, m.error.c_str());
+    std::exit(1);
+  }
+  recordProfileStats(std::string(what) + ".profile", prof);
+  if (textOut) *textOut = prof.text();
   return {m.sizeWords, m.cycles};
 }
 

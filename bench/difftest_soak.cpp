@@ -9,8 +9,9 @@
 //
 // Reproduce a reported divergence by rerunning with --base <seed>
 // --seeds 1 (generation is deterministic in the seed). Each divergence also
-// lands on disk as divergence-<seed>-<config>-<mode>.txt (repro + pass
-// trace) and .trace.json (Chrome trace_event), which CI archives.
+// lands on disk as divergence-<seed>-<config>-<mode>[-N].txt (repro + pass
+// trace) and .trace.json (Chrome trace_event), which CI archives; the -N
+// suffix keeps reruns from overwriting earlier dumps.
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
@@ -27,8 +28,12 @@ namespace {
 /// stderr record is still complete).
 std::string dumpDivergence(const record::difftest::Repro& r,
                            const std::string& minimized) {
-  std::string base = "divergence-" + std::to_string(r.seed) + "-" +
-                     r.config + "-" + (r.fastPath ? "fast" : "slow");
+  // uniqueArtifactBase appends -2, -3, ... when the name is already taken
+  // (a rerun in the same directory, or repeated divergences of one seed),
+  // so no earlier dump is ever silently overwritten.
+  std::string base = record::difftest::uniqueArtifactBase(
+      "divergence-" + std::to_string(r.seed) + "-" + r.config + "-" +
+      (r.fastPath ? "fast" : "slow"));
   std::ofstream txt(base + ".txt");
   if (!txt) {
     std::fprintf(stderr, "WARNING: cannot write %s.txt\n", base.c_str());

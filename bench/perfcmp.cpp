@@ -1,0 +1,86 @@
+// perfcmp -- compare two bench stats artifacts and flag regressions.
+//
+//   perfcmp [--threshold PCT] [--strict] baseline.json current.json
+//
+// Both inputs are BENCH_<name>_stats.json files ({"rows": {row: {key:
+// number}}}). Deterministic keys (cycles, size_words, ...) that moved by
+// more than the threshold print as REGRESSION/improved; host-timing keys
+// (ms_*) print informationally. Exit status:
+//
+//   0  comparison ran (regressions, if any, were printed -- soft gate)
+//   1  schema error: an input is missing, unparseable, or malformed
+//   2  --strict was given and a deterministic regression was found
+//
+// CI runs this against the committed baseline in bench/baselines/ after
+// every bench run; it fails the job only on schema errors, so a deliberate
+// perf trade-off needs a baseline refresh, not a broken build.
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "trace/perfcmp.h"
+
+namespace {
+
+bool readFile(const std::string& path, std::string& out) {
+  std::ifstream in(path);
+  if (!in) return false;
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  out = ss.str();
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  double threshold = 2.0;
+  bool strict = false;
+  std::string baselinePath, currentPath;
+  for (int i = 1; i < argc; ++i) {
+    std::string a = argv[i];
+    if (a == "--threshold" && i + 1 < argc) {
+      threshold = std::atof(argv[++i]);
+    } else if (a.rfind("--threshold=", 0) == 0) {
+      threshold = std::atof(a.c_str() + std::strlen("--threshold="));
+    } else if (a == "--strict") {
+      strict = true;
+    } else if (a[0] == '-') {
+      std::fprintf(stderr, "unknown option %s\n", a.c_str());
+      return 1;
+    } else if (baselinePath.empty()) {
+      baselinePath = a;
+    } else if (currentPath.empty()) {
+      currentPath = a;
+    } else {
+      std::fprintf(stderr, "too many arguments\n");
+      return 1;
+    }
+  }
+  if (currentPath.empty()) {
+    std::fprintf(stderr,
+                 "usage: perfcmp [--threshold PCT] [--strict] baseline.json "
+                 "current.json\n");
+    return 1;
+  }
+
+  std::string baseText, curText;
+  if (!readFile(baselinePath, baseText)) {
+    std::fprintf(stderr, "perfcmp: cannot read %s\n", baselinePath.c_str());
+    return 1;
+  }
+  if (!readFile(currentPath, curText)) {
+    std::fprintf(stderr, "perfcmp: cannot read %s\n", currentPath.c_str());
+    return 1;
+  }
+
+  auto result = record::perfcmp::compare(baseText, curText, threshold);
+  std::printf("perfcmp: %s vs %s (threshold %.3g%%)\n", baselinePath.c_str(),
+              currentPath.c_str(), threshold);
+  std::printf("%s", record::perfcmp::render(result, threshold).c_str());
+  if (!result.schemaOk) return 1;
+  if (strict && result.hasRegressions()) return 2;
+  return 0;
+}

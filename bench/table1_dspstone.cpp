@@ -50,6 +50,10 @@ void printTable() {
                                row.name);
     auto rec = measureCompiled(prog, cfg, recordOptions(), k.ticks,
                                row.name);
+    // Per-kernel execution profile of the RECORD configuration -- recorded
+    // as the "<name>.profile" stats row so the artifact explains where the
+    // cycles went, not just how many there were.
+    measureProfiled(prog, cfg, recordOptions(), k.ticks, row.name);
     double basePct = 100.0 * bas.size / ref.size;
     double recPct = 100.0 * rec.size / ref.size;
     std::printf("%-24s %5d | %8.0f%% %8.0f%% | %8d%% %8d%%\n", row.name,

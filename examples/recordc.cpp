@@ -17,6 +17,12 @@
 //   --emit-isd            print the core's instruction-set description
 //   --isd FILE            retarget: compile against an ISD text file
 //   --run                 execute on the simulator with zero inputs
+//   --src                 annotate the listing with DFL source lines
+//   --profile[=FILE]      execute under the cycle profiler (implies --run)
+//                         and print a hot-spot report; with FILE, also
+//                         write the flat profile stats JSON there
+//   --profile-trace=FILE  write a Chrome trace_event timeline of the
+//                         profiled execution to FILE (implies --profile)
 //   --stats               print compilation statistics (incl. counters)
 //   --trace               print the pass trace (timers, counters, remarks)
 //                         to stderr
@@ -35,6 +41,7 @@
 #include "dfl/frontend.h"
 #include "dspstone/kernels.h"
 #include "sim/machine.h"
+#include "sim/profile.h"
 #include "target/tdsp.h"
 #include "trace/trace.h"
 
@@ -43,9 +50,9 @@ int main(int argc, char** argv) {
   TargetConfig cfg;
   CodegenOptions opt = recordOptions();
   std::string file, kernel, isdFile;
-  bool run = false, stats = false, emitIsd = false;
-  bool traceText = false, traceJson = false;
-  std::string traceJsonFile;
+  bool run = false, stats = false, emitIsd = false, srcListing = false;
+  bool traceText = false, traceJson = false, profile = false;
+  std::string traceJsonFile, profileStatsFile, profileTraceFile;
 
   for (int i = 1; i < argc; ++i) {
     std::string a = argv[i];
@@ -64,6 +71,18 @@ int main(int argc, char** argv) {
     else if (a == "--no-rpt") cfg.hasRpt = false;
     else if (a == "--no-dmov") cfg.hasDmov = false;
     else if (a == "--run") run = true;
+    else if (a == "--src") srcListing = true;
+    else if (a == "--profile") { profile = true; run = true; }
+    else if (a.rfind("--profile=", 0) == 0) {
+      profile = true;
+      run = true;
+      profileStatsFile = a.substr(std::strlen("--profile="));
+    }
+    else if (a.rfind("--profile-trace=", 0) == 0) {
+      profile = true;
+      run = true;
+      profileTraceFile = a.substr(std::strlen("--profile-trace="));
+    }
     else if (a == "--stats") stats = true;
     else if (a == "--trace") traceText = true;
     else if (a == "--trace-json") traceJson = true;
@@ -149,7 +168,8 @@ int main(int argc, char** argv) {
     // --trace-json with no file streams the JSON to stdout (for jq); the
     // listing would corrupt it, so it is suppressed in that mode.
     const bool jsonToStdout = traceJson && traceJsonFile.empty();
-    if (!jsonToStdout) std::printf("%s", res.prog.listing().c_str());
+    if (!jsonToStdout)
+      std::printf("%s", res.prog.listing(srcListing).c_str());
     if (traceText) std::fprintf(stderr, "%s", trace.text().c_str());
     if (traceJson) {
       std::string json = trace.chromeJson();
@@ -189,9 +209,16 @@ int main(int argc, char** argv) {
     }
     if (run) {
       Machine m(res.prog);
+      std::optional<Profile> prof;
+      if (profile) {
+        prof.emplace(res.prog);
+        m.attachProfile(&*prof);
+      }
       auto rr = m.run();
-      std::printf("; run: %s, %lld cycles, %lld instructions\n",
-                  rr.halted ? "halted" : rr.trapReason.c_str(),
+      std::printf("; run: %s%s%s, %lld cycles, %lld instructions\n",
+                  runStatusName(rr.status),
+                  rr.status == RunStatus::Halted ? "" : ": ",
+                  rr.status == RunStatus::Halted ? "" : rr.trapReason.c_str(),
                   static_cast<long long>(rr.cycles),
                   static_cast<long long>(rr.instructions));
       for (const auto& s : prog->symbols.all()) {
@@ -199,6 +226,34 @@ int main(int argc, char** argv) {
         if (s->isArray()) continue;
         std::printf(";   %s = %lld\n", s->name.c_str(),
                     static_cast<long long>(m.readSymbol(s->name)));
+      }
+      if (profile) {
+        std::printf("\n%s", prof->text().c_str());
+        if (!profileStatsFile.empty()) {
+          std::ofstream out(profileStatsFile);
+          if (!out) {
+            std::fprintf(stderr, "cannot write %s\n",
+                         profileStatsFile.c_str());
+            return 2;
+          }
+          out << prof->statsJson() << "\n";
+        }
+        if (!profileTraceFile.empty()) {
+          std::string json = prof->chromeJson();
+          std::string verr;
+          if (!validateChromeTrace(json, &verr)) {
+            std::fprintf(stderr, "internal error: bad profile trace: %s\n",
+                         verr.c_str());
+            return 2;
+          }
+          std::ofstream out(profileTraceFile);
+          if (!out) {
+            std::fprintf(stderr, "cannot write %s\n",
+                         profileTraceFile.c_str());
+            return 2;
+          }
+          out << json;
+        }
       }
     }
   } catch (const std::exception& e) {

@@ -361,6 +361,7 @@ class Emitter {
     {
       TraceSpan span(trace_, "select");
       emitStmts(prog_.body);
+      setSrcLoc(0, 0);  // tick epilogue is scaffolding, not user source
       emitDelayShifts();
       appendRaw(Opcode::HALT, Operand::none(), Operand::none());
     }
@@ -409,6 +410,7 @@ class Emitter {
     res.prog.code = std::move(icode);
     res.prog.symbolAddr = layout_.symbolTable();
     res.prog.dataInit = layout_.dataInit();
+    res.prog.sourceName = prog_.name;
     res.stats = stats_;
     res.stats.sizeWords = res.prog.sizeWords();
 
@@ -452,7 +454,19 @@ class Emitter {
       mi.instr.label = pendingLabel_;
       pendingLabel_.clear();
     }
+    // Debug info: every instruction inherits the source position of the
+    // statement being emitted (0 while emitting program-level scaffolding
+    // such as final delay shifts and HALT). Loop prologue/epilogue code
+    // attributes to the `for` line; a statement's own spills, soft-mul
+    // expansions, and index hoists attribute to the statement.
+    mi.instr.srcLine = curLine_;
+    mi.instr.srcCol = curCol_;
     code_.push_back(std::move(mi));
+  }
+
+  void setSrcLoc(int line, int col) {
+    curLine_ = line;
+    curCol_ = col;
   }
 
   void appendRaw(Opcode op, Operand a, Operand b, ModeReq need = {},
@@ -765,6 +779,7 @@ class Emitter {
 
   void emitAssign(const Stmt& s) {
     binder_.beginStatement();
+    setSrcLoc(s.loc.line, s.loc.col);
     if (trace_) {
       curLoc_.clear();
       if (s.loc.line > 0) {
@@ -965,6 +980,7 @@ class Emitter {
     }
 
     // 3. Materialize the induction variable if the body still needs it.
+    setSrcLoc(s.loc.line, s.loc.col);  // loop setup attributes to the for line
     bool needIvar = stmtsMention(body, s.ivar);
     if (needIvar) {
       int addr = layout_.allocScratch(s.ivar->name);
@@ -1002,6 +1018,7 @@ class Emitter {
 
     // 7. Epilogue: explicit stepping for multi-occurrence streams, ivar
     // update, back branch.
+    setSrcLoc(s.loc.line, s.loc.col);  // counter/back-branch: the for line
     for (auto& [key, g] : groups) {
       if (g.post != PostMod::None) continue;
       appendRaw(g.coeff > 0 ? Opcode::ADRK : Opcode::SBRK,
@@ -1093,6 +1110,10 @@ class Emitter {
   /// Rendered source attribution ("prog.dfl:12:3") of the statement being
   /// selected; the matcher reads it through setTrace at remark time.
   std::string curLoc_;
+  /// Raw source position stamped onto every appended instruction (debug
+  /// info for the execution profiler); 0 = scaffolding.
+  int curLine_ = 0;
+  int curCol_ = 0;
   std::vector<std::unique_ptr<Symbol>> synths_;
   std::vector<MInstr> code_;
   std::string pendingLabel_;

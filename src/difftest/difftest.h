@@ -160,4 +160,15 @@ ProgSpec minimize(const ProgSpec& spec, const StillFailing& still,
 /// one sweep point / compile mode.
 StillFailing divergesAt(const SweepPoint& pt, bool fastPath);
 
+// ---------------------------------------------------------------------------
+// Divergence artifacts
+// ---------------------------------------------------------------------------
+
+/// Collision-free artifact naming for divergence dumps: returns the first of
+/// "<base>", "<base>-2", "<base>-3", ... for which "<candidate><ext>" does
+/// not exist on disk, so a soak rerun (or two repros that map to the same
+/// seed/config/mode triple) never silently overwrites an earlier dump.
+std::string uniqueArtifactBase(const std::string& base,
+                               const std::string& ext = ".txt");
+
 }  // namespace record::difftest

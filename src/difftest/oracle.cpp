@@ -1,5 +1,6 @@
 #include "difftest/difftest.h"
 
+#include <fstream>
 #include <sstream>
 #include <stdexcept>
 
@@ -133,6 +134,18 @@ StillFailing divergesAt(const SweepPoint& pt, bool fastPath) {
     Stimulus stim = makeStimulus(*prog, spec.seed, spec.ticks);
     return !runAndCompare(res.prog, *prog, stim).ok;
   };
+}
+
+std::string uniqueArtifactBase(const std::string& base,
+                               const std::string& ext) {
+  auto exists = [](const std::string& path) {
+    return static_cast<bool>(std::ifstream(path));
+  };
+  if (!exists(base + ext)) return base;
+  for (int n = 2;; ++n) {
+    std::string candidate = base + "-" + std::to_string(n);
+    if (!exists(candidate + ext)) return candidate;
+  }
 }
 
 }  // namespace record::difftest

@@ -7,7 +7,7 @@
 namespace record {
 
 Measurement runAndCompare(const TargetProgram& tp, const Program& prog,
-                          const Stimulus& stim) {
+                          const Stimulus& stim, Profile* profile) {
   Measurement m;
   m.sizeWords = tp.sizeWords();
 
@@ -17,6 +17,7 @@ Measurement runAndCompare(const TargetProgram& tp, const Program& prog,
   for (const auto& [name, vals] : stim.scalars) gold.setStream(name, vals);
 
   Machine mach(tp);
+  mach.attachProfile(profile);
   // Preload arrays / initial values.
   for (const auto& [name, vals] : stim.arrays) {
     if (tp.addrOf(name) < 0) {
@@ -38,9 +39,9 @@ Measurement runAndCompare(const TargetProgram& tp, const Program& prog,
     }
     gold.run(1);
     auto rr = mach.run();
-    if (!rr.halted) {
-      m.error = formatv("tick %d: simulator did not halt (%s)", t,
-                        rr.trapReason.c_str());
+    if (rr.status != RunStatus::Halted) {
+      m.error = formatv("tick %d: simulator did not halt (%s: %s)", t,
+                        runStatusName(rr.status), rr.trapReason.c_str());
       return m;
     }
     m.cycles += rr.cycles;

@@ -15,6 +15,8 @@
 
 namespace record {
 
+class Profile;
+
 struct Stimulus {
   // Array inputs (and initial var contents), by symbol name.
   std::map<std::string, std::vector<int64_t>> arrays;
@@ -34,9 +36,11 @@ struct Measurement {
 
 /// Run `tp` against the golden model of `prog` on `stim`. The target
 /// program must lay out every program symbol by name (compiled programs and
-/// the in-tree reference assemblies both do).
+/// the in-tree reference assemblies both do). When `profile` is non-null it
+/// is attached to the simulator for every tick, accumulating an execution
+/// profile across the whole stimulus (it must be built against `tp`).
 Measurement runAndCompare(const TargetProgram& tp, const Program& prog,
-                          const Stimulus& stim);
+                          const Stimulus& stim, Profile* profile = nullptr);
 
 /// Deterministic pseudo-random stimulus for a program: fills every input
 /// with small values (safe against 16-bit accumulation overflow) derived

@@ -139,6 +139,9 @@ std::optional<AguResult> lowerToAgu(const TargetProgram& in, int numAgus,
       s.op = op;
       s.a = a;
       s.b = b;
+      // AGU setup serves the access it addresses.
+      s.srcLine = ins.srcLine;
+      s.srcCol = ins.srcCol;
       s.label = pendingLabel;
       pendingLabel.clear();
       out.push_back(s);

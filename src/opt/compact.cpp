@@ -137,6 +137,10 @@ std::optional<Instr> tryMerge(const Instr& a, const Instr& b,
   if (!b.label.empty()) return std::nullopt;
   auto withLabel = [&](Instr m) {
     m.label = a.label;
+    // Merged debug info: the pair usually comes from one statement; when
+    // not, attribute to whichever half has an attribution.
+    m.srcLine = a.srcLine > 0 ? a.srcLine : b.srcLine;
+    m.srcCol = a.srcLine > 0 ? a.srcCol : b.srcCol;
     return m;
   };
   // APAC ; LT m  or  LT m ; APAC  ->  LTA m

@@ -100,12 +100,20 @@ std::vector<Instr> applyLoopTransforms(const std::vector<Instr>& code,
     size_t bodyLen = loop->banz - loop->head;
     std::vector<Instr> repl;  // replacement for [head, banz]
     bool keepLabelOnFirst = true;
+    // Synthesized instructions (RPT, P-clear, drain) attribute to the loop
+    // body's source line -- they replace work that line was doing.
+    auto synth = [&](Opcode op, Operand a = Operand::none()) {
+      Instr in;
+      in.op = op;
+      in.a = a;
+      in.srcLine = cur[loop->head].srcLine;
+      in.srcCol = cur[loop->head].srcCol;
+      return in;
+    };
 
     if (bodyLen == 1 && cfg.hasRpt) {
       // RPT conversion.
-      Instr rpt;
-      rpt.op = Opcode::RPT;
-      rpt.a = Operand::imm(loop->count);
+      Instr rpt = synth(Opcode::RPT, Operand::imm(loop->count));
       Instr body = cur[loop->head];
       body.label.clear();
       repl = {rpt, body};
@@ -114,17 +122,12 @@ std::vector<Instr> applyLoopTransforms(const std::vector<Instr>& code,
                cur[loop->head].op == Opcode::MPYXY &&
                cur[loop->head + 1].op == Opcode::APAC) {
       // MAC pipelining: clear P, repeat MACXY, drain the last product.
-      Instr clr;
-      clr.op = Opcode::MPYK;
-      clr.a = Operand::imm(0);
-      Instr rpt;
-      rpt.op = Opcode::RPT;
-      rpt.a = Operand::imm(loop->count);
+      Instr clr = synth(Opcode::MPYK, Operand::imm(0));
+      Instr rpt = synth(Opcode::RPT, Operand::imm(loop->count));
       Instr mac = cur[loop->head];
       mac.op = Opcode::MACXY;
       mac.label.clear();
-      Instr drain;
-      drain.op = Opcode::APAC;
+      Instr drain = synth(Opcode::APAC);
       repl = {clr, rpt, mac, drain};
       if (stats) ++stats->macPipelined;
     } else if (bodyLen == 3 && favorCycles && cfg.hasMac &&
@@ -133,16 +136,13 @@ std::vector<Instr> applyLoopTransforms(const std::vector<Instr>& code,
                cur[loop->head + 2].op == Opcode::APAC) {
       // MAC rotation: fold the accumulate into the next LT (LTA); keeps
       // the counted loop but saves a cycle per iteration.
-      Instr clr;
-      clr.op = Opcode::MPYK;
-      clr.a = Operand::imm(0);
+      Instr clr = synth(Opcode::MPYK, Operand::imm(0));
       Instr lark = cur[loop->lark];
       Instr lta = cur[loop->head];  // keeps the loop label
       lta.op = Opcode::LTA;
       Instr mpy = cur[loop->head + 1];
       Instr banz = cur[loop->banz];
-      Instr drain;
-      drain.op = Opcode::APAC;
+      Instr drain = synth(Opcode::APAC);
       repl = {clr, lark, lta, mpy, banz, drain};
       keepLabelOnFirst = false;  // label stays on the LTA
       if (stats) ++stats->macRotations;

@@ -46,6 +46,9 @@ std::vector<Instr> resolveModes(const std::vector<MInstr>& code,
       bool first = true;
       auto emitSwitch = [&](Opcode op) {
         Instr sw = mkMode(op);
+        // The switch serves the instruction that required it.
+        sw.srcLine = in.srcLine;
+        sw.srcCol = in.srcCol;
         if (first && !label.empty()) {
           sw.label = label;
           in.label.clear();
@@ -162,6 +165,8 @@ std::vector<Instr> resolveModes(const std::vector<MInstr>& code,
       bool first = true;
       auto emitSwitch = [&](Opcode op) {
         Instr sw = mkMode(op);
+        sw.srcLine = in.srcLine;
+        sw.srcCol = in.srcCol;
         if (first && !label.empty()) {
           sw.label = label;
           in.label.clear();

@@ -111,6 +111,8 @@ std::vector<Instr> peephole(const std::vector<Instr>& code,
         dmov.op = Opcode::DMOV;
         dmov.a = out.back().a;
         dmov.label = out.back().label;
+        dmov.srcLine = out.back().srcLine;
+        dmov.srcCol = out.back().srcCol;
         out.back() = dmov;
         if (stats) ++stats->dmovFusions;
         if (trace)

@@ -3,8 +3,18 @@
 #include <stdexcept>
 
 #include "ir/type.h"
+#include "sim/profile.h"
 
 namespace record {
+
+const char* runStatusName(RunStatus s) {
+  switch (s) {
+    case RunStatus::Halted: return "halted";
+    case RunStatus::Trapped: return "trapped";
+    case RunStatus::Budget: return "budget";
+  }
+  return "?";
+}
 
 Machine::Machine(const TargetProgram& prog)
     : prog_(prog),
@@ -37,6 +47,7 @@ void Machine::writeData(int addr, int64_t v) {
   if (addr < 0 || static_cast<size_t>(addr) >= data_.size())
     throw std::runtime_error("data write out of range: " +
                              std::to_string(addr));
+  if (activeProfile_) activeProfile_->noteAccess(addr);
   data_[static_cast<size_t>(addr)] = wrap16(v);
 }
 
@@ -44,6 +55,7 @@ int64_t Machine::readData(int addr) const {
   if (addr < 0 || static_cast<size_t>(addr) >= data_.size())
     throw std::runtime_error("data read out of range: " +
                              std::to_string(addr));
+  if (activeProfile_) activeProfile_->noteAccess(addr);
   return data_[static_cast<size_t>(addr)];
 }
 
@@ -91,14 +103,25 @@ int64_t Machine::ovmSub(int64_t a, int64_t b) const {
 }
 
 RunResult Machine::run(int64_t maxCycles) {
+  // Profiling hooks fire only between here and return, so data-memory
+  // traffic from external setup (writeSymbol, reset) is never attributed
+  // to the program.
+  activeProfile_ = profile_;
+  struct Deactivate {
+    Profile** p;
+    ~Deactivate() { *p = nullptr; }
+  } deactivate{&activeProfile_};
+
   RunResult res;
   int rptCount = 0;  // pending repeats of the next instruction
   while (res.cycles < maxCycles) {
     if (pc_ < 0 || static_cast<size_t>(pc_) >= prog_.code.size()) {
+      res.status = RunStatus::Trapped;
       res.trapped = true;
       res.trapReason = "PC out of range";
       return res;
     }
+    const int pcThis = pc_;
     const Instr& raw = prog_.code[static_cast<size_t>(pc_)];
     Opcode op = decodeFault_ ? decodeFault_(raw.op) : raw.op;
     const Operand& a = raw.a;
@@ -169,6 +192,7 @@ RunResult Machine::run(int64_t maxCycles) {
             cyc = (prog_.config.bankOf(addrA) != prog_.config.bankOf(addrB))
                       ? 1
                       : 2;
+            if (cyc == 2 && activeProfile_) activeProfile_->noteConflict();
             break;
           }
           case Opcode::MACXY: {
@@ -179,6 +203,7 @@ RunResult Machine::run(int64_t maxCycles) {
             cyc = (prog_.config.bankOf(addrA) != prog_.config.bankOf(addrB))
                       ? 1
                       : 2;
+            if (cyc == 2 && activeProfile_) activeProfile_->noteConflict();
             break;
           }
           case Opcode::LARK:
@@ -243,13 +268,27 @@ RunResult Machine::run(int64_t maxCycles) {
           case Opcode::RSXM: sxm_ = false; break;
           case Opcode::NOP: break;
           case Opcode::HALT:
+            res.status = RunStatus::Halted;
             res.halted = true;
-            res.cycles += cyc;
+            res.cycles += cyclesThis + cyc;
+            if (activeProfile_) activeProfile_->commit(pcThis, op, cyc, 1);
             return res;
         }
         cyclesThis += cyc;
+        if (activeProfile_) {
+          int tgt = branchTarget_[static_cast<size_t>(pcThis)];
+          if (tgt >= 0) activeProfile_->noteBranch(pcThis, tgt, branched);
+          activeProfile_->commit(pcThis, op, cyc, 1);
+        }
       }
     } catch (const std::exception& e) {
+      // The faulting repeat never retired: drop it from the instruction
+      // count and charge only the completed repeats' cycles, keeping the
+      // ledger (and any attached profile) consistent.
+      --res.instructions;
+      res.cycles += cyclesThis;
+      if (activeProfile_) activeProfile_->abortPending();
+      res.status = RunStatus::Trapped;
       res.trapped = true;
       res.trapReason = e.what();
       return res;
@@ -257,11 +296,13 @@ RunResult Machine::run(int64_t maxCycles) {
     res.cycles += cyclesThis;
     if (!branched) ++pc_;
   }
+  res.status = RunStatus::Budget;
   res.trapReason = "cycle budget exhausted";
   return res;
 }
 
 void Machine::trap(RunResult& r, const std::string& why) {
+  r.status = RunStatus::Trapped;
   r.trapped = true;
   r.trapReason = why;
 }

@@ -17,9 +17,23 @@
 
 namespace record {
 
+class Profile;
+
+/// How a run ended. Budget exhaustion is a normal (if suspicious) outcome
+/// -- the program may simply not have reached HALT yet -- while a trap means
+/// the program itself did something illegal.
+enum class RunStatus : uint8_t {
+  Halted,   // reached HALT
+  Trapped,  // illegal data access / bad AR index / PC out of range
+  Budget,   // cycle budget exhausted before HALT
+};
+
+const char* runStatusName(RunStatus s);
+
 struct RunResult {
-  bool halted = false;       // reached HALT (vs. cycle budget exhausted)
-  bool trapped = false;      // illegal access / bad opcode
+  RunStatus status = RunStatus::Budget;
+  bool halted = false;       // status == Halted (kept for terse call sites)
+  bool trapped = false;      // status == Trapped
   std::string trapReason;
   int64_t cycles = 0;
   int64_t instructions = 0;
@@ -57,6 +71,13 @@ class Machine {
   }
   void clearDecodeFault() { decodeFault_ = nullptr; }
 
+  /// Attach an execution profiler (nullptr detaches). The profile must
+  /// outlive the run and be built against the same TargetProgram. Profiling
+  /// observes only: architectural state and RunResult are bit-identical
+  /// with a profile attached or not, and the disabled path costs one
+  /// null-pointer check per retired instruction.
+  void attachProfile(Profile* p) { profile_ = p; }
+
  private:
   int resolveAddr(const Operand& o);  // applies post-modification
   int64_t readOperand(const Operand& o);
@@ -66,6 +87,10 @@ class Machine {
 
   const TargetProgram& prog_;
   std::function<Opcode(Opcode)> decodeFault_;
+  Profile* profile_ = nullptr;        // attached collector (may be null)
+  Profile* activeProfile_ = nullptr;  // == profile_ only while run()ning, so
+                                      // external setup accesses (writeSymbol
+                                      // between runs, reset) are not counted
   std::vector<int> branchTarget_;  // per instruction, -1 if not a branch
   std::vector<int64_t> data_;
   int64_t acc_ = 0, t_ = 0, p_ = 0;

@@ -1,0 +1,251 @@
+#include "sim/profile.h"
+
+#include <algorithm>
+#include <iomanip>
+#include <sstream>
+
+#include "support/json.h"
+#include "target/config.h"
+
+namespace record {
+
+Profile::Profile(const TargetProgram& prog, ProfileOptions opt)
+    : prog_(prog),
+      opt_(opt),
+      pcCycles_(prog.code.size(), 0),
+      pcCounts_(prog.code.size(), 0),
+      bankAccesses_(static_cast<size_t>(std::max(1, prog.config.memBanks)), 0),
+      pendingBank_(static_cast<size_t>(std::max(1, prog.config.memBanks)), 0) {
+  if (opt_.timelineLimit > 0)
+    timeline_.reserve(static_cast<size_t>(std::min(opt_.timelineLimit, 4096)));
+}
+
+void Profile::noteAccess(int addr) {
+  ++pendingBank_[static_cast<size_t>(prog_.config.bankOf(addr))];
+}
+
+void Profile::noteConflict() { ++pendingConflicts_; }
+
+void Profile::noteBranch(int pc, int target, bool taken) {
+  BranchCounts& b = branches_[pc];
+  b.target = target;
+  ++b.executed;
+  if (taken) ++b.taken;
+}
+
+void Profile::commit(int pc, Opcode op, int64_t cycles,
+                     int64_t instructions) {
+  if (opt_.timelineLimit > 0 &&
+      timeline_.size() < static_cast<size_t>(opt_.timelineLimit))
+    timeline_.push_back({pc, op, totalCycles_, cycles});
+
+  if (pc >= 0 && static_cast<size_t>(pc) < pcCycles_.size()) {
+    pcCycles_[static_cast<size_t>(pc)] += cycles;
+    pcCounts_[static_cast<size_t>(pc)] += instructions;
+  }
+  size_t cls = static_cast<size_t>(opClassOf(op));
+  classCycles_[cls] += cycles;
+  classCounts_[cls] += instructions;
+  totalCycles_ += cycles;
+  totalInstructions_ += instructions;
+
+  for (size_t b = 0; b < pendingBank_.size(); ++b) {
+    bankAccesses_[b] += pendingBank_[b];
+    pendingBank_[b] = 0;
+  }
+  bankConflicts_ += pendingConflicts_;
+  pendingConflicts_ = 0;
+}
+
+void Profile::abortPending() {
+  for (auto& b : pendingBank_) b = 0;
+  pendingConflicts_ = 0;
+}
+
+std::map<int, int64_t> Profile::lineCycles() const {
+  std::map<int, int64_t> out;
+  for (size_t pc = 0; pc < pcCycles_.size(); ++pc) {
+    if (pcCycles_[pc] == 0) continue;
+    int line = prog_.code[pc].srcLine;
+    out[line > 0 ? line : 0] += pcCycles_[pc];
+  }
+  return out;
+}
+
+std::vector<BranchProfile> Profile::branchProfiles() const {
+  std::vector<BranchProfile> out;
+  out.reserve(branches_.size());
+  for (const auto& [pc, b] : branches_)
+    out.push_back({pc, b.target, b.executed, b.taken});
+  return out;
+}
+
+std::string Profile::locOf(int pc) const {
+  if (pc < 0 || static_cast<size_t>(pc) >= prog_.code.size()) return "";
+  int line = prog_.code[static_cast<size_t>(pc)].srcLine;
+  if (line <= 0) return "";
+  std::string src = prog_.sourceName.empty() ? "<dfl>" : prog_.sourceName;
+  return src + ":" + std::to_string(line);
+}
+
+namespace {
+
+std::string pct(int64_t part, int64_t whole) {
+  if (whole <= 0) return "-";
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(1)
+     << 100.0 * static_cast<double>(part) / static_cast<double>(whole) << "%";
+  return os.str();
+}
+
+}  // namespace
+
+std::string Profile::text(int topN) const {
+  std::ostringstream os;
+  std::string src = prog_.sourceName.empty() ? "<asm>" : prog_.sourceName;
+  os << "== execution profile: " << src << " on "
+     << prog_.config.describe() << " ==\n";
+  os << "cycles        " << totalCycles_ << "\n";
+  os << "instructions  " << totalInstructions_ << "\n\n";
+
+  // Source-line rollup, hottest first. Line 0 collects compiler
+  // scaffolding (loop counters, delay shifts, mode switches, HALT).
+  auto lines = lineCycles();
+  if (!lines.empty()) {
+    std::vector<std::pair<int, int64_t>> byHeat(lines.begin(), lines.end());
+    std::sort(byHeat.begin(), byHeat.end(), [](const auto& a, const auto& b) {
+      if (a.second != b.second) return a.second > b.second;
+      return a.first < b.first;
+    });
+    os << "hot source lines (cycles):\n";
+    for (const auto& [line, cyc] : byHeat) {
+      std::string label =
+          line > 0 ? src + ":" + std::to_string(line) : "<scaffolding>";
+      os << "  " << std::left << std::setw(18) << label << std::right
+         << std::setw(10) << cyc << "  " << pct(cyc, totalCycles_) << "\n";
+    }
+    os << "\n";
+  }
+
+  // Hottest individual instructions.
+  std::vector<size_t> order;
+  for (size_t pc = 0; pc < pcCycles_.size(); ++pc)
+    if (pcCycles_[pc] > 0) order.push_back(pc);
+  std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+    if (pcCycles_[a] != pcCycles_[b]) return pcCycles_[a] > pcCycles_[b];
+    return a < b;
+  });
+  if (order.size() > static_cast<size_t>(std::max(0, topN)))
+    order.resize(static_cast<size_t>(std::max(0, topN)));
+  if (!order.empty()) {
+    os << "hot instructions (top " << order.size() << ", cycles):\n";
+    for (size_t pc : order) {
+      os << "  pc " << std::left << std::setw(5) << pc << std::setw(22)
+         << prog_.code[pc].str() << std::right << std::setw(10)
+         << pcCycles_[pc] << "  " << std::setw(6)
+         << pct(pcCycles_[pc], totalCycles_);
+      std::string loc = locOf(static_cast<int>(pc));
+      if (!loc.empty()) os << "   " << loc;
+      os << "\n";
+    }
+    os << "\n";
+  }
+
+  os << "opcode classes (cycles):\n";
+  for (int c = 0; c < kNumOpClasses; ++c) {
+    if (classCounts_[c] == 0) continue;
+    os << "  " << std::left << std::setw(12)
+       << opClassName(static_cast<OpClass>(c)) << std::right << std::setw(10)
+       << classCycles_[c] << "  " << std::setw(6)
+       << pct(classCycles_[c], totalCycles_) << "   (x"
+       << classCounts_[c] << ")\n";
+  }
+  os << "\n";
+
+  os << "memory banks:\n";
+  for (size_t b = 0; b < bankAccesses_.size(); ++b)
+    os << "  bank " << b << "  accesses " << bankAccesses_[b] << "\n";
+  os << "  same-bank conflicts " << bankConflicts_ << "\n";
+
+  auto branches = branchProfiles();
+  bool anyBack = false;
+  for (const auto& b : branches) anyBack = anyBack || b.isBackEdge();
+  if (anyBack) {
+    os << "\nhot back-edges (loops):\n";
+    for (const auto& b : branches) {
+      if (!b.isBackEdge() || b.taken == 0) continue;
+      int64_t entries = std::max<int64_t>(1, b.executed - b.taken);
+      std::ostringstream trip;
+      trip << std::fixed << std::setprecision(1)
+           << static_cast<double>(b.taken) / static_cast<double>(entries);
+      os << "  pc " << b.pc << " -> " << b.target << "   taken " << b.taken
+         << "/" << b.executed << "   ~" << trip.str() << " iterations/entry";
+      std::string loc = locOf(b.pc);
+      if (!loc.empty()) os << "   " << loc;
+      os << "\n";
+    }
+  }
+  return os.str();
+}
+
+std::string Profile::statsJson() const {
+  std::ostringstream os;
+  os << "{";
+  os << "\"source\": \"" << json::escape(prog_.sourceName) << "\"";
+  os << ", \"cycles\": " << totalCycles_;
+  os << ", \"instructions\": " << totalInstructions_;
+  for (int c = 0; c < kNumOpClasses; ++c) {
+    std::string name = opClassName(static_cast<OpClass>(c));
+    for (auto& ch : name)
+      if (ch == '-') ch = '_';
+    os << ", \"class_" << name << "_cycles\": " << classCycles_[c];
+    os << ", \"class_" << name << "_count\": " << classCounts_[c];
+  }
+  for (size_t b = 0; b < bankAccesses_.size(); ++b)
+    os << ", \"bank_" << b << "_accesses\": " << bankAccesses_[b];
+  os << ", \"bank_conflicts\": " << bankConflicts_;
+  for (const auto& [line, cyc] : lineCycles()) {
+    if (line <= 0)
+      os << ", \"line_scaffolding_cycles\": " << cyc;
+    else
+      os << ", \"line_" << line << "_cycles\": " << cyc;
+  }
+  os << "}";
+  return os.str();
+}
+
+std::string Profile::chromeJson() const {
+  std::ostringstream os;
+  os << "[";
+  bool first = true;
+  auto sep = [&] {
+    if (!first) os << ",";
+    os << "\n  ";
+    first = false;
+  };
+  for (const auto& ev : timeline_) {
+    sep();
+    os << "{\"name\": \"" << opcodeName(ev.op) << "\", \"cat\": \"instr\", "
+       << "\"ph\": \"X\", \"ts\": " << ev.startCycle
+       << ", \"dur\": " << ev.cycles << ", \"pid\": 0, \"tid\": 0, "
+       << "\"args\": {\"pc\": " << ev.pc;
+    std::string loc = locOf(ev.pc);
+    if (!loc.empty()) os << ", \"loc\": \"" << json::escape(loc) << "\"";
+    os << "}}";
+  }
+  // One final counter sample per opcode class, at end-of-run time (keeps
+  // "ts" non-decreasing as validateChromeTrace requires).
+  for (int c = 0; c < kNumOpClasses; ++c) {
+    if (classCounts_[c] == 0) continue;
+    sep();
+    os << "{\"name\": \"class "
+       << json::escape(opClassName(static_cast<OpClass>(c)))
+       << "\", \"ph\": \"C\", \"ts\": " << totalCycles_
+       << ", \"pid\": 0, \"tid\": 0, \"args\": {\"cycles\": "
+       << classCycles_[c] << "}}";
+  }
+  os << "\n]\n";
+  return os.str();
+}
+
+}  // namespace record

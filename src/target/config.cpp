@@ -46,12 +46,17 @@ int TargetProgram::labelIndex(const std::string& l) const {
   return -1;
 }
 
-std::string TargetProgram::listing() const {
+std::string TargetProgram::listing(bool withSource) const {
   std::ostringstream os;
   for (size_t i = 0; i < code.size(); ++i) {
     const Instr& in = code[i];
     if (!in.label.empty()) os << in.label << ":";
-    os << "\t" << in.str() << "\n";
+    os << "\t" << in.str();
+    if (withSource && in.srcLine > 0) {
+      os << "\t\t; " << (sourceName.empty() ? "<dfl>" : sourceName) << ":"
+         << in.srcLine;
+    }
+    os << "\n";
   }
   return os.str();
 }

@@ -161,6 +161,64 @@ const OpInfo& opInfo(Opcode op) {
   return kOpInfo.t[static_cast<size_t>(op)];
 }
 
+OpClass opClassOf(Opcode op) {
+  switch (op) {
+    case Opcode::LT:
+    case Opcode::MPY:
+    case Opcode::MPYK:
+    case Opcode::PAC:
+    case Opcode::APAC:
+    case Opcode::SPAC:
+    case Opcode::SPL:
+    case Opcode::LTA:
+    case Opcode::LTP:
+    case Opcode::LTD:
+    case Opcode::MPYXY:
+    case Opcode::MACXY:
+      return OpClass::Mac;
+    case Opcode::LAC:
+    case Opcode::SACL:
+    case Opcode::SACH:
+    case Opcode::DMOV:
+      return OpClass::LoadStore;
+    case Opcode::LARK:
+    case Opcode::LAR:
+    case Opcode::SAR:
+    case Opcode::ADRK:
+    case Opcode::SBRK:
+      return OpClass::Agu;
+    case Opcode::B:
+    case Opcode::BZ:
+    case Opcode::BGEZ:
+    case Opcode::BANZ:
+      return OpClass::Branch;
+    case Opcode::SOVM:
+    case Opcode::ROVM:
+    case Opcode::SSXM:
+    case Opcode::RSXM:
+      return OpClass::Mode;
+    case Opcode::RPT:
+    case Opcode::NOP:
+    case Opcode::HALT:
+      return OpClass::Control;
+    default:
+      return OpClass::AccAlu;
+  }
+}
+
+const char* opClassName(OpClass c) {
+  switch (c) {
+    case OpClass::Mac: return "mac";
+    case OpClass::AccAlu: return "acc-alu";
+    case OpClass::LoadStore: return "load-store";
+    case OpClass::Agu: return "agu";
+    case OpClass::Branch: return "branch";
+    case OpClass::Mode: return "mode";
+    case OpClass::Control: return "control";
+  }
+  return "?";
+}
+
 std::string Operand::str() const {
   switch (mode) {
     case AddrMode::None:

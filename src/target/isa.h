@@ -127,8 +127,35 @@ struct Instr {
   std::string label;        // definition: this instruction carries a label
   std::string targetLabel;  // branches: where to go
 
+  /// Debug info: 1-based DFL source position of the statement this
+  /// instruction was generated for (0 = compiler scaffolding such as loop
+  /// counters, delay shifts, mode switches, HALT). Stamped by the code
+  /// generator, preserved through every late pass, and consumed by the
+  /// execution profiler's source-line rollup (sim/profile.h).
+  int srcLine = 0;
+  int srcCol = 0;
+
   std::string str() const;
 };
+
+/// Coarse datapath classification of an opcode, used by the execution
+/// profiler's cycle histograms ("where do the cycles go": multiplier
+/// pipeline vs. plain accumulator ALU vs. memory movement vs. address
+/// generation vs. control).
+enum class OpClass : uint8_t {
+  Mac,        // multiplier pipeline: LT/MPY/PAC/APAC/.../MPYXY/MACXY
+  AccAlu,     // accumulator ALU: ADD/SUB/NEG/bitwise/shifts/LACK/ZAC
+  LoadStore,  // memory movement: LAC/SACL/SACH/DMOV
+  Agu,        // address-register file: LARK/LAR/SAR/ADRK/SBRK
+  Branch,     // control transfer: B/BZ/BGEZ/BANZ
+  Mode,       // mode-bit switches: SOVM/ROVM/SSXM/RSXM
+  Control,    // RPT/NOP/HALT
+};
+
+inline constexpr int kNumOpClasses = static_cast<int>(OpClass::Control) + 1;
+
+OpClass opClassOf(Opcode op);
+const char* opClassName(OpClass c);
 
 /// Static per-opcode facts used by the optimization passes (dependence
 /// testing, compaction, accumulator promotion, self-test generation).
@@ -184,6 +211,9 @@ struct TargetProgram {
   std::vector<std::pair<std::string, int>> symbolAddr;
   /// Initial data memory contents as (address, value) pairs.
   std::vector<std::pair<int, int16_t>> dataInit;
+  /// Name of the DFL source the per-instruction srcLine/srcCol debug info
+  /// refers to (the compiled Program's name; empty for assembled programs).
+  std::string sourceName;
 
   /// Base address of `name`, or -1 when unknown.
   int addrOf(const std::string& name) const;
@@ -194,8 +224,9 @@ struct TargetProgram {
 
   int sizeWords() const { return static_cast<int>(code.size()); }
 
-  /// Assembly-style rendering, one instruction per line.
-  std::string listing() const;
+  /// Assembly-style rendering, one instruction per line. With `withSource`
+  /// each line carries a `; source:line` comment from the debug info.
+  std::string listing(bool withSource = false) const;
 };
 
 }  // namespace record

@@ -1,0 +1,162 @@
+#include "trace/perfcmp.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+
+#include "support/json.h"
+
+namespace record::perfcmp {
+
+namespace {
+
+/// row -> ordered (key, value) pairs.
+using Rows = std::vector<
+    std::pair<std::string, std::vector<std::pair<std::string, double>>>>;
+
+bool parseStats(const std::string& text, Rows& out, std::string& err) {
+  std::string perr;
+  auto doc = json::parse(text, &perr);
+  if (!doc) {
+    err = "not valid JSON: " + perr;
+    return false;
+  }
+  const json::Value* rows = doc->find("rows");
+  if (!rows || !rows->isObject()) {
+    err = "missing top-level \"rows\" object";
+    return false;
+  }
+  for (const auto& [rowName, rowVal] : rows->obj) {
+    if (!rowVal.isObject()) {
+      err = "row \"" + rowName + "\" is not an object";
+      return false;
+    }
+    std::vector<std::pair<std::string, double>> kvs;
+    for (const auto& [key, val] : rowVal.obj) {
+      if (!val.isNumber()) {
+        err = "value of \"" + rowName + "." + key + "\" is not a number";
+        return false;
+      }
+      kvs.emplace_back(key, val.number);
+    }
+    out.emplace_back(rowName, std::move(kvs));
+  }
+  return true;
+}
+
+const std::vector<std::pair<std::string, double>>* findRow(
+    const Rows& rows, const std::string& name) {
+  for (const auto& [n, kvs] : rows)
+    if (n == name) return &kvs;
+  return nullptr;
+}
+
+const double* findKey(const std::vector<std::pair<std::string, double>>& kvs,
+                      const std::string& key) {
+  for (const auto& [k, v] : kvs)
+    if (k == key) return &v;
+  return nullptr;
+}
+
+void appendDeltas(std::ostringstream& os, const char* tag,
+                  const std::vector<Delta>& ds) {
+  for (const auto& d : ds) {
+    char buf[160];
+    std::snprintf(buf, sizeof buf, "%-12s %s.%s: %.6g -> %.6g (%+.1f%%)\n",
+                  tag, d.row.c_str(), d.key.c_str(), d.before, d.after,
+                  d.pct);
+    os << buf;
+  }
+}
+
+}  // namespace
+
+bool isTimingKey(const std::string& key) {
+  if (key.rfind("ms_", 0) == 0) return true;
+  if (key.find("wall") != std::string::npos) return true;
+  if (key.size() >= 4 && key.compare(key.size() - 4, 4, "_sec") == 0)
+    return true;
+  return false;
+}
+
+Result compare(const std::string& baselineJson,
+               const std::string& currentJson, double thresholdPct) {
+  Result r;
+  Rows base, cur;
+  std::string err;
+  if (!parseStats(baselineJson, base, err)) {
+    r.schemaError = "baseline: " + err;
+    return r;
+  }
+  if (!parseStats(currentJson, cur, err)) {
+    r.schemaError = "current: " + err;
+    return r;
+  }
+  r.schemaOk = true;
+
+  for (const auto& [rowName, baseKvs] : base) {
+    const auto* curKvs = findRow(cur, rowName);
+    if (!curKvs) {
+      r.removed.push_back(rowName);
+      continue;
+    }
+    for (const auto& [key, before] : baseKvs) {
+      const double* after = findKey(*curKvs, key);
+      if (!after) {
+        r.removed.push_back(rowName + "." + key);
+        continue;
+      }
+      if (before == *after) continue;
+      Delta d{rowName, key, before, *after, 0};
+      d.pct = before != 0 ? 100.0 * (*after - before) / std::abs(before)
+                          : (*after > 0 ? 100.0 : -100.0);
+      if (std::abs(d.pct) <= thresholdPct) continue;
+      if (isTimingKey(key))
+        r.timingShifts.push_back(std::move(d));
+      else if (d.pct > 0)
+        r.regressions.push_back(std::move(d));
+      else
+        r.improvements.push_back(std::move(d));
+    }
+    for (const auto& [key, v] : *curKvs)
+      if (!findKey(baseKvs, key)) r.added.push_back(rowName + "." + key);
+  }
+  for (const auto& [rowName, kvs] : cur)
+    if (!findRow(base, rowName)) r.added.push_back(rowName);
+
+  auto byMagnitude = [](const Delta& a, const Delta& b) {
+    if (std::abs(a.pct) != std::abs(b.pct))
+      return std::abs(a.pct) > std::abs(b.pct);
+    if (a.row != b.row) return a.row < b.row;
+    return a.key < b.key;
+  };
+  std::sort(r.regressions.begin(), r.regressions.end(), byMagnitude);
+  std::sort(r.improvements.begin(), r.improvements.end(), byMagnitude);
+  std::sort(r.timingShifts.begin(), r.timingShifts.end(), byMagnitude);
+  return r;
+}
+
+std::string render(const Result& r, double thresholdPct) {
+  std::ostringstream os;
+  if (!r.schemaOk) {
+    os << "SCHEMA ERROR: " << r.schemaError << "\n";
+    return os.str();
+  }
+  appendDeltas(os, "REGRESSION", r.regressions);
+  appendDeltas(os, "improved", r.improvements);
+  appendDeltas(os, "timing", r.timingShifts);
+  for (const auto& a : r.added) os << "added        " << a << "\n";
+  for (const auto& d : r.removed) os << "removed      " << d << "\n";
+  if (r.regressions.empty() && r.improvements.empty() &&
+      r.timingShifts.empty() && r.added.empty() && r.removed.empty()) {
+    char buf[96];
+    std::snprintf(buf, sizeof buf,
+                  "no deltas beyond %.3g%% (deterministic keys identical)\n",
+                  thresholdPct);
+    os << buf;
+  }
+  return os.str();
+}
+
+}  // namespace record::perfcmp

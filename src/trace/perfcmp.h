@@ -1,0 +1,68 @@
+// Bench-trajectory comparison: diff two BENCH_<name>_stats.json artifacts
+// (the {"rows": {row: {key: number}}} shape StatsSink writes) and flag
+// per-key changes beyond a threshold. This is the missing half of the bench
+// observability story: the benches have emitted stats artifacts since PR 3,
+// but nothing compared two runs, so a cycle or code-size regression was
+// invisible until someone eyeballed Table 1.
+//
+// Keys split into two classes:
+//
+//   * Deterministic keys (cycles, size_words, statements, bank_conflicts,
+//     ...) are exact simulator/compiler outputs -- identical across
+//     machines, so ANY change is a real behavioural difference and a change
+//     beyond the threshold is reported as a regression/improvement.
+//
+//   * Timing keys (ms_*, *_wall_*, *_sec) measure host wall-clock and vary
+//     run to run; they are reported informationally, never as regressions.
+//
+// The CLI wrapper (bench/perfcmp.cpp) exits nonzero only on schema errors;
+// regressions print loudly but exit 0 ("soft gate"), so CI stays green on a
+// deliberate trade-off while the log shows exactly what moved.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace record::perfcmp {
+
+/// One key whose value moved between the two artifacts.
+struct Delta {
+  std::string row;
+  std::string key;
+  double before = 0;
+  double after = 0;
+  /// Signed percent change relative to `before` (after==before -> 0;
+  /// before==0 with after!=0 -> +/-100).
+  double pct = 0;
+};
+
+struct Result {
+  bool schemaOk = false;
+  std::string schemaError;  // set when !schemaOk
+
+  // Deterministic keys beyond the threshold, by |pct| descending.
+  std::vector<Delta> regressions;   // value increased (worse)
+  std::vector<Delta> improvements;  // value decreased (better)
+  // Timing keys beyond the threshold (informational only).
+  std::vector<Delta> timingShifts;
+
+  // Coverage drift between the two artifacts ("row" or "row.key").
+  std::vector<std::string> added;
+  std::vector<std::string> removed;
+
+  bool hasRegressions() const { return !regressions.empty(); }
+};
+
+/// Is `key` a host-timing measurement (ms_*, *_sec, *wall*) rather than a
+/// deterministic simulator/compiler output?
+bool isTimingKey(const std::string& key);
+
+/// Diff `baselineJson` against `currentJson`; changes with |pct| >
+/// `thresholdPct` are reported. Malformed input yields schemaOk=false.
+Result compare(const std::string& baselineJson,
+               const std::string& currentJson, double thresholdPct = 2.0);
+
+/// Human-readable report of a comparison (multi-line, stable ordering).
+std::string render(const Result& r, double thresholdPct);
+
+}  // namespace record::perfcmp

@@ -4,6 +4,9 @@
 // tier-1-safe; bench/difftest_soak is the open-ended version.
 #include <gtest/gtest.h>
 
+#include <cstdio>
+#include <fstream>
+
 #include "dfl/frontend.h"
 #include "difftest/difftest.h"
 
@@ -110,6 +113,23 @@ TEST(DiffTest, MinimizedRealDivergencePredicateRejectsCleanPrograms) {
   ProgSpec spec = difftest::generateProgram(3);
   auto still = difftest::divergesAt(sweep[0], /*fastPath=*/true);
   EXPECT_FALSE(still(spec));
+}
+
+TEST(DiffTest, UniqueArtifactBaseAvoidsCollisions) {
+  // Names that are free on disk pass through untouched.
+  std::string base = "difftest_test-artifact-probe";
+  std::remove((base + ".txt").c_str());
+  std::remove((base + "-2.txt").c_str());
+  std::remove((base + "-3.txt").c_str());
+  EXPECT_EQ(difftest::uniqueArtifactBase(base), base);
+  // Once taken, the helper appends a monotonic -N suffix: a soak rerun in
+  // the same directory never overwrites an earlier divergence dump.
+  { std::ofstream(base + ".txt") << "first\n"; }
+  EXPECT_EQ(difftest::uniqueArtifactBase(base), base + "-2");
+  { std::ofstream(base + "-2.txt") << "second\n"; }
+  EXPECT_EQ(difftest::uniqueArtifactBase(base), base + "-3");
+  std::remove((base + ".txt").c_str());
+  std::remove((base + "-2.txt").c_str());
 }
 
 TEST(DiffTest, BoundaryStimulusHitsCorners) {

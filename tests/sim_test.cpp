@@ -280,5 +280,86 @@ TEST(Machine, CycleBudget) {
   EXPECT_NE(rr.trapReason.find("budget"), std::string::npos);
 }
 
+// RunStatus distinguishes the three ways a run can end; the legacy bools
+// stay in sync for terse call sites.
+TEST(Machine, RunStatusHalted) {
+  auto tp = asmProg(".sym r 1\nZAC\nSACL r\nHALT\n");
+  Machine m(tp);
+  auto rr = m.run();
+  EXPECT_EQ(rr.status, RunStatus::Halted);
+  EXPECT_STREQ(runStatusName(rr.status), "halted");
+  EXPECT_TRUE(rr.halted);
+  EXPECT_FALSE(rr.trapped);
+}
+
+TEST(Machine, RunStatusTrappedOnIllegalDataAccess) {
+  TargetConfig cfg;
+  cfg.dataWords = 16;
+  auto tp = assembleOrDie("LAC 200\nHALT\n", cfg);
+  Machine m(tp);
+  auto rr = m.run();
+  EXPECT_EQ(rr.status, RunStatus::Trapped);
+  EXPECT_STREQ(runStatusName(rr.status), "trapped");
+  EXPECT_TRUE(rr.trapped);
+  EXPECT_FALSE(rr.halted);
+  EXPECT_NE(rr.trapReason.find("out of range"), std::string::npos);
+  // The faulting instruction never retired: nothing was counted for it.
+  EXPECT_EQ(rr.instructions, 0);
+  EXPECT_EQ(rr.cycles, 0);
+}
+
+TEST(Machine, RunStatusTrappedOnBadOpcode) {
+  // A decode fault turns NOP into a store: the NOP's empty operand is not a
+  // memory reference, so the remapped ("bad") instruction must trap, not
+  // wedge or silently retire.
+  auto tp = asmProg("NOP\nHALT\n");
+  Machine m(tp);
+  m.setDecodeFault([](Opcode op) {
+    return op == Opcode::NOP ? Opcode::SACL : op;
+  });
+  auto rr = m.run(1000);
+  EXPECT_EQ(rr.status, RunStatus::Trapped);
+  EXPECT_TRUE(rr.trapped);
+  EXPECT_NE(rr.trapReason.find("not a memory reference"), std::string::npos);
+}
+
+TEST(Machine, RunStatusBudget) {
+  auto tp = asmProg("top: B top\nHALT\n");
+  Machine m(tp);
+  auto rr = m.run(50);
+  EXPECT_EQ(rr.status, RunStatus::Budget);
+  EXPECT_STREQ(runStatusName(rr.status), "budget");
+  EXPECT_FALSE(rr.halted);
+  EXPECT_FALSE(rr.trapped);
+  EXPECT_GE(rr.cycles, 50);
+}
+
+TEST(Machine, ResetPreservesDataWhenAsked) {
+  auto tp = asmProg(R"(
+      .sym a 1
+      .sym r 1
+      LAC a
+      ADDK #1
+      SACL r
+      HALT
+  )");
+  Machine m(tp);
+  m.writeSymbol("a", 0, 41);
+  ASSERT_TRUE(m.run().halted);
+  EXPECT_EQ(m.readSymbol("r"), 42);
+  // reset(false): registers/PC re-armed, data memory intact -- the harness
+  // relies on this between ticks.
+  m.reset(false);
+  EXPECT_EQ(m.acc(), 0);
+  EXPECT_EQ(m.readSymbol("a"), 41);
+  EXPECT_EQ(m.readSymbol("r"), 42);
+  ASSERT_TRUE(m.run().halted);
+  EXPECT_EQ(m.readSymbol("r"), 42);
+  // reset(true) clears data memory (modulo data initializers).
+  m.reset(true);
+  EXPECT_EQ(m.readSymbol("a"), 0);
+  EXPECT_EQ(m.readSymbol("r"), 0);
+}
+
 }  // namespace
 }  // namespace record
