@@ -1,36 +1,53 @@
-// Long-running differential-testing soak: keeps generating seeded programs
-// and cross-checking interpreter vs. pipeline+simulator until a time or
-// seed budget runs out. On a divergence it greedily minimizes the program
-// and prints a complete repro record, then exits non-zero.
+// Sharded differential-testing soak: generates seeded programs and
+// cross-checks interpreter vs. pipeline+simulator across worker threads
+// until a time or seed budget runs out. Divergences are minimized, deduped
+// by a canonical hash of (minimized program, config, mode), and reported
+// once each with reproducer files.
 //
-//   ./bench/difftest_soak                 # 60 seconds from seed 1
-//   ./bench/difftest_soak --seconds 600
-//   ./bench/difftest_soak --seeds 5000 --base 100000
+//   ./bench/difftest_soak                            # 60 seconds, 1 job
+//   ./bench/difftest_soak --seconds 600 --jobs 8
+//   ./bench/difftest_soak --seeds 5000 --base 100000 --jobs 4
 //
-// Reproduce a reported divergence by rerunning with --base <seed>
-// --seeds 1 (generation is deterministic in the seed). Each divergence also
-// lands on disk as divergence-<seed>-<config>-<mode>[-N].txt (repro + pass
-// trace) and .trace.json (Chrome trace_event), which CI archives; the -N
-// suffix keeps reruns from overwriting earlier dumps.
-#include <chrono>
+// Determinism: for a fixed --seeds range, the unique-divergence set (keys,
+// counts, order) is identical whatever --jobs/--shards — seed streams are
+// splittable and the merge re-sorts by seed. Reproduce a reported
+// divergence with --base <seed> --seeds 1.
+//
+// Artifacts written to cwd:
+//   divergence-<seed>-<config>-<mode>[-N].txt / .trace.json  per unique bug
+//   difftest_soak_report.txt       unique-divergence report (CI uploads it)
+//   BENCH_difftest_soak_stats.json run stats (jobs, shards, throughput,
+//                                  unique-set digest)
+//
+// Corpus maintenance (see DESIGN.md "Differential testing at scale"):
+//   --corpus-out DIR   append every unique divergence to DIR as a
+//                      committed-corpus entry (tests/corpus layout)
+//   --pin SEED         pin generator seed SEED as a corpus entry even
+//                      without a divergence (regression freeze)
+//   --pin-dfl FILE     pin a hand-written DFL file (--pin-seed/--pin-ticks
+//                      choose its stimulus; defaults 1/4)
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
+#include <sstream>
 #include <string>
+#include <vector>
 
+#include "benchutil.h"
+#include "difftest/corpus.h"
 #include "difftest/difftest.h"
+#include "difftest/shard.h"
 
 namespace {
 
 /// Write the repro + its trace artifacts next to the binary; returns the
 /// base filename (empty on I/O failure, which is only warned about -- the
 /// stderr record is still complete).
-std::string dumpDivergence(const record::difftest::Repro& r,
-                           const std::string& minimized) {
+std::string dumpDivergence(const record::difftest::UniqueDivergence& u) {
+  const auto& r = u.repro;
   // uniqueArtifactBase appends -2, -3, ... when the name is already taken
-  // (a rerun in the same directory, or repeated divergences of one seed),
-  // so no earlier dump is ever silently overwritten.
+  // (a rerun in the same directory), so no earlier dump is overwritten.
   std::string base = record::difftest::uniqueArtifactBase(
       "divergence-" + std::to_string(r.seed) + "-" + r.config + "-" +
       (r.fastPath ? "fast" : "slow"));
@@ -39,89 +56,192 @@ std::string dumpDivergence(const record::difftest::Repro& r,
     std::fprintf(stderr, "WARNING: cannot write %s.txt\n", base.c_str());
     return "";
   }
+  txt << "key=" << record::difftest::keyHex(u.key) << " hits=" << u.hits
+      << "\n";
   txt << r.str() << "\n";
-  if (!minimized.empty())
-    txt << "--- minimized ---\n" << minimized;
-  if (!r.traceText.empty())
-    txt << "--- pass trace ---\n" << r.traceText;
+  txt << "--- minimized ---\n" << u.minimizedSource;
+  if (!r.traceText.empty()) txt << "--- pass trace ---\n" << r.traceText;
   if (!r.traceJson.empty())
     std::ofstream(base + ".trace.json") << r.traceJson << "\n";
   return base;
+}
+
+int pinEntries(const std::vector<record::difftest::CorpusEntry>& entries,
+               const std::string& corpusDir) {
+  using namespace record;
+  const auto sweep = difftest::defaultSweep();
+  for (const auto& e : entries) {
+    auto outcome = difftest::replayEntry(e, sweep);
+    if (!outcome.ok()) {
+      std::fprintf(stderr,
+                   "REFUSING to pin '%s': it fails replay (fix the bug or "
+                   "pin after the fix):\n",
+                   e.name.c_str());
+      for (const auto& f : outcome.failures)
+        std::fprintf(stderr, "  %s\n", f.c_str());
+      return 1;
+    }
+    std::string path = difftest::writeCorpusEntry(e, corpusDir);
+    if (path.empty()) {
+      std::fprintf(stderr, "ERROR: cannot write corpus entry '%s' to %s\n",
+                   e.name.c_str(), corpusDir.c_str());
+      return 1;
+    }
+    std::printf("pinned %s (%d runs, %d unsupported)\n", path.c_str(),
+                outcome.runs, outcome.unsupported);
+  }
+  return 0;
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
   using namespace record;
-  long seconds = 60;
-  long long maxSeeds = -1;  // unlimited
-  unsigned long long base = 1;
+  difftest::SoakOptions opt;
+  opt.seconds = 60;
+  opt.seedCount = -1;
+  opt.baseSeed = 1;
+  opt.jobs = 1;
+  std::string corpusOut;
+  std::string reportPath = "difftest_soak_report.txt";
+  std::vector<unsigned long long> pinSeeds;
+  std::vector<std::string> pinFiles;
+  unsigned long long pinSeed = 1;
+  int pinTicks = 4;
+  bool explicitSeeds = false;
   for (int i = 1; i < argc; ++i) {
     auto arg = [&](const char* name) {
       return std::strcmp(argv[i], name) == 0 && i + 1 < argc;
     };
-    if (arg("--seconds")) seconds = std::atol(argv[++i]);
-    else if (arg("--seeds")) maxSeeds = std::atoll(argv[++i]);
-    else if (arg("--base")) base = std::strtoull(argv[++i], nullptr, 0);
+    if (arg("--seconds")) opt.seconds = std::atol(argv[++i]);
+    else if (arg("--seeds")) { opt.seedCount = std::atoll(argv[++i]); explicitSeeds = true; }
+    else if (arg("--base")) opt.baseSeed = std::strtoull(argv[++i], nullptr, 0);
+    else if (arg("--jobs")) opt.jobs = std::atoi(argv[++i]);
+    else if (arg("--shards")) opt.shards = std::atoi(argv[++i]);
+    else if (arg("--corpus-out")) corpusOut = argv[++i];
+    else if (arg("--report")) reportPath = argv[++i];
+    else if (arg("--pin")) pinSeeds.push_back(std::strtoull(argv[++i], nullptr, 0));
+    else if (arg("--pin-dfl")) pinFiles.push_back(argv[++i]);
+    else if (arg("--pin-seed")) pinSeed = std::strtoull(argv[++i], nullptr, 0);
+    else if (arg("--pin-ticks")) pinTicks = std::atoi(argv[++i]);
+    else if (std::strcmp(argv[i], "--no-minimize") == 0) opt.minimizeDivergences = false;
     else {
       std::fprintf(stderr,
-                   "usage: %s [--seconds N] [--seeds N] [--base SEED]\n",
+                   "usage: %s [--seconds N] [--seeds N] [--base SEED] "
+                   "[--jobs N] [--shards N] [--no-minimize]\n"
+                   "          [--corpus-out DIR] [--report FILE]\n"
+                   "          [--pin SEED]... [--pin-dfl FILE "
+                   "[--pin-seed S] [--pin-ticks T]]...\n",
                    argv[0]);
       return 2;
     }
   }
 
-  const auto sweep = difftest::defaultSweep();
-  difftest::OracleStats stats;
-  const auto start = std::chrono::steady_clock::now();
-  auto elapsed = [&start]() {
-    return std::chrono::duration_cast<std::chrono::seconds>(
-               std::chrono::steady_clock::now() - start)
-        .count();
-  };
-
-  unsigned long long seed = base;
-  int divergences = 0;
-  for (;; ++seed) {
-    if (maxSeeds >= 0 &&
-        seed - base >= static_cast<unsigned long long>(maxSeeds))
-      break;
-    if (maxSeeds < 0 && elapsed() >= seconds) break;
-    difftest::ProgSpec spec = difftest::generateProgram(seed);
-    for (const auto& r : difftest::crossCheck(spec, sweep, &stats)) {
-      ++divergences;
-      std::fprintf(stderr, "=== DIVERGENCE ===\n%s\n", r.str().c_str());
-      // Minimize against the failing sweep point.
-      std::string minimized;
-      const difftest::SweepPoint* pt = nullptr;
-      for (const auto& p : sweep)
-        if (p.name == r.config) pt = &p;
-      if (pt) {
-        difftest::ProgSpec min = difftest::minimize(
-            spec, difftest::divergesAt(*pt, r.fastPath));
-        minimized = min.render();
-        std::fprintf(stderr, "=== MINIMIZED (seed=%llu config=%s %s) ===\n%s",
-                     seed, r.config.c_str(),
-                     r.fastPath ? "fast-path" : "slow-path",
-                     minimized.c_str());
-      }
-      std::string dumped = dumpDivergence(r, minimized);
-      if (!dumped.empty())
-        std::fprintf(stderr, "=== dumped %s.txt / %s.trace.json ===\n",
-                     dumped.c_str(), dumped.c_str());
+  // Pin-only mode: build corpus entries and exit (no soak).
+  if (!pinSeeds.empty() || !pinFiles.empty()) {
+    if (corpusOut.empty()) {
+      std::fprintf(stderr, "--pin/--pin-dfl require --corpus-out DIR\n");
+      return 2;
     }
-    if ((seed - base + 1) % 100 == 0)
-      std::fprintf(stderr,
-                   "[%lds] %d programs, %d runs, %d unsupported skips, "
-                   "%d divergences\n",
-                   static_cast<long>(elapsed()), stats.programs, stats.runs,
-                   stats.unsupported, stats.divergences);
+    std::vector<difftest::CorpusEntry> entries;
+    try {
+      for (unsigned long long s : pinSeeds)
+        entries.push_back(difftest::entryFromSpec(
+            difftest::generateProgram(s), "seed-" + std::to_string(s),
+            "pinned generator seed " + std::to_string(s)));
+      for (const auto& f : pinFiles) {
+        std::ifstream in(f);
+        if (!in) {
+          std::fprintf(stderr, "ERROR: cannot open %s\n", f.c_str());
+          return 1;
+        }
+        std::ostringstream buf;
+        buf << in.rdbuf();
+        // Name after the file stem.
+        std::string stem = f;
+        if (auto slash = stem.find_last_of('/'); slash != std::string::npos)
+          stem = stem.substr(slash + 1);
+        if (auto dot = stem.find_last_of('.'); dot != std::string::npos)
+          stem = stem.substr(0, dot);
+        entries.push_back(difftest::entryFromSource(
+            buf.str(), stem, pinSeed, pinTicks, "pinned from " + f));
+      }
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "ERROR: %s\n", e.what());
+      return 1;
+    }
+    return pinEntries(entries, corpusOut);
   }
 
-  std::printf(
-      "difftest_soak: %d programs, %d (config x mode) runs, %d unsupported "
-      "skips, %d divergences in %lds\n",
-      stats.programs, stats.runs, stats.unsupported, stats.divergences,
-      static_cast<long>(elapsed()));
-  return divergences == 0 ? 0 : 1;
+  opt.progress = [](const std::string& line) {
+    std::fprintf(stderr, "%s\n", line.c_str());
+  };
+
+  const auto sweep = difftest::defaultSweep();
+  bench::DualTimer timer;
+  difftest::SoakReport report = difftest::runShardedSoak(opt, sweep);
+  bench::DualTimes times = timer.elapsed();
+
+  for (const auto& u : report.unique) {
+    std::fprintf(stderr, "=== UNIQUE DIVERGENCE key=%s hits=%d ===\n%s",
+                 difftest::keyHex(u.key).c_str(), u.hits,
+                 u.repro.str().c_str());
+    std::fprintf(stderr, "\n--- minimized ---\n%s",
+                 u.minimizedSource.c_str());
+    std::string dumped = dumpDivergence(u);
+    if (!dumped.empty())
+      std::fprintf(stderr, "=== dumped %s.txt / %s.trace.json ===\n",
+                   dumped.c_str(), dumped.c_str());
+    if (!corpusOut.empty()) {
+      try {
+        difftest::CorpusEntry e = difftest::entryFromSpec(
+            u.minimized, "div-" + difftest::keyHex(u.key),
+            "minimized divergence: seed=" + std::to_string(u.repro.seed) +
+                " config=" + u.repro.config +
+                (u.repro.fastPath ? " fast" : " slow") + " " +
+                u.repro.divergence);
+        std::string path = difftest::writeCorpusEntry(e, corpusOut);
+        if (!path.empty())
+          std::fprintf(stderr, "=== corpus entry %s ===\n", path.c_str());
+      } catch (const std::exception& ex) {
+        std::fprintf(stderr, "WARNING: cannot build corpus entry: %s\n",
+                     ex.what());
+      }
+    }
+  }
+
+  if (!reportPath.empty()) {
+    std::ofstream rep(reportPath);
+    if (rep) rep << report.reportText();
+    else std::fprintf(stderr, "WARNING: cannot write %s\n", reportPath.c_str());
+  }
+
+  // Stats artifact: everything needed to compare a --jobs=8 run against a
+  // --jobs=1 run (bit-identical unique set => equal digests; >= 3x
+  // wall-clock on 8 cores => compare seconds / programs_per_sec).
+  auto& g = bench::globalStats();
+  g.set("soak", "jobs", report.jobs);
+  g.set("soak", "shards", report.shards);
+  g.set("soak", "programs", report.stats.programs);
+  g.set("soak", "runs", report.stats.runs);
+  g.set("soak", "unsupported", report.stats.unsupported);
+  g.set("soak", "raw_divergences", report.rawDivergences);
+  g.set("soak", "unique_divergences", static_cast<double>(report.unique.size()));
+  // The digest is 64-bit but the stats sink prints %.6g doubles; four
+  // 16-bit chunks stay exactly representable, so two runs found the same
+  // unique set iff all four digest fields match.
+  const uint64_t digest = report.uniqueSetDigest();
+  for (int chunk = 0; chunk < 4; ++chunk)
+    g.set("soak", "unique_set_digest_" + std::to_string(chunk),
+          static_cast<double>((digest >> (16 * chunk)) & 0xffffull));
+  g.set("soak", "seconds", report.seconds);
+  g.set("soak", "wall_seconds", times.wallSec);
+  g.set("soak", "programs_per_sec",
+        report.seconds > 0 ? report.stats.programs / report.seconds : 0);
+  if (explicitSeeds) g.set("soak", "seed_count", static_cast<double>(opt.seedCount));
+  g.set("soak", "base_seed", static_cast<double>(opt.baseSeed));
+  bench::writeGlobalStats("difftest_soak");
+
+  std::printf("%s", report.reportText().c_str());
+  return report.unique.empty() ? 0 : 1;
 }

@@ -1,0 +1,264 @@
+#include "difftest/corpus.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+#include "codegen/pipeline.h"
+#include "dfl/frontend.h"
+#include "ir/interp.h"
+#include "support/strings.h"
+
+namespace record::difftest {
+
+namespace {
+
+constexpr const char* kMagic = "difftest-corpus v1";
+
+std::string renderValues(const std::vector<int64_t>& vals) {
+  std::string out;
+  for (size_t i = 0; i < vals.size(); ++i) {
+    if (i) out += " ";
+    out += std::to_string(vals[i]);
+  }
+  return out;
+}
+
+bool parseValues(const std::string& text, std::vector<int64_t>* out,
+                 std::string* error) {
+  for (const auto& tok : split(trim(text), ' ')) {
+    if (tok.empty()) continue;
+    char* end = nullptr;
+    long long v = std::strtoll(tok.c_str(), &end, 10);
+    if (!end || *end != '\0') {
+      *error = "bad value '" + tok + "'";
+      return false;
+    }
+    out->push_back(v);
+  }
+  return true;
+}
+
+/// Run the golden interpreter on (prog, stim) and collect every scalar
+/// output's per-tick trace.
+std::map<std::string, std::vector<int64_t>> goldenTraces(const Program& prog,
+                                                         const Stimulus& stim) {
+  Interp gold(prog);
+  for (const auto& [name, vals] : stim.arrays) gold.setArray(name, vals);
+  for (const auto& [name, vals] : stim.scalars) gold.setStream(name, vals);
+  gold.run(stim.ticks);
+  std::map<std::string, std::vector<int64_t>> traces;
+  for (const auto& sym : prog.symbols.all()) {
+    if (sym->kind != SymKind::Output || sym->isArray()) continue;
+    traces[sym->name] = gold.trace(sym->name);
+  }
+  return traces;
+}
+
+}  // namespace
+
+std::string renderCorpusEntry(const CorpusEntry& e) {
+  std::ostringstream os;
+  os << "//! " << kMagic << "\n";
+  os << "//! name: " << e.name << "\n";
+  os << "//! seed: " << e.seed << "\n";
+  os << "//! ticks: " << e.ticks << "\n";
+  if (!e.origin.empty()) os << "//! origin: " << e.origin << "\n";
+  for (const auto& [sym, vals] : e.expected)
+    os << "//! expect " << sym << ": " << renderValues(vals) << "\n";
+  os << e.source;
+  if (!e.source.empty() && e.source.back() != '\n') os << "\n";
+  return os.str();
+}
+
+bool parseCorpusEntry(const std::string& text, CorpusEntry* out,
+                      std::string* error) {
+  *out = CorpusEntry{};
+  bool sawMagic = false;
+  std::istringstream in(text);
+  std::string line;
+  std::string source;
+  while (std::getline(in, line)) {
+    if (!startsWith(line, "//!")) {
+      source += line;
+      source += "\n";
+      continue;
+    }
+    std::string body(trim(line.substr(3)));
+    if (body == kMagic) {
+      sawMagic = true;
+      continue;
+    }
+    auto colon = body.find(':');
+    if (colon == std::string::npos) {
+      *error = "malformed header line: " + line;
+      return false;
+    }
+    std::string key(trim(body.substr(0, colon)));
+    std::string val(trim(body.substr(colon + 1)));
+    if (key == "name") {
+      out->name = val;
+    } else if (key == "seed") {
+      out->seed = std::strtoull(val.c_str(), nullptr, 0);
+    } else if (key == "ticks") {
+      out->ticks = std::atoi(val.c_str());
+    } else if (key == "origin") {
+      out->origin = val;
+    } else if (startsWith(key, "expect ")) {
+      std::string sym(trim(key.substr(7)));
+      if (sym.empty()) {
+        *error = "expect line names no symbol: " + line;
+        return false;
+      }
+      if (!parseValues(val, &out->expected[sym], error)) return false;
+    } else {
+      *error = "unknown header key '" + key + "'";
+      return false;
+    }
+  }
+  if (!sawMagic) {
+    *error = std::string("missing '//! ") + kMagic + "' header";
+    return false;
+  }
+  if (out->name.empty()) {
+    *error = "missing '//! name:' header";
+    return false;
+  }
+  if (out->ticks <= 0) {
+    *error = "missing or non-positive '//! ticks:' header";
+    return false;
+  }
+  if (out->expected.empty()) {
+    *error = "no '//! expect <output>:' lines (nothing pinned)";
+    return false;
+  }
+  out->source = std::move(source);
+  return true;
+}
+
+bool loadCorpusFile(const std::string& path, CorpusEntry* out,
+                    std::string* error) {
+  std::ifstream in(path);
+  if (!in) {
+    *error = "cannot open " + path;
+    return false;
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  if (!parseCorpusEntry(buf.str(), out, error)) {
+    *error = path + ": " + *error;
+    return false;
+  }
+  return true;
+}
+
+std::vector<std::string> listCorpusFiles(const std::string& dir) {
+  std::vector<std::string> out;
+  std::error_code ec;
+  for (const auto& ent : std::filesystem::directory_iterator(dir, ec)) {
+    if (!ent.is_regular_file()) continue;
+    if (ent.path().extension() != ".dfl") continue;
+    out.push_back(ent.path().string());
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+CorpusEntry entryFromSource(const std::string& source, const std::string& name,
+                            uint64_t seed, int ticks,
+                            const std::string& origin) {
+  DiagEngine diag;
+  auto prog = dfl::parseDfl(source, diag);
+  if (!prog)
+    throw std::runtime_error("corpus entry '" + name +
+                             "' does not parse:\n" + diag.str());
+  CorpusEntry e;
+  e.name = name;
+  e.seed = seed;
+  e.ticks = ticks;
+  e.origin = origin;
+  e.source = source;
+  Stimulus stim = makeStimulus(*prog, seed, ticks);
+  e.expected = goldenTraces(*prog, stim);
+  if (e.expected.empty())
+    throw std::runtime_error("corpus entry '" + name +
+                             "' has no scalar outputs to pin");
+  return e;
+}
+
+CorpusEntry entryFromSpec(const ProgSpec& spec, const std::string& name,
+                          const std::string& origin) {
+  return entryFromSource(spec.render(), name, spec.seed, spec.ticks, origin);
+}
+
+ReplayOutcome replayEntry(const CorpusEntry& e,
+                          const std::vector<SweepPoint>& sweep,
+                          const CrossCheckOpts& opts) {
+  ReplayOutcome out;
+  DiagEngine diag;
+  auto prog = dfl::parseDfl(e.source, diag);
+  if (!prog) {
+    out.failures.push_back(e.name + ": DFL no longer parses:\n" + diag.str());
+    return out;
+  }
+  Stimulus stim = makeStimulus(*prog, e.seed, e.ticks);
+
+  // 1. Golden pin: the interpreter must still produce the committed traces
+  // (catches semantic drift of the golden model itself).
+  auto traces = goldenTraces(*prog, stim);
+  for (const auto& [sym, want] : e.expected) {
+    auto it = traces.find(sym);
+    if (it == traces.end()) {
+      out.failures.push_back(e.name + ": pinned output '" + sym +
+                             "' is not a scalar output of the program");
+      continue;
+    }
+    if (it->second != want)
+      out.failures.push_back(e.name + ": golden model drifted on '" + sym +
+                             "': got [" + renderValues(it->second) +
+                             "], pinned [" + renderValues(want) + "]");
+  }
+  for (const auto& [sym, vals] : traces) {
+    (void)vals;
+    if (!e.expected.count(sym))
+      out.failures.push_back(e.name + ": output '" + sym +
+                             "' has no pinned expect line");
+  }
+
+  // 2. Cross-check: compiled + simulated == interpreter on every
+  // (config, mode) pair, exactly like the live oracle.
+  for (const auto& pt : sweep) {
+    for (bool fast : {true, false}) {
+      CompileResult res;
+      try {
+        RecordCompiler rc(pt.cfg, oracleOptions(fast, opts));
+        res = rc.compile(*prog);
+      } catch (const std::runtime_error&) {
+        ++out.unsupported;
+        continue;
+      }
+      ++out.runs;
+      Measurement m = runAndCompare(res.prog, *prog, stim);
+      if (!m.ok)
+        out.failures.push_back(e.name + ": " + pt.name + " " +
+                               (fast ? "fast" : "slow") + ": " + m.error);
+    }
+  }
+  return out;
+}
+
+std::string writeCorpusEntry(const CorpusEntry& e, const std::string& dir) {
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);
+  std::string base = uniqueArtifactBase(dir + "/" + e.name, ".dfl");
+  std::string path = base + ".dfl";
+  std::ofstream f(path);
+  if (!f) return "";
+  f << renderCorpusEntry(e);
+  return f ? path : "";
+}
+
+}  // namespace record::difftest

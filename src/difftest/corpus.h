@@ -1,0 +1,93 @@
+// Committed regression corpus for the differential-testing oracle: every
+// miscompile the soak ever minimized (plus hand-pinned shapes for
+// historical bugs) lives on as a permanent test case under tests/corpus/.
+//
+// An entry is a single self-contained .dfl file. Metadata rides in `//!`
+// header comments — the DFL lexer skips comments, so the file parses (and
+// compiles with recordc) as-is:
+//
+//   //! difftest-corpus v1
+//   //! name: literal-width
+//   //! seed: 3            <- stimulus seed (makeStimulus), not generator
+//   //! ticks: 4
+//   //! origin: pinned by hand: 16-bit literal semantics (PR 2)
+//   //! expect o0: 128 128 128 128
+//   program literal_width;
+//   ...
+//
+// The `expect` lines pin the golden-model interpreter's per-tick output
+// traces, so replay catches not only a pipeline regression (sim vs interp
+// divergence) but also silent drift of the golden model itself.
+//
+// Replay (tests/corpus_test.cpp) runs every entry:
+//   1. interpreter traces == the pinned `expect` lines, and
+//   2. compiled + simulated == interpreter on every sweep TargetConfig
+//      x fast/slow compile mode (capability rejections are clean skips,
+//      exactly like the live oracle).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "difftest/difftest.h"
+
+namespace record::difftest {
+
+struct CorpusEntry {
+  std::string name;    // file stem; [a-z0-9-]+
+  uint64_t seed = 0;   // stimulus seed (program + stimulus reproduce from it)
+  int ticks = 1;
+  std::string origin;  // free text: where the entry came from
+  std::string source;  // DFL program text (header lines stripped)
+  /// Pinned golden-model traces: output symbol -> one value per tick.
+  std::map<std::string, std::vector<int64_t>> expected;
+};
+
+/// Render an entry as its on-disk .dfl form (headers + source).
+std::string renderCorpusEntry(const CorpusEntry& e);
+
+/// Parse the on-disk form. Returns false with a message on malformed
+/// headers; the DFL body itself is validated at replay time.
+bool parseCorpusEntry(const std::string& text, CorpusEntry* out,
+                      std::string* error);
+
+/// Load one entry from a file (false + message on I/O or parse failure).
+bool loadCorpusFile(const std::string& path, CorpusEntry* out,
+                    std::string* error);
+
+/// Sorted list of corpus files (*.dfl) in a directory; empty when the
+/// directory is missing or holds none.
+std::vector<std::string> listCorpusFiles(const std::string& dir);
+
+/// Build an entry from a (typically minimized) spec: renders the program,
+/// runs the golden interpreter on the spec's seed/ticks stimulus, and pins
+/// the resulting output traces. Throws std::runtime_error if the spec
+/// does not parse (generator bug).
+CorpusEntry entryFromSpec(const ProgSpec& spec, const std::string& name,
+                          const std::string& origin);
+
+/// Like entryFromSpec but for hand-written DFL text.
+CorpusEntry entryFromSource(const std::string& source, const std::string& name,
+                            uint64_t seed, int ticks,
+                            const std::string& origin);
+
+struct ReplayOutcome {
+  int runs = 0;         // (config x mode) pairs executed
+  int unsupported = 0;  // capability rejections (clean skips)
+  std::vector<std::string> failures;  // empty = entry passes
+  bool ok() const { return failures.empty(); }
+};
+
+/// Replay one entry: golden-trace pin + full sweep cross-check.
+ReplayOutcome replayEntry(const CorpusEntry& e,
+                          const std::vector<SweepPoint>& sweep,
+                          const CrossCheckOpts& opts = {});
+
+/// Write an entry to dir/<name>.dfl, suffixing -2, -3, ... on collision
+/// (same uniqueArtifactBase discipline as divergence dumps). Returns the
+/// path written, or "" on I/O failure.
+std::string writeCorpusEntry(const CorpusEntry& e, const std::string& dir);
+
+}  // namespace record::difftest

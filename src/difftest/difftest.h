@@ -134,12 +134,25 @@ struct OracleStats {
   int divergences = 0;
 };
 
+struct CrossCheckOpts {
+  /// Force searchThreads=1 in both compile modes. Callers that are
+  /// themselves worker threads (the sharded soak) set this so every
+  /// compile stays on its own thread instead of contending for the
+  /// process-shared search pool.
+  bool sequentialSearch = false;
+};
+
+/// The oracle's compiler settings for one compile mode: fast-path layers
+/// all on or all off. Shared by crossCheck and the corpus replayer.
+CodegenOptions oracleOptions(bool fastPath, const CrossCheckOpts& opts = {});
+
 /// Run one spec through every (config x fast-path mode) pair. Returns every
 /// divergence found (empty = agreement everywhere). Throws only on
 /// generator bugs (spec fails to parse).
 std::vector<Repro> crossCheck(const ProgSpec& spec,
                               const std::vector<SweepPoint>& sweep,
-                              OracleStats* stats = nullptr);
+                              OracleStats* stats = nullptr,
+                              const CrossCheckOpts& opts = {});
 
 // ---------------------------------------------------------------------------
 // Minimizer
@@ -158,7 +171,8 @@ ProgSpec minimize(const ProgSpec& spec, const StillFailing& still,
 
 /// Predicate for minimizing a concrete divergence: re-runs the oracle at
 /// one sweep point / compile mode.
-StillFailing divergesAt(const SweepPoint& pt, bool fastPath);
+StillFailing divergesAt(const SweepPoint& pt, bool fastPath,
+                        const CrossCheckOpts& opts = {});
 
 // ---------------------------------------------------------------------------
 // Divergence artifacts

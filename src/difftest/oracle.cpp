@@ -48,23 +48,19 @@ std::string Repro::str() const {
   return os.str();
 }
 
-namespace {
-
-CodegenOptions modeOptions(bool fastPath) {
+CodegenOptions oracleOptions(bool fastPath, const CrossCheckOpts& opts) {
   CodegenOptions opt = recordOptions();
   opt.internExprs = fastPath;
   opt.memoLabels = fastPath;
   opt.pruneSearch = fastPath;
   opt.cacheRules = fastPath;
-  opt.searchThreads = fastPath ? 0 : 1;
+  opt.searchThreads = (fastPath && !opts.sequentialSearch) ? 0 : 1;
   return opt;
 }
 
-}  // namespace
-
 std::vector<Repro> crossCheck(const ProgSpec& spec,
                               const std::vector<SweepPoint>& sweep,
-                              OracleStats* stats) {
+                              OracleStats* stats, const CrossCheckOpts& opts) {
   const std::string source = spec.render();
   DiagEngine diag;
   auto prog = dfl::parseDfl(source, diag);
@@ -79,7 +75,7 @@ std::vector<Repro> crossCheck(const ProgSpec& spec,
     for (bool fast : {true, false}) {
       CompileResult res;
       try {
-        RecordCompiler rc(pt.cfg, modeOptions(fast));
+        RecordCompiler rc(pt.cfg, oracleOptions(fast, opts));
         res = rc.compile(*prog);
       } catch (const std::runtime_error&) {
         // Capability rejection (no saturation hardware, inexpressible wide
@@ -102,7 +98,7 @@ std::vector<Repro> crossCheck(const ProgSpec& spec,
       // this reproduces the same bad program).
       try {
         TraceContext trace;
-        CodegenOptions topt = modeOptions(fast);
+        CodegenOptions topt = oracleOptions(fast, opts);
         topt.trace = &trace;
         RecordCompiler rc(pt.cfg, topt);
         rc.compile(*prog);
@@ -118,15 +114,16 @@ std::vector<Repro> crossCheck(const ProgSpec& spec,
   return out;
 }
 
-StillFailing divergesAt(const SweepPoint& pt, bool fastPath) {
-  return [pt, fastPath](const ProgSpec& spec) {
+StillFailing divergesAt(const SweepPoint& pt, bool fastPath,
+                        const CrossCheckOpts& opts) {
+  return [pt, fastPath, opts](const ProgSpec& spec) {
     const std::string source = spec.render();
     DiagEngine diag;
     auto prog = dfl::parseDfl(source, diag);
     if (!prog) return false;  // a mutation broke the program; reject it
     CompileResult res;
     try {
-      RecordCompiler rc(pt.cfg, modeOptions(fastPath));
+      RecordCompiler rc(pt.cfg, oracleOptions(fastPath, opts));
       res = rc.compile(*prog);
     } catch (const std::runtime_error&) {
       return false;  // now rejected instead of miscompiled; not the bug

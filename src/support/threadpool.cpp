@@ -56,6 +56,14 @@ void ThreadPool::parallelFor(int jobs, const std::function<void(int)>& fn) {
     return;
   }
   std::unique_lock<std::mutex> lock(mu_);
+  if (batch_.fn) {
+    // The single batch slot is owned by another parallelFor (a concurrent
+    // caller, or this very thread re-entering from inside a job). Claiming
+    // it would corrupt that batch; run inline instead.
+    lock.unlock();
+    for (int i = 0; i < jobs; ++i) fn(i);
+    return;
+  }
   batch_.fn = &fn;
   batch_.jobs = jobs;
   batch_.next = 0;

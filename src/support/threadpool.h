@@ -6,6 +6,13 @@
 // making fn's work deterministic in its *results* (e.g. writing to disjoint
 // slots and merging in input order afterwards); the pool guarantees nothing
 // about execution order.
+//
+// parallelFor is safe to call from several threads at once and from inside
+// a running job (directly or through nested code that reaches the same
+// pool, e.g. sharded soak workers whose compilers use ThreadPool::shared()):
+// the pool has a single batch slot, so whichever call finds it busy simply
+// runs its jobs inline on the calling thread instead of waiting. Results
+// are identical either way; only the parallelism degrades.
 #pragma once
 
 #include <condition_variable>

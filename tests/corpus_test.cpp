@@ -1,0 +1,148 @@
+// Committed regression corpus replay: every entry under tests/corpus/ —
+// minimized past divergences and hand-pinned miscompile shapes — must
+// (1) still produce its pinned golden-model traces (no silent interpreter
+// drift) and (2) compile + simulate to the same traces on every sweep
+// TargetConfig x fast/slow compile mode. RECORD_CORPUS_DIR is injected by
+// the build so the test finds the source-tree corpus from any build dir.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <set>
+
+#include "difftest/corpus.h"
+#include "difftest/shard.h"
+
+namespace record {
+namespace {
+
+using difftest::CorpusEntry;
+
+std::vector<std::string> corpusFiles() {
+  return difftest::listCorpusFiles(RECORD_CORPUS_DIR);
+}
+
+TEST(Corpus, DirectoryIsNonEmptyAndWellFormed) {
+  auto files = corpusFiles();
+  ASSERT_FALSE(files.empty()) << "no *.dfl under " << RECORD_CORPUS_DIR;
+  std::set<std::string> names;
+  for (const auto& f : files) {
+    CorpusEntry e;
+    std::string err;
+    ASSERT_TRUE(difftest::loadCorpusFile(f, &e, &err)) << err;
+    EXPECT_GT(e.ticks, 0) << f;
+    EXPECT_FALSE(e.expected.empty()) << f;
+    EXPECT_FALSE(e.origin.empty()) << f << ": every entry must say where it "
+                                           "came from (soak key or hand pin)";
+    // Names are unique across the corpus (they name the bug).
+    EXPECT_TRUE(names.insert(e.name).second)
+        << f << ": duplicate entry name '" << e.name << "'";
+  }
+}
+
+// The tentpole guarantee: all entries x all >= 9 configs x both compile
+// modes agree with the pinned interpreter traces. Capability rejections
+// are clean skips, but they must not hollow the replay out entirely.
+TEST(Corpus, ReplayAcrossFullSweepBothModes) {
+  auto sweep = difftest::defaultSweep();
+  ASSERT_GE(sweep.size(), 9u);
+  auto files = corpusFiles();
+  ASSERT_FALSE(files.empty());
+  int totalRuns = 0;
+  for (const auto& f : files) {
+    CorpusEntry e;
+    std::string err;
+    ASSERT_TRUE(difftest::loadCorpusFile(f, &e, &err)) << err;
+    auto outcome = difftest::replayEntry(e, sweep);
+    for (const auto& fail : outcome.failures) ADD_FAILURE() << fail;
+    // A full replay visits every (config, mode) pair; rejected pairs are
+    // capability skips.
+    EXPECT_EQ(outcome.runs + outcome.unsupported,
+              static_cast<int>(sweep.size()) * 2)
+        << f;
+    EXPECT_GT(outcome.runs, 0) << f << ": every pair rejected the program";
+    totalRuns += outcome.runs;
+  }
+  // Most pairs must actually execute across the corpus.
+  EXPECT_GT(totalRuns,
+            static_cast<int>(files.size() * sweep.size()));
+}
+
+TEST(Corpus, RenderParseRoundTrip) {
+  CorpusEntry e;
+  e.name = "round-trip";
+  e.seed = 42;
+  e.ticks = 3;
+  e.origin = "unit test";
+  e.source = "program rt;\ninput x : fix;\noutput y : fix;\nbegin\n  y := x;\nend\n";
+  e.expected["y"] = {1, -2, 32767};
+  CorpusEntry back;
+  std::string err;
+  ASSERT_TRUE(difftest::parseCorpusEntry(difftest::renderCorpusEntry(e),
+                                         &back, &err))
+      << err;
+  EXPECT_EQ(back.name, e.name);
+  EXPECT_EQ(back.seed, e.seed);
+  EXPECT_EQ(back.ticks, e.ticks);
+  EXPECT_EQ(back.origin, e.origin);
+  EXPECT_EQ(back.source, e.source);
+  EXPECT_EQ(back.expected, e.expected);
+}
+
+TEST(Corpus, ParseRejectsMalformedEntries) {
+  CorpusEntry e;
+  std::string err;
+  // No magic header.
+  EXPECT_FALSE(difftest::parseCorpusEntry("program p;\n", &e, &err));
+  EXPECT_NE(err.find("difftest-corpus"), std::string::npos);
+  // Magic but nothing pinned.
+  EXPECT_FALSE(difftest::parseCorpusEntry(
+      "//! difftest-corpus v1\n//! name: x\n//! ticks: 2\nprogram p;\n", &e,
+      &err));
+  EXPECT_NE(err.find("expect"), std::string::npos);
+  // Unknown header key.
+  EXPECT_FALSE(difftest::parseCorpusEntry(
+      "//! difftest-corpus v1\n//! wat: 1\n", &e, &err));
+  EXPECT_NE(err.find("unknown header"), std::string::npos);
+}
+
+TEST(Corpus, EntryFromSpecPinsGoldenTraces) {
+  // entryFromSpec runs the interpreter: the pinned traces must replay
+  // clean, and the rendered file must round-trip through the parser.
+  difftest::ProgSpec spec = difftest::generateProgram(13);
+  CorpusEntry e = difftest::entryFromSpec(spec, "spec-13", "unit test");
+  EXPECT_EQ(e.seed, spec.seed);
+  EXPECT_EQ(e.ticks, spec.ticks);
+  ASSERT_FALSE(e.expected.empty());
+  auto outcome = difftest::replayEntry(e, difftest::defaultSweep());
+  for (const auto& fail : outcome.failures) ADD_FAILURE() << fail;
+}
+
+TEST(Corpus, ReplayDetectsGoldenDrift) {
+  // Corrupt a pinned value: replay must flag the drift, not pass silently.
+  difftest::ProgSpec spec = difftest::generateProgram(13);
+  CorpusEntry e = difftest::entryFromSpec(spec, "spec-13", "unit test");
+  ASSERT_FALSE(e.expected.empty());
+  auto& vals = e.expected.begin()->second;
+  ASSERT_FALSE(vals.empty());
+  vals[0] += 1;
+  auto outcome = difftest::replayEntry(e, difftest::defaultSweep());
+  ASSERT_FALSE(outcome.ok());
+  EXPECT_NE(outcome.failures[0].find("drifted"), std::string::npos);
+}
+
+TEST(Corpus, ReplayDetectsUnpinnedOutput) {
+  difftest::ProgSpec spec = difftest::generateProgram(13);
+  CorpusEntry e = difftest::entryFromSpec(spec, "spec-13", "unit test");
+  ASSERT_FALSE(e.expected.empty());
+  e.expected.erase(e.expected.begin());
+  // With an output unpinned the entry is weaker than the program; replay
+  // refuses it so corpus edits cannot quietly drop coverage.
+  auto outcome = difftest::replayEntry(e, difftest::defaultSweep());
+  bool flagged = false;
+  for (const auto& f : outcome.failures)
+    flagged |= f.find("no pinned expect line") != std::string::npos;
+  EXPECT_TRUE(flagged);
+}
+
+}  // namespace
+}  // namespace record

@@ -4,11 +4,15 @@
 // tier-1-safe; bench/difftest_soak is the open-ended version.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cstdio>
 #include <fstream>
+#include <utility>
 
 #include "dfl/frontend.h"
 #include "difftest/difftest.h"
+#include "difftest/shard.h"
+#include "ir/interp.h"
 
 namespace record {
 namespace {
@@ -106,6 +110,76 @@ TEST(DiffTest, MinimizerShrinksWhilePreservingPredicate) {
             std::string::npos);
 }
 
+// ---------------------------------------------------------------------------
+// Minimizer invariants
+// ---------------------------------------------------------------------------
+
+/// Semantic predicate that exercises the full parse + golden-interpreter
+/// path on every probe: "output o0's golden trace contains a value < 0".
+/// (A stand-in for "still diverges" that works on a healthy compiler.)
+bool goldenTraceGoesNegative(const ProgSpec& s) {
+  DiagEngine diag;
+  auto prog = dfl::parseDfl(s.render(), diag);
+  if (!prog) return false;
+  const Symbol* o0 = prog->symbols.lookup("o0");
+  if (!o0 || o0->kind != SymKind::Output || o0->isArray()) return false;
+  Stimulus stim = difftest::makeStimulus(*prog, s.seed, s.ticks);
+  Interp gold(*prog);
+  for (const auto& [name, vals] : stim.arrays) gold.setArray(name, vals);
+  for (const auto& [name, vals] : stim.scalars) gold.setStream(name, vals);
+  gold.run(stim.ticks);
+  for (int64_t v : gold.trace("o0"))
+    if (v < 0) return true;
+  return false;
+}
+
+/// A seed whose generated program satisfies the predicate (asserted, so a
+/// generator change that invalidates it fails loudly instead of hollowing
+/// the invariant tests out).
+ProgSpec specSatisfyingPredicate() {
+  for (uint64_t seed = 1; seed <= 64; ++seed) {
+    ProgSpec spec = difftest::generateProgram(seed);
+    if (goldenTraceGoesNegative(spec)) return spec;
+  }
+  ADD_FAILURE() << "no seed in 1..64 satisfies the probe predicate";
+  return difftest::generateProgram(1);
+}
+
+TEST(DiffTest, MinimizerIsDeterministic) {
+  ProgSpec spec = specSatisfyingPredicate();
+  ProgSpec a = difftest::minimize(spec, goldenTraceGoesNegative, 2000);
+  ProgSpec b = difftest::minimize(spec, goldenTraceGoesNegative, 2000);
+  EXPECT_EQ(a.render(), b.render());
+  EXPECT_EQ(a.ticks, b.ticks);
+}
+
+TEST(DiffTest, MinimizerIsIdempotent) {
+  // Once converged (ample probe budget), a minimized spec is a fixed
+  // point: re-minimizing changes nothing.
+  ProgSpec spec = specSatisfyingPredicate();
+  ProgSpec once = difftest::minimize(spec, goldenTraceGoesNegative, 2000);
+  ProgSpec twice = difftest::minimize(once, goldenTraceGoesNegative, 2000);
+  EXPECT_EQ(once.render(), twice.render());
+  EXPECT_EQ(once.ticks, twice.ticks);
+}
+
+TEST(DiffTest, MinimizerPreservesFailurePredicate) {
+  // The contract the soak leans on: whatever "still failing" means, the
+  // minimized spec still fails — minimization never wanders onto a
+  // healthy program. Checked against a semantic (interpreter-run)
+  // predicate and a small probe budget (mid-convergence truncation must
+  // also preserve the predicate).
+  ProgSpec spec = specSatisfyingPredicate();
+  for (int probes : {5, 50, 2000}) {
+    ProgSpec min = difftest::minimize(spec, goldenTraceGoesNegative, probes);
+    EXPECT_TRUE(goldenTraceGoesNegative(min)) << "probes=" << probes;
+  }
+  // And the minimized program still parses (it is a real repro).
+  ProgSpec min = difftest::minimize(spec, goldenTraceGoesNegative, 2000);
+  DiagEngine diag;
+  EXPECT_TRUE(dfl::parseDfl(min.render(), diag).has_value()) << diag.str();
+}
+
 TEST(DiffTest, MinimizedRealDivergencePredicateRejectsCleanPrograms) {
   // divergesAt() must return false for a program that agrees (so the
   // minimizer never wanders onto healthy specs).
@@ -130,6 +204,133 @@ TEST(DiffTest, UniqueArtifactBaseAvoidsCollisions) {
   EXPECT_EQ(difftest::uniqueArtifactBase(base), base + "-3");
   std::remove((base + ".txt").c_str());
   std::remove((base + "-2.txt").c_str());
+}
+
+// ---------------------------------------------------------------------------
+// Sharded soak: splittable seed streams + deduplication
+// ---------------------------------------------------------------------------
+
+TEST(DiffTest, DivergenceKeyIsCanonical) {
+  TargetConfig cfg;
+  const std::string src = "program p;\nbegin\nend\n";
+  uint64_t base = difftest::divergenceKey(src, "default", cfg, true);
+  // Pure function of its inputs.
+  EXPECT_EQ(base, difftest::divergenceKey(src, "default", cfg, true));
+  // Every component separates: source, config name, config shape, mode.
+  EXPECT_NE(base, difftest::divergenceKey(src + " ", "default", cfg, true));
+  EXPECT_NE(base, difftest::divergenceKey(src, "other", cfg, true));
+  EXPECT_NE(base, difftest::divergenceKey(src, "default", cfg, false));
+  TargetConfig noMac = cfg;
+  noMac.hasMac = false;
+  EXPECT_NE(base, difftest::divergenceKey(src, "default", noMac, true));
+  TargetConfig wide = cfg;
+  wide.dataWords *= 2;
+  EXPECT_NE(base, difftest::divergenceKey(src, "default", wide, true));
+  EXPECT_EQ(difftest::keyHex(base).size(), 16u);
+}
+
+TEST(DiffTest, DivergenceKeyIgnoresSeedBearingProgramName) {
+  // Generated programs are named after their seed; two seeds minimizing to
+  // the same body must still collapse to one key.
+  TargetConfig cfg;
+  const std::string body = "\noutput o0 : fix;\nbegin\n  o0 := 0;\nend\n";
+  EXPECT_EQ(
+      difftest::divergenceKey("program difftest_7;" + body, "default", cfg, true),
+      difftest::divergenceKey("program difftest_91;" + body, "default", cfg, true));
+  // ...but the bodies themselves still separate.
+  EXPECT_NE(
+      difftest::divergenceKey("program difftest_7;" + body, "default", cfg, true),
+      difftest::divergenceKey("program difftest_7;\nbegin\nend\n", "default",
+                              cfg, true));
+}
+
+/// Fake oracle for determinism tests: "seeds divisible by 7 diverge at
+/// sweep[0] fast-path" (twice over, for multiples of 21, so dedupe has
+/// duplicates to collapse) — deterministic, cheap, and thread-safe.
+std::vector<difftest::Repro> fakeCheck(const ProgSpec& spec,
+                                       const std::vector<difftest::SweepPoint>& sweep,
+                                       difftest::OracleStats* stats) {
+  if (stats) {
+    ++stats->programs;
+    stats->runs += static_cast<int>(sweep.size()) * 2;
+  }
+  std::vector<difftest::Repro> out;
+  if (spec.seed % 7 == 0 && !sweep.empty()) {
+    difftest::Repro r;
+    r.seed = spec.seed;
+    r.config = sweep[0].name;
+    r.configDesc = sweep[0].cfg.describe();
+    r.fastPath = true;
+    r.divergence = "synthetic divergence";
+    r.source = spec.render();
+    out.push_back(r);
+    if (spec.seed % 21 == 0) out.push_back(r);
+    if (stats) stats->divergences += static_cast<int>(out.size());
+  }
+  return out;
+}
+
+// The RNG-splittability fix, pinned: --jobs=N and --jobs=1 over the same
+// seed range must produce the identical unique-divergence set — same
+// keys, same hit counts, same representative seeds, same order.
+TEST(DiffTest, ShardedSoakUniqueSetIsJobsInvariant) {
+  auto sweep = difftest::defaultSweep();
+  auto run = [&](int jobs, int shards) {
+    difftest::SoakOptions opt;
+    opt.baseSeed = 1;
+    opt.seedCount = 60;
+    opt.jobs = jobs;
+    opt.shards = shards;
+    opt.check = fakeCheck;
+    return difftest::runShardedSoak(opt, sweep);
+  };
+  difftest::SoakReport serial = run(1, 1);
+  // 60 seeds from base 1: seeds 7, 14, ..., 56 diverge (21 and 42 twice).
+  EXPECT_EQ(serial.stats.programs, 60);
+  EXPECT_EQ(serial.rawDivergences, 10);
+  ASSERT_FALSE(serial.unique.empty());
+  int hitSum = 0, maxHits = 0;
+  for (const auto& u : serial.unique) {
+    hitSum += u.hits;
+    maxHits = std::max(maxHits, u.hits);
+  }
+  EXPECT_EQ(hitSum, serial.rawDivergences);
+  // The duplicated repros (and any seeds whose minimized bodies coincide)
+  // collapse: dedupe really merged something.
+  EXPECT_GE(maxHits, 2);
+  EXPECT_LT(serial.unique.size(), static_cast<size_t>(serial.rawDivergences));
+
+  for (auto [jobs, shards] : {std::pair{4, 0}, {4, 7}, {2, 5}, {1, 13}}) {
+    difftest::SoakReport par = run(jobs, shards);
+    EXPECT_EQ(par.stats.programs, serial.stats.programs);
+    EXPECT_EQ(par.rawDivergences, serial.rawDivergences);
+    EXPECT_EQ(par.uniqueSetDigest(), serial.uniqueSetDigest())
+        << "jobs=" << jobs << " shards=" << shards;
+    ASSERT_EQ(par.unique.size(), serial.unique.size());
+    for (size_t i = 0; i < par.unique.size(); ++i) {
+      EXPECT_EQ(par.unique[i].key, serial.unique[i].key);
+      EXPECT_EQ(par.unique[i].hits, serial.unique[i].hits);
+      EXPECT_EQ(par.unique[i].repro.seed, serial.unique[i].repro.seed);
+      EXPECT_EQ(par.unique[i].minimizedSource, serial.unique[i].minimizedSource);
+    }
+  }
+}
+
+// Real oracle through the sharded runner: a clean bounded range, threaded.
+// (Also the TSan smoke for the per-shard compiler isolation.)
+TEST(DiffTest, ShardedSoakRealOracleCleanBoundedRun) {
+  difftest::SoakOptions opt;
+  opt.baseSeed = 1;
+  opt.seedCount = 40;
+  opt.jobs = 3;
+  auto report = difftest::runShardedSoak(opt, difftest::defaultSweep());
+  EXPECT_EQ(report.stats.programs, 40);
+  EXPECT_EQ(report.seedsProcessed, 40ull);
+  EXPECT_EQ(report.rawDivergences, 0);
+  EXPECT_TRUE(report.unique.empty());
+  EXPECT_GT(report.stats.runs, report.stats.programs * 8);
+  // The report artifact carries the digest line even when clean.
+  EXPECT_NE(report.reportText().find("unique-set digest:"), std::string::npos);
 }
 
 TEST(DiffTest, BoundaryStimulusHitsCorners) {

@@ -1,7 +1,14 @@
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <numeric>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
 #include "support/diag.h"
 #include "support/strings.h"
+#include "support/threadpool.h"
 
 namespace record {
 namespace {
@@ -87,6 +94,107 @@ TEST(Diag, EngineSourceNameFlowsIntoLocations) {
   ASSERT_NE(d.sourceName(), nullptr);
   d.error({2, 5, d.sourceName()}, "boom");
   EXPECT_NE(d.str().find("fir.dfl:2:5: error: boom"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// ThreadPool
+// ---------------------------------------------------------------------------
+
+TEST(ThreadPool, EveryJobRunsExactlyOnce) {
+  for (int threads : {0, 1, 3}) {
+    ThreadPool pool(threads);
+    const int jobs = 97;
+    std::vector<std::atomic<int>> hits(jobs);
+    pool.parallelFor(jobs, [&](int i) { ++hits[static_cast<size_t>(i)]; });
+    for (int i = 0; i < jobs; ++i)
+      EXPECT_EQ(hits[static_cast<size_t>(i)].load(), 1)
+          << "job " << i << " with " << threads << " workers";
+  }
+}
+
+TEST(ThreadPool, ZeroAndNegativeJobCountsAreNoOps) {
+  ThreadPool pool(2);
+  std::atomic<int> ran{0};
+  pool.parallelFor(0, [&](int) { ++ran; });
+  pool.parallelFor(-3, [&](int) { ++ran; });
+  EXPECT_EQ(ran.load(), 0);
+}
+
+// The determinism contract callers rely on: disjoint-slot writes merged in
+// input order give the same result whatever the worker count.
+TEST(ThreadPool, MultiThreadMatchesSingleThreadResults) {
+  const int jobs = 64;
+  auto run = [&](int threads) {
+    ThreadPool pool(threads);
+    std::vector<long> slot(jobs);
+    pool.parallelFor(jobs, [&](int i) {
+      long v = 0;
+      for (int k = 0; k <= i; ++k) v += k * k;
+      slot[static_cast<size_t>(i)] = v;
+    });
+    return std::accumulate(slot.begin(), slot.end(), 0ll);
+  };
+  EXPECT_EQ(run(4), run(0));
+}
+
+TEST(ThreadPool, ExceptionPropagatesAndPoolStaysUsable) {
+  ThreadPool pool(2);
+  EXPECT_THROW(
+      pool.parallelFor(8,
+                       [](int i) {
+                         if (i == 5) throw std::runtime_error("job 5 failed");
+                       }),
+      std::runtime_error);
+  // The failed batch must not wedge the pool: the next batch runs fully.
+  std::atomic<int> ran{0};
+  pool.parallelFor(8, [&](int) { ++ran; });
+  EXPECT_EQ(ran.load(), 8);
+}
+
+// A job that itself calls parallelFor on the same pool finds the batch
+// slot busy and must fall back to running inline, not deadlock or corrupt
+// the outer batch (the sharded soak hits this through nested compilers).
+TEST(ThreadPool, NestedParallelForRunsInline) {
+  ThreadPool pool(2);
+  std::atomic<int> inner{0};
+  std::atomic<int> outer{0};
+  pool.parallelFor(4, [&](int) {
+    ++outer;
+    pool.parallelFor(3, [&](int) { ++inner; });
+  });
+  EXPECT_EQ(outer.load(), 4);
+  EXPECT_EQ(inner.load(), 12);
+}
+
+// Two independent threads sharing one pool: both calls complete with every
+// job run exactly once (whichever finds the slot busy degrades to inline).
+TEST(ThreadPool, ConcurrentCallersShareOnePool) {
+  ThreadPool pool(3);
+  const int jobs = 50;
+  std::vector<std::atomic<int>> a(jobs), b(jobs);
+  std::thread other([&] {
+    pool.parallelFor(jobs, [&](int i) { ++a[static_cast<size_t>(i)]; });
+  });
+  pool.parallelFor(jobs, [&](int i) { ++b[static_cast<size_t>(i)]; });
+  other.join();
+  for (int i = 0; i < jobs; ++i) {
+    EXPECT_EQ(a[static_cast<size_t>(i)].load(), 1);
+    EXPECT_EQ(b[static_cast<size_t>(i)].load(), 1);
+  }
+}
+
+// Destroying a pool right after a batch (and with no batch at all) must
+// join cleanly — shutdown may not leave a worker waiting on a stale batch.
+TEST(ThreadPool, ShutdownAfterWorkAndWhenIdle) {
+  {
+    ThreadPool pool(3);
+    std::atomic<int> ran{0};
+    for (int round = 0; round < 20; ++round)
+      pool.parallelFor(7, [&](int) { ++ran; });
+    EXPECT_EQ(ran.load(), 140);
+  }  // ~ThreadPool joins here
+  { ThreadPool idle(2); }
+  SUCCEED();
 }
 
 }  // namespace
