@@ -5,7 +5,9 @@
 // BENCH_<name>_stats.json artifact.
 #pragma once
 
+#include <algorithm>
 #include <chrono>
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
@@ -138,6 +140,58 @@ inline std::string writeGlobalStats(const std::string& benchName) {
   out << globalStats().json() << "\n";
   std::printf("stats JSON: %s\n", path.c_str());
   return path;
+}
+
+// ---------------------------------------------------------------------------
+// Latency percentiles
+// ---------------------------------------------------------------------------
+
+/// Exact latency percentiles from stored samples. The benches stream a few
+/// thousand requests, so storing every sample (8 bytes each) is cheaper and
+/// more honest than a reservoir or histogram sketch -- the p99 reported is
+/// the actual 99th-percentile sample, not an interpolation bucket.
+class LatencySamples {
+ public:
+  void record(double ms) { samples_.push_back(ms); }
+  size_t count() const { return samples_.size(); }
+
+  /// Exact percentile by nearest-rank (p in [0,100]); 0 when empty. The
+  /// rank-`ceil(p/100*N)`-th smallest sample, so p=100 is the max and p=0
+  /// the min.
+  double percentile(double p) const {
+    if (samples_.empty()) return 0;
+    std::vector<double> sorted(samples_);
+    std::sort(sorted.begin(), sorted.end());
+    if (p <= 0) return sorted.front();
+    size_t rank = static_cast<size_t>(
+        std::ceil(p / 100.0 * static_cast<double>(sorted.size())));
+    if (rank == 0) rank = 1;
+    if (rank > sorted.size()) rank = sorted.size();
+    return sorted[rank - 1];
+  }
+
+  double mean() const {
+    if (samples_.empty()) return 0;
+    double sum = 0;
+    for (double s : samples_) sum += s;
+    return sum / static_cast<double>(samples_.size());
+  }
+
+ private:
+  std::vector<double> samples_;
+};
+
+/// Record the standard latency summary (count, mean, p50/p90/p99, max) of
+/// one sample set into a stats row. Keys are ms_-prefixed, so perfcmp
+/// classifies them as timing (informational, never a regression).
+inline void recordLatencyStats(StatsSink& sink, const std::string& row,
+                               const LatencySamples& lat) {
+  sink.set(row, "latency_samples", static_cast<double>(lat.count()));
+  sink.set(row, "ms_latency_mean", lat.mean());
+  sink.set(row, "ms_latency_p50", lat.percentile(50));
+  sink.set(row, "ms_latency_p90", lat.percentile(90));
+  sink.set(row, "ms_latency_p99", lat.percentile(99));
+  sink.set(row, "ms_latency_max", lat.percentile(100));
 }
 
 /// Record one compile's statistics as a stats row.

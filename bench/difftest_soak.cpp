@@ -26,6 +26,17 @@
 //                      without a divergence (regression freeze)
 //   --pin-dfl FILE     pin a hand-written DFL file (--pin-seed/--pin-ticks
 //                      choose its stimulus; defaults 1/4)
+//
+// Corpus-guided mutation + compile-service stress:
+//   --corpus DIR       seed the generator from DIR's corpus entries: a
+//                      seed-determined fraction of programs (default 25%,
+//                      --mutation-pct) mutates a known-bug shape instead
+//                      of generating from scratch
+//   --service          route every oracle compile through a shared
+//                      CompileService (content-addressed cache + batched
+//                      workers) -- a concurrency stress of the cache; the
+//                      unique-divergence set must be identical with or
+//                      without this flag
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -35,9 +46,11 @@
 #include <vector>
 
 #include "benchutil.h"
+#include "dfl/frontend.h"
 #include "difftest/corpus.h"
 #include "difftest/difftest.h"
 #include "difftest/shard.h"
+#include "server/compileservice.h"
 
 namespace {
 
@@ -103,6 +116,8 @@ int main(int argc, char** argv) {
   opt.baseSeed = 1;
   opt.jobs = 1;
   std::string corpusOut;
+  std::string corpusIn;
+  bool useService = false;
   std::string reportPath = "difftest_soak_report.txt";
   std::vector<unsigned long long> pinSeeds;
   std::vector<std::string> pinFiles;
@@ -119,6 +134,9 @@ int main(int argc, char** argv) {
     else if (arg("--jobs")) opt.jobs = std::atoi(argv[++i]);
     else if (arg("--shards")) opt.shards = std::atoi(argv[++i]);
     else if (arg("--corpus-out")) corpusOut = argv[++i];
+    else if (arg("--corpus")) corpusIn = argv[++i];
+    else if (arg("--mutation-pct")) opt.mutationPct = std::atoi(argv[++i]);
+    else if (std::strcmp(argv[i], "--service") == 0) useService = true;
     else if (arg("--report")) reportPath = argv[++i];
     else if (arg("--pin")) pinSeeds.push_back(std::strtoull(argv[++i], nullptr, 0));
     else if (arg("--pin-dfl")) pinFiles.push_back(argv[++i]);
@@ -129,6 +147,7 @@ int main(int argc, char** argv) {
       std::fprintf(stderr,
                    "usage: %s [--seconds N] [--seeds N] [--base SEED] "
                    "[--jobs N] [--shards N] [--no-minimize]\n"
+                   "          [--corpus DIR] [--mutation-pct N] [--service]\n"
                    "          [--corpus-out DIR] [--report FILE]\n"
                    "          [--pin SEED]... [--pin-dfl FILE "
                    "[--pin-seed S] [--pin-ticks T]]...\n",
@@ -176,6 +195,48 @@ int main(int argc, char** argv) {
   opt.progress = [](const std::string& line) {
     std::fprintf(stderr, "%s\n", line.c_str());
   };
+
+  // Corpus-guided mutation: rebuild a generator spec from every loadable
+  // corpus entry. Entries whose DFL uses shapes outside the generator
+  // grammar are skipped with a note (they still run via corpus_test).
+  if (!corpusIn.empty()) {
+    for (const auto& path : difftest::listCorpusFiles(corpusIn)) {
+      difftest::CorpusEntry entry;
+      std::string err;
+      if (!difftest::loadCorpusFile(path, &entry, &err)) {
+        std::fprintf(stderr, "WARNING: skipping corpus entry %s: %s\n",
+                     path.c_str(), err.c_str());
+        continue;
+      }
+      DiagEngine diag;
+      auto prog = dfl::parseDfl(entry.source, diag, entry.name);
+      auto spec = prog ? difftest::specFromProgram(*prog, entry.seed,
+                                                   entry.ticks)
+                       : std::nullopt;
+      if (!spec) {
+        std::fprintf(stderr,
+                     "note: corpus entry %s is outside the generator "
+                     "grammar; not used for mutation\n",
+                     entry.name.c_str());
+        continue;
+      }
+      opt.mutationCorpus.push_back(std::move(*spec));
+    }
+    std::fprintf(stderr, "mutation corpus: %zu specs from %s (%d%% of seeds)\n",
+                 opt.mutationCorpus.size(), corpusIn.c_str(), opt.mutationPct);
+  }
+
+  // Shared compile service: the soak's own workers submit concurrently, so
+  // give the service the same parallelism and let the cache absorb the
+  // fast/slow + per-config duplicate compiles of each seed.
+  std::unique_ptr<server::CompileService> service;
+  if (useService) {
+    server::ServiceOptions so;
+    so.workers = std::max(1, opt.jobs);
+    so.sequentialSearch = true;
+    service = std::make_unique<server::CompileService>(so);
+    opt.service = service.get();
+  }
 
   const auto sweep = difftest::defaultSweep();
   bench::DualTimer timer;
@@ -240,6 +301,25 @@ int main(int argc, char** argv) {
         report.seconds > 0 ? report.stats.programs / report.seconds : 0);
   if (explicitSeeds) g.set("soak", "seed_count", static_cast<double>(opt.seedCount));
   g.set("soak", "base_seed", static_cast<double>(opt.baseSeed));
+  g.set("soak", "mutation_corpus", static_cast<double>(opt.mutationCorpus.size()));
+  if (service) {
+    // The hit/coalesced split depends on request timing, but their sum --
+    // requests served without paying a compile -- is deterministic for a
+    // fixed seed range when nothing evicts.
+    server::ServiceStats ss = service->stats();
+    g.set("soak.service", "requests", static_cast<double>(ss.requests));
+    g.set("soak.service", "served_from_cache",
+          static_cast<double>(ss.servedWithoutCompile()));
+    g.set("soak.service", "misses", static_cast<double>(ss.misses));
+    g.set("soak.service", "rejections", static_cast<double>(ss.rejections));
+    g.set("soak.service", "evictions", static_cast<double>(ss.evictions));
+    std::fprintf(stderr,
+                 "compile service: %lld requests, %lld served from cache, "
+                 "%lld compiled (%lld rejections), %lld evictions\n",
+                 (long long)ss.requests, (long long)ss.servedWithoutCompile(),
+                 (long long)ss.misses, (long long)ss.rejections,
+                 (long long)ss.evictions);
+  }
   bench::writeGlobalStats("difftest_soak");
 
   std::printf("%s", report.reportText().c_str());

@@ -1,0 +1,66 @@
+#!/usr/bin/env sh
+# Regenerate the committed perfcmp baselines in bench/baselines/.
+#
+# Usage: bench/refresh_baselines.sh [BUILD_DIR]     (default: build)
+#
+# For every stats-producing bench that CI gates with perfcmp, this script
+# re-runs the bench, shows the perfcmp diff of new-vs-committed BEFORE
+# overwriting anything (so a deliberate perf trade-off is reviewed, not
+# silently absorbed), and then installs the fresh artifact. Deterministic
+# keys (cycle counts, cache-served counts, ...) must only change with a
+# code change you can explain; timing keys are informational and expected
+# to drift between machines.
+#
+# compile_server runs at the same --programs size the CI smoke uses: its
+# deterministic counters are a function of the replay stream, so baseline
+# and CI must agree on the stream.
+set -eu
+
+BUILD_DIR="${1:-build}"
+ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+BASELINES="$ROOT/bench/baselines"
+PERFCMP="$ROOT/$BUILD_DIR/bench/perfcmp"
+COMPILE_SERVER_PROGRAMS=600
+
+if [ ! -x "$PERFCMP" ]; then
+  echo "refresh_baselines: $PERFCMP not built (run: cmake --build $BUILD_DIR)" >&2
+  exit 1
+fi
+
+mkdir -p "$BASELINES"
+WORK="$(mktemp -d)"
+trap 'rm -rf "$WORK"' EXIT
+cd "$WORK"
+
+run_bench() {
+  # $1 = artifact name (BENCH_<x>_stats.json), rest = command
+  artifact="$1"
+  shift
+  echo "== $* =="
+  "$@"
+  [ -f "$artifact" ] || { echo "refresh_baselines: $* did not write $artifact" >&2; exit 1; }
+  if [ -f "$BASELINES/$artifact" ]; then
+    echo "-- perfcmp $artifact (committed baseline vs fresh run) --"
+    "$PERFCMP" "$BASELINES/$artifact" "$artifact" || true
+  else
+    echo "-- $artifact: no committed baseline yet, installing fresh --"
+  fi
+  cp "$artifact" "$BASELINES/$artifact"
+  echo "installed $BASELINES/$artifact"
+  echo
+}
+
+# Deterministic bench tables: google-benchmark timing loops skipped via a
+# non-matching filter, exactly as CI runs them.
+run_bench BENCH_overhead_cycles_stats.json \
+  "$ROOT/$BUILD_DIR/bench/overhead_cycles" "--benchmark_filter=^\$"
+run_bench BENCH_table1_dspstone_stats.json \
+  "$ROOT/$BUILD_DIR/bench/table1_dspstone" "--benchmark_filter=^\$"
+
+# Compile-service replay: the in-binary >= 2x cached-vs-uncached assertion
+# runs here too, so a refresh cannot install a baseline from a run that
+# failed the headline claim.
+run_bench BENCH_compile_server_stats.json \
+  "$ROOT/$BUILD_DIR/bench/compile_server" --programs "$COMPILE_SERVER_PROGRAMS"
+
+echo "Baselines refreshed. Review with: git diff bench/baselines/"

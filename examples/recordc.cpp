@@ -24,6 +24,13 @@
 //   --profile-trace=FILE  write a Chrome trace_event timeline of the
 //                         profiled execution to FILE (implies --profile)
 //   --stats               print compilation statistics (incl. counters)
+//   --server-stats[=N]    compile through an in-process CompileService,
+//                         submitting the request N times (default 4): the
+//                         first compiles, the rest hit the content-
+//                         addressed cache. Prints the server.* counters
+//                         (requests/hits/misses/evictions) and per-request
+//                         latency; with --trace the counters also appear
+//                         in the pass-trace report
 //   --trace               print the pass trace (timers, counters, remarks)
 //                         to stderr
 //   --trace-json[=FILE]   write a Chrome trace_event JSON trace to FILE;
@@ -40,6 +47,7 @@
 #include "codegen/pipeline.h"
 #include "dfl/frontend.h"
 #include "dspstone/kernels.h"
+#include "server/compileservice.h"
 #include "sim/machine.h"
 #include "sim/profile.h"
 #include "target/tdsp.h"
@@ -52,6 +60,7 @@ int main(int argc, char** argv) {
   std::string file, kernel, isdFile;
   bool run = false, stats = false, emitIsd = false, srcListing = false;
   bool traceText = false, traceJson = false, profile = false;
+  int serverRepeat = 0;  // > 0: route through CompileService, N submissions
   std::string traceJsonFile, profileStatsFile, profileTraceFile;
 
   for (int i = 1; i < argc; ++i) {
@@ -84,6 +93,9 @@ int main(int argc, char** argv) {
       profileTraceFile = a.substr(std::strlen("--profile-trace="));
     }
     else if (a == "--stats") stats = true;
+    else if (a == "--server-stats") serverRepeat = 4;
+    else if (a.rfind("--server-stats=", 0) == 0)
+      serverRepeat = std::atoi(a.c_str() + std::strlen("--server-stats="));
     else if (a == "--trace") traceText = true;
     else if (a == "--trace-json") traceJson = true;
     else if (a.rfind("--trace-json=", 0) == 0) {
@@ -141,6 +153,54 @@ int main(int argc, char** argv) {
 
   TraceContext trace;
   if (traceText || traceJson) opt.trace = &trace;
+
+  if (serverRepeat != 0) {
+    if (!isdFile.empty()) {
+      std::fprintf(stderr,
+                   "--server-stats does not support --isd (the service "
+                   "compiles against built-in rule sets)\n");
+      return 2;
+    }
+    if (serverRepeat < 1) serverRepeat = 1;
+    server::ServiceOptions so;
+    so.trace = &trace;  // server.* counters land in the pass trace
+    server::CompileService svc(so);
+    std::shared_ptr<const TargetProgram> compiled;
+    std::ostringstream requestLines;
+    std::string error;
+    for (int n = 0; n < serverRepeat; ++n) {
+      server::CompileResponse resp = svc.compileSync({source, cfg, opt});
+      if (!resp.ok()) {
+        error = resp.error;
+        break;
+      }
+      if (!compiled) compiled = resp.prog;
+      char line[160];
+      std::snprintf(line, sizeof line,
+                    "; request %d: %-9s %8.3f ms  (key %016llx)\n", n + 1,
+                    resp.cacheHit ? "cache-hit"
+                                  : (resp.coalesced ? "coalesced" : "compiled"),
+                    resp.msLatency, (unsigned long long)resp.key);
+      requestLines << line;
+    }
+    if (!error.empty()) {
+      std::fprintf(stderr, "compilation failed: %s\n", error.c_str());
+      if (traceText) std::fprintf(stderr, "%s", trace.text().c_str());
+      return 1;
+    }
+    std::printf("%s", compiled->listing(srcListing).c_str());
+    server::ServiceStats ss = svc.stats();
+    std::printf(
+        "; server: %lld requests, %lld cache hits, %lld coalesced, "
+        "%lld compiled, %lld evictions, %lld cached entries (%lld bytes)\n",
+        (long long)ss.requests, (long long)ss.cacheHits,
+        (long long)ss.coalesced, (long long)ss.misses,
+        (long long)ss.evictions, (long long)ss.cacheEntries,
+        (long long)ss.cacheBytes);
+    std::printf("%s", requestLines.str().c_str());
+    if (traceText) std::fprintf(stderr, "%s", trace.text().c_str());
+    return 0;
+  }
 
   try {
     std::optional<RecordCompiler> compilerStorage;

@@ -1144,6 +1144,22 @@ std::shared_ptr<const RuleSet> cachedTdspRules(const TargetConfig& cfg) {
 
 }  // namespace
 
+std::string CodegenOptions::fingerprint() const {
+  // Every field that can change the pipeline's behaviour, in declaration
+  // order. Extending CodegenOptions requires extending this encoding; the
+  // server tests assert distinctness for each toggle.
+  char buf[128];
+  std::snprintf(buf, sizeof buf,
+                "c%d;rb%d;fc%d;at%d;us%d;alc%d;ut%d;ap%d;cm%d;mo%d;mb%d;lt%d;"
+                "ph%d;ie%d;ml%d;ps%d;cr%d;st%d",
+                static_cast<int>(cost), rewriteBudget, foldConstants,
+                atomizeExprs, useStreams, arLoopCounters, unrollThreshold,
+                accPromote, static_cast<int>(compaction), modeOpt, memBankOpt,
+                loopTransforms, peephole, internExprs, memoLabels, pruneSearch,
+                cacheRules, searchThreads);
+  return buf;
+}
+
 RecordCompiler::RecordCompiler(TargetConfig cfg, CodegenOptions opt)
     : cfg_(std::move(cfg)),
       opt_(opt),

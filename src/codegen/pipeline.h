@@ -75,6 +75,15 @@ struct CodegenOptions {
   /// outlive every compile() that uses it and may be shared by several
   /// compilers (counters are thread-safe).
   TraceContext* trace = nullptr;
+
+  /// Compact stable encoding of every compilation-relevant field above --
+  /// one cache-key component of the compile service. Two option sets with
+  /// equal fingerprints configure identical pipelines. The fast-path
+  /// switches are included even though they are semantics-preserving: the
+  /// difftest oracle deliberately compiles fast and slow as separate
+  /// trajectories, and the compile cache must keep them distinct. The
+  /// trace pointer is excluded (observability never changes the program).
+  std::string fingerprint() const;
 };
 
 struct CompileStats {

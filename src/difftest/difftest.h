@@ -24,6 +24,10 @@
 #include "ir/expr.h"
 #include "target/isa.h"
 
+namespace record::server {
+class CompileService;
+}
+
 namespace record::difftest {
 
 // ---------------------------------------------------------------------------
@@ -91,6 +95,23 @@ struct ProgSpec {
 /// with array streaming, and dynamically (mask-guarded) indexed accesses.
 ProgSpec generateProgram(uint64_t seed);
 
+/// Rebuild a generator spec from a lowered program, so corpus entries
+/// (stored as DFL text) can seed the mutator. Returns nullopt for shapes
+/// outside the generator grammar (non-unit loop steps, non-fix types,
+/// Store patterns). The round trip normalizes formatting; the rebuilt
+/// spec renders to a semantically identical program.
+std::optional<ProgSpec> specFromProgram(const Program& prog, uint64_t seed,
+                                        int ticks);
+
+/// Deterministic structure-preserving mutation: same (base, seed), same
+/// result, everywhere. Perturbs constants, swaps operators within their
+/// arity family, regenerates statement right-hand sides, and occasionally
+/// appends a statement or re-rolls the tick count -- while never touching
+/// array-index or shift-amount subtrees (bounds and grammar stay valid)
+/// and never growing loop bounds. The result always parses; divergences it
+/// finds minimize and dedupe exactly like generated ones.
+ProgSpec mutateSpec(const ProgSpec& base, uint64_t seed);
+
 /// Deterministic boundary-biased stimulus: mixes full-range random int16
 /// values with overflow-provoking constants (0x7fff, -0x8000, 0x4000, ...),
 /// unlike the harness's defaultStimulus which stays safely small.
@@ -140,6 +161,13 @@ struct CrossCheckOpts {
   /// compile stays on its own thread instead of contending for the
   /// process-shared search pool.
   bool sequentialSearch = false;
+  /// Route every oracle compile through this compile service instead of a
+  /// fresh per-call RecordCompiler. The oracle's fast and slow modes keep
+  /// distinct cache keys (the options fingerprint includes the fast-path
+  /// flags), so coverage is unchanged; what this buys is a concurrency
+  /// stress of the service's cache and single-flight paths with
+  /// bit-identity checked on every response. Null = direct compiles.
+  server::CompileService* service = nullptr;
 };
 
 /// The oracle's compiler settings for one compile mode: fast-path layers

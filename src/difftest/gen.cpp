@@ -1,6 +1,7 @@
 #include "difftest/difftest.h"
 
 #include <cassert>
+#include <set>
 #include <sstream>
 
 namespace record::difftest {
@@ -339,6 +340,214 @@ ProgSpec generateProgram(uint64_t seed) {
     it.stmts.push_back(std::move(s));
     spec.items.push_back(std::move(it));
   }
+  return spec;
+}
+
+// ---------------------------------------------------------------------------
+// Corpus round trip + mutation
+// ---------------------------------------------------------------------------
+
+namespace {
+
+/// The frontend alpha-renames scoped symbols with a ".<scope>" suffix
+/// ("k0" becomes "k0.0" inside its loop). DFL identifiers cannot contain
+/// '.', so lifting a parsed program back into renderable spec form must
+/// strip the suffix. specFromProgram rejects specs where stripping would
+/// alias two distinct symbols.
+std::string baseName(const std::string& n) {
+  auto dot = n.find('.');
+  return dot == std::string::npos ? n : n.substr(0, dot);
+}
+
+GExprPtr gexprFromExpr(const Expr& e) {
+  switch (e.op) {
+    case Op::Const:
+      return GExpr::constant(e.value);
+    case Op::Ref:
+      return GExpr::ref(baseName(e.sym->name), static_cast<int>(e.value));
+    case Op::ArrayRef: {
+      GExprPtr idx = gexprFromExpr(*e.kids[0]);
+      if (!idx) return nullptr;
+      return GExpr::arrayRef(baseName(e.sym->name), std::move(idx));
+    }
+    case Op::Neg: {
+      GExprPtr a = gexprFromExpr(*e.kids[0]);
+      if (!a) return nullptr;
+      return GExpr::unary(Op::Neg, std::move(a));
+    }
+    case Op::Store:
+      return nullptr;  // pattern-tree node; never in a lowered program
+    default: {
+      if (e.kids.size() != 2) return nullptr;
+      GExprPtr a = gexprFromExpr(*e.kids[0]);
+      GExprPtr b = gexprFromExpr(*e.kids[1]);
+      if (!a || !b) return nullptr;
+      return GExpr::binary(e.op, std::move(a), std::move(b));
+    }
+  }
+}
+
+bool gstmtFromStmt(const Stmt& s, GStmt* out) {
+  if (s.kind != Stmt::Kind::Assign || !s.lhs) return false;
+  out->lhs = baseName(s.lhs->name);
+  out->lhsIndex = nullptr;
+  if (s.lhsIndex) {
+    out->lhsIndex = gexprFromExpr(*s.lhsIndex);
+    if (!out->lhsIndex) return false;
+  }
+  out->rhs = s.rhs ? gexprFromExpr(*s.rhs) : nullptr;
+  return out->rhs != nullptr;
+}
+
+/// Operator families the mutator swaps within: any member is valid wherever
+/// another is (same arity, same operand-shape constraints).
+Op swapWithinFamily(Op op, Rng& rng) {
+  static const Op kArith[] = {Op::Add, Op::Sub, Op::Mul};
+  static const Op kBitwise[] = {Op::And, Op::Or, Op::Xor};
+  static const Op kShift[] = {Op::Shl, Op::Shr, Op::Shru};
+  static const Op kSat[] = {Op::SatAdd, Op::SatSub};
+  auto pick = [&rng](const Op* fam, int n) { return fam[rng.range(n)]; };
+  switch (op) {
+    case Op::Add: case Op::Sub: case Op::Mul:
+      return pick(kArith, 3);
+    case Op::And: case Op::Or: case Op::Xor:
+      return pick(kBitwise, 3);
+    case Op::Shl: case Op::Shr: case Op::Shru:
+      return pick(kShift, 3);
+    case Op::SatAdd: case Op::SatSub:
+      return pick(kSat, 2);
+    default:
+      return op;
+  }
+}
+
+/// Rebuild `e` with small random edits. Array-index and shift-amount
+/// subtrees are copied untouched (they carry bounds/grammar invariants the
+/// mutator must not break); elsewhere constants get re-rolled, operators
+/// swap within their family, and leaves occasionally become fresh leaves.
+GExprPtr mutateExpr(GenCtx& cx, const GExprPtr& e) {
+  switch (e->op) {
+    case Op::Const:
+      if (cx.rng.chance(60)) return GExpr::constant(pickValue(cx.rng));
+      return e;
+    case Op::Ref:
+      if (cx.rng.chance(25)) return genLeaf(cx);
+      return e;
+    case Op::ArrayRef:
+      // The index subtree is load-bearing (masked / ivar-bounded); replace
+      // the whole reference with a fresh leaf or keep it as-is.
+      if (cx.rng.chance(20)) return genLeaf(cx);
+      return e;
+    case Op::Neg:
+      return GExpr::unary(Op::Neg, mutateExpr(cx, e->kids[0]));
+    case Op::Shl: case Op::Shr: case Op::Shru: {
+      Op op = cx.rng.chance(30) ? swapWithinFamily(e->op, cx.rng) : e->op;
+      return GExpr::binary(op, mutateExpr(cx, e->kids[0]), e->kids[1]);
+    }
+    default: {
+      if (e->kids.size() != 2) return e;
+      Op op = cx.rng.chance(30) ? swapWithinFamily(e->op, cx.rng) : e->op;
+      return GExpr::binary(op, mutateExpr(cx, e->kids[0]),
+                           mutateExpr(cx, e->kids[1]));
+    }
+  }
+}
+
+}  // namespace
+
+std::optional<ProgSpec> specFromProgram(const Program& prog, uint64_t seed,
+                                        int ticks) {
+  ProgSpec spec;
+  spec.seed = seed;
+  spec.ticks = ticks;
+  std::set<std::string> names;
+  for (const auto& sym : prog.symbols.all()) {
+    // Every name is suffix-stripped (see baseName); if that ever aliases
+    // two distinct symbols the lifted spec would change meaning, so bail.
+    if (!names.insert(baseName(sym->name)).second) return std::nullopt;
+    if (sym->kind == SymKind::Induction) continue;  // implicit in `for`
+    if (sym->type != Type::Fix) return std::nullopt;
+    GDecl d;
+    switch (sym->kind) {
+      case SymKind::Input: d.kind = GDecl::Kind::Input; break;
+      case SymKind::Output: d.kind = GDecl::Kind::Output; break;
+      case SymKind::Var: d.kind = GDecl::Kind::Var; break;
+      default: return std::nullopt;  // Const symbols: not in the grammar
+    }
+    d.name = sym->name;
+    d.arraySize = sym->arraySize;
+    d.delay = sym->delayDepth;
+    spec.decls.push_back(std::move(d));
+  }
+  for (const Stmt& s : prog.body) {
+    GItem it;
+    if (s.kind == Stmt::Kind::For) {
+      if (s.step != 1 || !s.ivar) return std::nullopt;
+      it.isLoop = true;
+      it.ivar = baseName(s.ivar->name);
+      it.lo = static_cast<int>(s.lo);
+      it.hi = static_cast<int>(s.hi);
+      for (const Stmt& b : s.body) {
+        GStmt gs;
+        if (!gstmtFromStmt(b, &gs)) return std::nullopt;
+        it.stmts.push_back(std::move(gs));
+      }
+      if (it.stmts.empty()) return std::nullopt;
+    } else {
+      GStmt gs;
+      if (!gstmtFromStmt(s, &gs)) return std::nullopt;
+      it.stmts.push_back(std::move(gs));
+    }
+    spec.items.push_back(std::move(it));
+  }
+  if (spec.items.empty()) return std::nullopt;
+  return spec;
+}
+
+ProgSpec mutateSpec(const ProgSpec& base, uint64_t seed) {
+  // Distinct stream from generateProgram's so seed N's mutant and seed N's
+  // generated program are unrelated.
+  Rng rng(seed ^ 0x6d757461746full);  // "mutato"
+  ProgSpec spec = base;
+  spec.seed = seed;  // renames the program and re-rolls the stimulus
+  GenCtx cx{rng, spec.decls, "", 0};
+
+  auto mutateIn = [&](GItem& it) {
+    if (it.isLoop) {
+      cx.ivar = it.ivar;
+      cx.ivarMax = it.hi;
+    }
+    GStmt& s = it.stmts[rng.range(static_cast<int>(it.stmts.size()))];
+    if (rng.chance(40))
+      s.rhs = genExpr(cx, 2 + rng.range(2));  // regenerate wholesale
+    else
+      s.rhs = mutateExpr(cx, s.rhs);
+    cx.ivar.clear();
+    cx.ivarMax = 0;
+  };
+
+  int nMut = 1 + rng.range(2);
+  for (int m = 0; m < nMut; ++m)
+    mutateIn(spec.items[rng.range(static_cast<int>(spec.items.size()))]);
+
+  // Occasionally graft a fresh straight-line statement onto the end.
+  if (rng.chance(25)) {
+    std::vector<const GDecl*> pool;
+    for (const auto& d : spec.decls)
+      if (d.kind != GDecl::Kind::Input) pool.push_back(&d);
+    if (!pool.empty()) {
+      const GDecl* d = pool[rng.range(static_cast<int>(pool.size()))];
+      GItem it;
+      GStmt s;
+      s.lhs = d->name;
+      if (d->arraySize > 0)
+        s.lhsIndex = GExpr::constant(rng.range(d->arraySize));
+      s.rhs = genExpr(cx, 2 + rng.range(2));
+      it.stmts.push_back(std::move(s));
+      spec.items.push_back(std::move(it));
+    }
+  }
+  if (rng.chance(25)) spec.ticks = 3 + rng.range(4);
   return spec;
 }
 

@@ -6,9 +6,44 @@
 
 #include "codegen/baseline.h"
 #include "dfl/frontend.h"
+#include "server/compileservice.h"
 #include "trace/trace.h"
 
 namespace record::difftest {
+
+namespace {
+
+/// Compile one (config, mode) pair, either directly or through the shared
+/// compile service. Returns false on a capability rejection (clean
+/// "unsupported" skip); throws std::logic_error if the service reports a
+/// parse failure (the caller already parsed the source, so that would be a
+/// generator bug).
+bool compileVia(const CrossCheckOpts& opts, const std::string& source,
+                const Program& prog, const TargetConfig& cfg, bool fastPath,
+                std::shared_ptr<const TargetProgram>* out) {
+  CodegenOptions copt = oracleOptions(fastPath, opts);
+  if (opts.service) {
+    server::CompileResponse resp =
+        opts.service->compileSync({source, cfg, copt});
+    if (resp.ok()) {
+      *out = std::move(resp.prog);
+      return true;
+    }
+    if (resp.key == 0)
+      throw std::logic_error("compile service failed to parse oracle DFL:\n" +
+                             resp.error + source);
+    return false;  // cached or fresh capability rejection
+  }
+  try {
+    RecordCompiler rc(cfg, copt);
+    *out = std::make_shared<const TargetProgram>(rc.compile(prog).prog);
+    return true;
+  } catch (const std::runtime_error&) {
+    return false;
+  }
+}
+
+}  // namespace
 
 std::vector<SweepPoint> defaultSweep() {
   std::vector<SweepPoint> sweep;
@@ -73,18 +108,15 @@ std::vector<Repro> crossCheck(const ProgSpec& spec,
   std::vector<Repro> out;
   for (const auto& pt : sweep) {
     for (bool fast : {true, false}) {
-      CompileResult res;
-      try {
-        RecordCompiler rc(pt.cfg, oracleOptions(fast, opts));
-        res = rc.compile(*prog);
-      } catch (const std::runtime_error&) {
+      std::shared_ptr<const TargetProgram> tp;
+      if (!compileVia(opts, source, *prog, pt.cfg, fast, &tp)) {
         // Capability rejection (no saturation hardware, inexpressible wide
         // intermediate, ...): a clean skip, not a divergence.
         if (stats) ++stats->unsupported;
         continue;
       }
       if (stats) ++stats->runs;
-      Measurement m = runAndCompare(res.prog, *prog, stim);
+      Measurement m = runAndCompare(*tp, *prog, stim);
       if (m.ok) continue;
       Repro r;
       r.seed = spec.seed;
@@ -121,15 +153,11 @@ StillFailing divergesAt(const SweepPoint& pt, bool fastPath,
     DiagEngine diag;
     auto prog = dfl::parseDfl(source, diag);
     if (!prog) return false;  // a mutation broke the program; reject it
-    CompileResult res;
-    try {
-      RecordCompiler rc(pt.cfg, oracleOptions(fastPath, opts));
-      res = rc.compile(*prog);
-    } catch (const std::runtime_error&) {
+    std::shared_ptr<const TargetProgram> tp;
+    if (!compileVia(opts, source, *prog, pt.cfg, fastPath, &tp))
       return false;  // now rejected instead of miscompiled; not the bug
-    }
     Stimulus stim = makeStimulus(*prog, spec.seed, spec.ticks);
-    return !runAndCompare(res.prog, *prog, stim).ok;
+    return !runAndCompare(*tp, *prog, stim).ok;
   };
 }
 

@@ -125,7 +125,26 @@ SoakReport runShardedSoak(const SoakOptions& opt,
   for (size_t i = 0; i < sweep.size(); ++i)
     sweepIndex[sweep[i].name] = static_cast<int>(i);
 
-  const CrossCheckOpts ccOpts{/*sequentialSearch=*/true};
+  CrossCheckOpts ccOpts;
+  ccOpts.sequentialSearch = true;
+  ccOpts.service = opt.service;
+  // Seed-pure program choice: mutate a corpus shape or generate fresh,
+  // decided by a hash of the seed alone so the work set stays independent
+  // of jobs/shards scheduling.
+  auto specForSeed = [&](uint64_t seed) {
+    if (!opt.mutationCorpus.empty() && opt.mutationPct > 0) {
+      uint64_t z = seed + 0x9e3779b97f4a7c15ull;
+      z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+      z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+      z ^= z >> 31;
+      if (static_cast<int>(z % 100) < opt.mutationPct) {
+        const auto& base =
+            opt.mutationCorpus[(z / 100) % opt.mutationCorpus.size()];
+        return mutateSpec(base, seed);
+      }
+    }
+    return generateProgram(seed);
+  };
   auto doCheck = [&](const ProgSpec& spec, OracleStats* stats) {
     if (opt.check) return opt.check(spec, sweep, stats);
     return crossCheck(spec, sweep, stats, ccOpts);
@@ -167,7 +186,7 @@ SoakReport runShardedSoak(const SoakOptions& opt,
         break;
       }
       const uint64_t seed = opt.baseSeed + k;
-      ProgSpec spec = generateProgram(seed);
+      ProgSpec spec = specForSeed(seed);
       ++res.seeds;
       for (auto& r : doCheck(spec, &res.stats)) {
         RawDiv d;

@@ -67,6 +67,21 @@ struct SoakOptions {
   /// that tickle the same bug then dedupe less well).
   bool minimizeDivergences = true;
   int minimizeProbes = 400;
+  /// Corpus-guided mutation: specs rebuilt from minimized corpus entries
+  /// (specFromProgram). When nonempty, `mutationPct` percent of seeds
+  /// mutate a corpus shape (mutateSpec) instead of generating from
+  /// scratch, so the soak keeps probing the neighborhoods of every bug
+  /// ever found. The mutate-vs-generate decision and the corpus pick are
+  /// pure functions of the seed, preserving the jobs/shards-invariance
+  /// contract above.
+  std::vector<ProgSpec> mutationCorpus;
+  int mutationPct = 25;
+  /// Route every oracle compile through this compile service
+  /// (CrossCheckOpts::service): a concurrency stress of the
+  /// content-addressed cache -- the fast/slow duplicate compiles of one
+  /// seed coalesce or hit, and any stale or torn cached program shows up
+  /// as a divergence. Null = direct compiles.
+  server::CompileService* service = nullptr;
   /// Test seam: replaces crossCheck(). Receives the spec, the sweep and a
   /// per-shard stats accumulator; must be safe to call from several
   /// threads at once. Null = the real oracle.

@@ -1,0 +1,422 @@
+#include "server/compileservice.h"
+
+#include <algorithm>
+#include <chrono>
+#include <condition_variable>
+#include <cstdio>
+#include <deque>
+#include <list>
+#include <mutex>
+#include <thread>
+#include <unordered_map>
+#include <utility>
+
+#include "dfl/frontend.h"
+#include "support/diag.h"
+#include "support/threadpool.h"
+#include "trace/trace.h"
+
+namespace record::server {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double msSince(Clock::time_point t0) {
+  return std::chrono::duration<double, std::milli>(Clock::now() - t0).count();
+}
+
+uint64_t fnv1a(uint64_t h, const std::string& s) {
+  for (unsigned char c : s) {
+    h ^= c;
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+/// The options a request actually compiles with: the service owns tracing,
+/// and (by default) pins the per-compile variant search to one thread so
+/// parallelism lives across requests, not inside them.
+CodegenOptions effectiveOptions(CodegenOptions opt, const ServiceOptions& so) {
+  opt.trace = so.trace;
+  if (so.sequentialSearch) opt.searchThreads = 1;
+  return opt;
+}
+
+uint64_t keyOf(const Program& prog, const TargetConfig& cfg,
+               const CodegenOptions& effective) {
+  // describe() omits dataWords (it parameterises layout, not the datapath
+  // description), so hash it explicitly.
+  uint64_t h = 1469598103934665603ull;  // FNV offset basis
+  h = fnv1a(h, prog.str());
+  h = fnv1a(h, cfg.describe());
+  char dw[16];
+  std::snprintf(dw, sizeof dw, "|%d|", cfg.dataWords);
+  h = fnv1a(h, dw);
+  h = fnv1a(h, effective.fingerprint());
+  return h;
+}
+
+std::string leaseKeyOf(const TargetConfig& cfg,
+                       const CodegenOptions& effective) {
+  char dw[16];
+  std::snprintf(dw, sizeof dw, "|%d|", cfg.dataWords);
+  return cfg.describe() + dw + effective.fingerprint();
+}
+
+}  // namespace
+
+size_t approxProgramBytes(const TargetProgram& tp) {
+  size_t n = sizeof(TargetProgram);
+  n += tp.code.capacity() * sizeof(Instr);
+  for (const Instr& in : tp.code)
+    n += in.label.capacity() + in.targetLabel.capacity();
+  for (const auto& [name, addr] : tp.symbolAddr)
+    n += sizeof(std::pair<std::string, int>) + name.capacity();
+  n += tp.dataInit.capacity() * sizeof(std::pair<int, int16_t>);
+  n += tp.sourceName.capacity();
+  return n;
+}
+
+struct CompileService::Impl {
+  // One pending response: the promise plus everything needed to stamp the
+  // response's per-request fields (latency, coalesced flag) at fulfillment.
+  struct Waiter {
+    std::shared_ptr<std::promise<CompileResponse>> promise;
+    Clock::time_point t0;
+    bool coalesced = false;
+  };
+
+  struct Job {
+    uint64_t key = 0;
+    std::shared_ptr<const Program> prog;
+    TargetConfig cfg;
+    CodegenOptions effective;  // trace/searchThreads already applied
+    std::string leaseKey;
+    // Cache-off mode only: the one waiter this job fulfills directly
+    // (with caching on, waiters live in `inflight` so duplicates coalesce).
+    std::vector<Waiter> directWaiters;
+  };
+
+  /// A leased compiler plus the programs it compiled: the fast-path arena
+  /// keys on Symbol addresses inside those programs, so they must stay
+  /// alive until the lease is recycled.
+  struct Lease {
+    std::unique_ptr<RecordCompiler> compiler;
+    std::vector<std::shared_ptr<const Program>> retained;
+    int compiles = 0;
+  };
+
+  struct CacheEntry {
+    std::shared_ptr<const TargetProgram> prog;  // null for negative entries
+    std::string error;                          // capability rejection
+    size_t bytes = 0;
+    std::list<uint64_t>::iterator lruIt;
+  };
+
+  explicit Impl(ServiceOptions o)
+      : opt(o),
+        workerCount(o.workers > 0
+                        ? o.workers
+                        : std::max(1u, std::thread::hardware_concurrency())),
+        pool(workerCount - 1) {
+    if (opt.queueDepth < 1) opt.queueDepth = 1;
+    if (opt.batchSize < 1) opt.batchSize = 2 * workerCount;
+    if (opt.recycleAfter < 1) opt.recycleAfter = 1;
+    if (opt.trace) {
+      cRequests = opt.trace->counter("server.requests");
+      cParseErrors = opt.trace->counter("server.parse_errors");
+      cHits = opt.trace->counter("server.cache_hits");
+      cCoalesced = opt.trace->counter("server.coalesced");
+      cMisses = opt.trace->counter("server.cache_misses");
+      cRejections = opt.trace->counter("server.rejections");
+      cEvictions = opt.trace->counter("server.evictions");
+      cBatches = opt.trace->counter("server.batches");
+    }
+    dispatcher = std::thread([this] { dispatchLoop(); });
+  }
+
+  ~Impl() {
+    {
+      std::lock_guard<std::mutex> lock(mu);
+      stop = true;
+    }
+    work.notify_all();
+    queueSpace.notify_all();
+    dispatcher.join();
+  }
+
+  // ---- admission ----------------------------------------------------------
+
+  Ticket submit(CompileRequest req) {
+    Clock::time_point t0 = Clock::now();
+    auto prom = std::make_shared<std::promise<CompileResponse>>();
+    Ticket ticket{prom->get_future().share()};
+
+    // Parse outside every lock: it is cheap relative to a compile but not
+    // free, and a malformed request must never occupy a queue slot.
+    DiagEngine diag;
+    std::optional<Program> parsed = dfl::parseDfl(req.source, diag);
+    if (!parsed) {
+      CompileResponse resp;
+      resp.error = diag.str().empty() ? "parse error" : diag.str();
+      resp.msLatency = msSince(t0);
+      {
+        std::lock_guard<std::mutex> lock(mu);
+        stats.requests++;
+        stats.parseErrors++;
+      }
+      if (cRequests) cRequests->add();
+      if (cParseErrors) cParseErrors->add();
+      prom->set_value(std::move(resp));
+      return ticket;
+    }
+
+    CodegenOptions effective = effectiveOptions(req.opt, opt);
+    auto progPtr = std::make_shared<const Program>(std::move(*parsed));
+    uint64_t key = keyOf(*progPtr, req.cfg, effective);
+
+    std::unique_lock<std::mutex> lock(mu);
+    stats.requests++;
+    if (cRequests) cRequests->add();
+
+    if (opt.cacheBytes > 0) {
+      auto it = cache.find(key);
+      if (it != cache.end()) {
+        // Hit: touch the LRU order and fulfill immediately.
+        lruOrder.splice(lruOrder.begin(), lruOrder, it->second.lruIt);
+        CompileResponse resp;
+        resp.prog = it->second.prog;
+        resp.error = it->second.error;
+        resp.cacheHit = true;
+        resp.key = key;
+        stats.cacheHits++;
+        if (cHits) cHits->add();
+        lock.unlock();
+        resp.msLatency = msSince(t0);
+        prom->set_value(std::move(resp));
+        return ticket;
+      }
+      auto inIt = inflight.find(key);
+      if (inIt != inflight.end()) {
+        // Single-flight: attach to the compile already running/queued.
+        stats.coalesced++;
+        if (cCoalesced) cCoalesced->add();
+        inIt->second.push_back(Waiter{std::move(prom), t0, true});
+        return ticket;
+      }
+      inflight[key].push_back(Waiter{std::move(prom), t0, false});
+    }
+
+    stats.misses++;
+    if (cMisses) cMisses->add();
+    Job job;
+    job.key = key;
+    job.prog = std::move(progPtr);
+    job.cfg = req.cfg;
+    job.effective = effective;
+    job.leaseKey = leaseKeyOf(req.cfg, effective);
+    if (opt.cacheBytes == 0)
+      job.directWaiters.push_back(Waiter{std::move(prom), t0, false});
+    // Backpressure: block while the admission queue is full. `stop` breaks
+    // the wait so a destructor racing a late submit cannot hang; the job is
+    // still enqueued and drained.
+    queueSpace.wait(lock, [this] {
+      return stop || static_cast<int>(queue.size()) < opt.queueDepth;
+    });
+    queue.push_back(std::move(job));
+    lock.unlock();
+    work.notify_one();
+    return ticket;
+  }
+
+  // ---- dispatch -----------------------------------------------------------
+
+  void dispatchLoop() {
+    for (;;) {
+      std::unique_lock<std::mutex> lock(mu);
+      work.wait(lock, [this] { return stop || !queue.empty(); });
+      if (queue.empty()) {
+        if (stop) return;
+        continue;
+      }
+      int n = std::min<int>(opt.batchSize, static_cast<int>(queue.size()));
+      std::vector<Job> batch;
+      batch.reserve(n);
+      for (int i = 0; i < n; ++i) {
+        batch.push_back(std::move(queue.front()));
+        queue.pop_front();
+      }
+      stats.batches++;
+      if (cBatches) cBatches->add();
+      lock.unlock();
+      queueSpace.notify_all();
+      // The dispatcher participates in its own batch (parallelFor runs jobs
+      // on the calling thread too), so `workers` is the true concurrency.
+      pool.parallelFor(static_cast<int>(batch.size()),
+                       [&](int i) { runJob(batch[i]); });
+    }
+  }
+
+  void runJob(Job& job) {
+    std::unique_lock<std::mutex> lock(mu);
+    std::unique_ptr<Lease> lease = acquireLease(job);
+    lock.unlock();
+
+    std::shared_ptr<const TargetProgram> prog;
+    std::string error;
+    try {
+      CompileResult r = lease->compiler->compile(*job.prog);
+      prog = std::make_shared<const TargetProgram>(std::move(r.prog));
+    } catch (const std::exception& e) {
+      error = e.what();
+    }
+    // The arena inside the lease now references this program's symbols.
+    lease->retained.push_back(job.prog);
+    lease->compiles++;
+    bool recycle = lease->compiles >= opt.recycleAfter;
+
+    std::vector<Waiter> waiters = std::move(job.directWaiters);
+    lock.lock();
+    if (!error.empty()) {
+      stats.rejections++;
+      if (cRejections) cRejections->add();
+    }
+    if (opt.cacheBytes > 0) {
+      insertCacheLocked(job.key, prog, error);
+      auto it = inflight.find(job.key);
+      if (it != inflight.end()) {
+        waiters = std::move(it->second);
+        inflight.erase(it);
+      }
+    }
+    if (!recycle) leases[job.leaseKey].push_back(std::move(lease));
+    lock.unlock();
+    // Recycled leases (and their retained programs) die here, off-lock.
+    lease.reset();
+
+    for (Waiter& w : waiters) {
+      CompileResponse resp;
+      resp.prog = prog;
+      resp.error = error;
+      resp.coalesced = w.coalesced;
+      resp.key = job.key;
+      resp.msLatency = msSince(w.t0);
+      w.promise->set_value(std::move(resp));
+    }
+  }
+
+  std::unique_ptr<Lease> acquireLease(const Job& job) {
+    auto& freeList = leases[job.leaseKey];
+    if (!freeList.empty()) {
+      std::unique_ptr<Lease> l = std::move(freeList.back());
+      freeList.pop_back();
+      return l;
+    }
+    auto l = std::make_unique<Lease>();
+    l->compiler = std::make_unique<RecordCompiler>(job.cfg, job.effective);
+    return l;
+  }
+
+  void insertCacheLocked(uint64_t key, std::shared_ptr<const TargetProgram> p,
+                         const std::string& error) {
+    if (cache.count(key)) return;  // cache-off->on races cannot happen; belt
+    CacheEntry e;
+    e.prog = std::move(p);
+    e.error = error;
+    e.bytes = (e.prog ? approxProgramBytes(*e.prog) : error.size()) +
+              sizeof(CacheEntry) + sizeof(uint64_t) * 4;
+    lruOrder.push_front(key);
+    e.lruIt = lruOrder.begin();
+    cacheBytesUsed += e.bytes;
+    cache.emplace(key, std::move(e));
+    // Evict least-recently-used entries past the budget; the entry just
+    // inserted survives even when it alone exceeds the budget (evicting the
+    // result a waiter is about to receive would buy nothing).
+    while (cacheBytesUsed > opt.cacheBytes && lruOrder.size() > 1) {
+      uint64_t victim = lruOrder.back();
+      lruOrder.pop_back();
+      auto it = cache.find(victim);
+      cacheBytesUsed -= it->second.bytes;
+      cache.erase(it);
+      stats.evictions++;
+      if (cEvictions) cEvictions->add();
+    }
+    stats.cacheEntries = static_cast<int64_t>(cache.size());
+    stats.cacheBytes = static_cast<int64_t>(cacheBytesUsed);
+  }
+
+  ServiceOptions opt;
+  int workerCount;
+  ThreadPool pool;
+  std::thread dispatcher;
+
+  std::mutex mu;
+  std::condition_variable work;        // dispatcher: jobs available / stop
+  std::condition_variable queueSpace;  // submitters: queue below depth
+  bool stop = false;
+
+  std::deque<Job> queue;
+  std::unordered_map<uint64_t, std::vector<Waiter>> inflight;
+  std::unordered_map<uint64_t, CacheEntry> cache;
+  std::list<uint64_t> lruOrder;  // front = most recently used
+  size_t cacheBytesUsed = 0;
+  std::unordered_map<std::string, std::vector<std::unique_ptr<Lease>>> leases;
+
+  ServiceStats stats;  // guarded by mu
+
+  TraceCounter* cRequests = nullptr;
+  TraceCounter* cParseErrors = nullptr;
+  TraceCounter* cHits = nullptr;
+  TraceCounter* cCoalesced = nullptr;
+  TraceCounter* cMisses = nullptr;
+  TraceCounter* cRejections = nullptr;
+  TraceCounter* cEvictions = nullptr;
+  TraceCounter* cBatches = nullptr;
+};
+
+CompileService::CompileService(ServiceOptions opt)
+    : impl_(std::make_unique<Impl>(opt)) {}
+
+CompileService::~CompileService() = default;
+
+Ticket CompileService::submit(CompileRequest req) {
+  return impl_->submit(std::move(req));
+}
+
+CompileResponse CompileService::compileSync(CompileRequest req) {
+  return submit(std::move(req)).wait();
+}
+
+std::vector<CompileResponse> CompileService::compileBatch(
+    std::vector<CompileRequest> reqs) {
+  std::vector<Ticket> tickets;
+  tickets.reserve(reqs.size());
+  for (auto& r : reqs) tickets.push_back(submit(std::move(r)));
+  std::vector<CompileResponse> out;
+  out.reserve(tickets.size());
+  for (auto& t : tickets) out.push_back(t.wait());
+  return out;
+}
+
+ServiceStats CompileService::stats() const {
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  return impl_->stats;
+}
+
+int CompileService::workers() const { return impl_->workerCount; }
+
+uint64_t CompileService::contentKey(const std::string& source,
+                                    const TargetConfig& cfg,
+                                    const CodegenOptions& opt,
+                                    bool sequentialSearch) {
+  DiagEngine diag;
+  std::optional<Program> parsed = dfl::parseDfl(source, diag);
+  if (!parsed) return 0;
+  ServiceOptions so;
+  so.sequentialSearch = sequentialSearch;
+  so.trace = nullptr;
+  return keyOf(*parsed, cfg, effectiveOptions(opt, so));
+}
+
+}  // namespace record::server

@@ -1,0 +1,390 @@
+// Compile-service tests: cache-hit bit-identity across the full config
+// sweep and both compile modes, eviction + recompile identity, request
+// coalescing, negative caching of capability rejections, content-key
+// derivation, the CodegenOptions fingerprint, service-routed oracle
+// equivalence, corpus-guided mutation, and the bench latency-percentile
+// helper. The cache/coalescing tests run under TSan in CI (the ctest
+// filter includes "Server"), which is where a torn cache insert or a
+// data race on a shared TargetProgram would surface.
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "benchutil.h"
+#include "dfl/frontend.h"
+#include "difftest/corpus.h"
+#include "difftest/difftest.h"
+#include "difftest/shard.h"
+#include "dspstone/kernels.h"
+#include "server/compileservice.h"
+#include "sim/machine.h"
+#include "trace/trace.h"
+
+namespace record {
+namespace {
+
+using server::CompileRequest;
+using server::CompileResponse;
+using server::CompileService;
+using server::ServiceOptions;
+
+/// What the service compiles for a request: same pipeline, sequential
+/// search, no tracing. Compiling this directly is the cold-compile oracle
+/// the cached result must be bit-identical to.
+TargetProgram directCompile(const std::string& source, const TargetConfig& cfg,
+                            CodegenOptions opt) {
+  opt.trace = nullptr;
+  opt.searchThreads = 1;
+  DiagEngine diag;
+  auto prog = dfl::parseDfl(source, diag);
+  EXPECT_TRUE(prog) << diag.str();
+  RecordCompiler rc(cfg, opt);
+  return rc.compile(*prog).prog;
+}
+
+/// Bit-level identity of two compiled programs, plus behavioural identity
+/// on the simulator (cycles, instructions).
+void expectIdentical(const TargetProgram& a, const TargetProgram& b,
+                     const std::string& what) {
+  EXPECT_EQ(a.listing(/*withSource=*/true), b.listing(true)) << what;
+  EXPECT_EQ(a.dataInit, b.dataInit) << what;
+  EXPECT_EQ(a.symbolAddr, b.symbolAddr) << what;
+  EXPECT_EQ(a.sourceName, b.sourceName) << what;
+  Machine ma(a), mb(b);
+  auto ra = ma.run(), rb = mb.run();
+  EXPECT_EQ(ra.status, rb.status) << what;
+  EXPECT_EQ(ra.cycles, rb.cycles) << what;
+  EXPECT_EQ(ra.instructions, rb.instructions) << what;
+}
+
+TEST(ServerCache, HitIsBitIdenticalAcrossSweepAndModes) {
+  // One real kernel + one generated program, across every sweep config and
+  // both oracle compile modes: a cache hit must return a program
+  // bit-identical (listing incl. debug info, data image, layout) and
+  // cycle-identical to a cold compile of the same request.
+  std::vector<std::string> sources = {
+      kernelByName("fir").dfl, difftest::generateProgram(42).render()};
+  CompileService svc;
+  int pairs = 0;
+  for (const auto& source : sources) {
+    for (const auto& pt : difftest::defaultSweep()) {
+      for (bool fast : {true, false}) {
+        CodegenOptions opt =
+            difftest::oracleOptions(fast, {/*sequentialSearch=*/true});
+        CompileResponse first = svc.compileSync({source, pt.cfg, opt});
+        CompileResponse second = svc.compileSync({source, pt.cfg, opt});
+        std::string what = pt.name + (fast ? "/fast" : "/slow");
+        EXPECT_EQ(first.key, second.key) << what;
+        if (!first.ok()) {
+          // Capability rejection: the negative result must be cached and
+          // byte-identical too.
+          EXPECT_FALSE(first.cacheHit) << what;
+          EXPECT_TRUE(second.cacheHit) << what;
+          EXPECT_EQ(first.error, second.error) << what;
+          continue;
+        }
+        EXPECT_TRUE(second.cacheHit) << what;
+        EXPECT_EQ(first.prog.get(), second.prog.get())
+            << what << ": a hit must share the cached instance";
+        TargetProgram cold;
+        ASSERT_NO_THROW(cold = directCompile(source, pt.cfg, opt)) << what;
+        expectIdentical(cold, *second.prog, what);
+        ++pairs;
+      }
+    }
+  }
+  EXPECT_GT(pairs, 8) << "sweep degenerated; too few compilable pairs";
+}
+
+TEST(ServerCache, EvictThenRecompileIsIdentical) {
+  const std::string victim = kernelByName("fir").dfl;
+  TargetConfig cfg;
+  CodegenOptions opt;
+
+  ServiceOptions so;
+  so.cacheBytes = 4 << 10;  // a few KiB: every insert evicts something
+  CompileService svc(so);
+  CompileResponse first = svc.compileSync({victim, cfg, opt});
+  ASSERT_TRUE(first.ok()) << first.error;
+
+  // Push unrelated programs through until the victim's entry is gone.
+  for (uint64_t seed = 1; seed <= 24; ++seed)
+    svc.compileSync({difftest::generateProgram(seed).render(), cfg, opt});
+  EXPECT_GT(svc.stats().evictions, 0);
+
+  CompileResponse again = svc.compileSync({victim, cfg, opt});
+  ASSERT_TRUE(again.ok()) << again.error;
+  EXPECT_FALSE(again.cacheHit) << "victim should have been evicted";
+  EXPECT_EQ(first.key, again.key);
+  expectIdentical(*first.prog, *again.prog, "evict-then-recompile");
+  // Cache accounting: entries and bytes stay within the budget.
+  auto ss = svc.stats();
+  EXPECT_LE(ss.cacheBytes, static_cast<int64_t>(so.cacheBytes));
+}
+
+TEST(ServerCache, DuplicateSubmissionsNeverRecompile) {
+  // N submissions of one request: exactly one compile; every other request
+  // is served from the cache or coalesced onto the in-flight compile. The
+  // hit/coalesced split depends on timing, but the sum does not.
+  const std::string source = kernelByName("iir_biquad_one_section").dfl;
+  constexpr int kN = 32;
+  CompileService svc;
+  std::vector<server::Ticket> tickets;
+  for (int i = 0; i < kN; ++i)
+    tickets.push_back(svc.submit({source, TargetConfig{}, CodegenOptions{}}));
+  const TargetProgram* shared = nullptr;
+  for (auto& t : tickets) {
+    const CompileResponse& r = t.wait();
+    ASSERT_TRUE(r.ok()) << r.error;
+    if (!shared) shared = r.prog.get();
+    EXPECT_EQ(r.prog.get(), shared) << "all responses share one instance";
+  }
+  auto ss = svc.stats();
+  EXPECT_EQ(ss.requests, kN);
+  EXPECT_EQ(ss.misses, 1);
+  EXPECT_EQ(ss.servedWithoutCompile(), kN - 1);
+}
+
+TEST(ServerCache, CapabilityRejectionIsNegativeCached) {
+  // Saturating arithmetic on a no-sat core is a deterministic rejection;
+  // the service must cache it instead of re-deriving it at compile cost.
+  const std::string source =
+      "program satprog;\n"
+      "input a : fix;\ninput b : fix;\noutput o : fix;\n"
+      "begin\n  o := a +| b;\nend\n";
+  TargetConfig noSat;
+  noSat.hasSat = false;
+  CompileService svc;
+  CompileResponse first = svc.compileSync({source, noSat, CodegenOptions{}});
+  EXPECT_FALSE(first.ok());
+  EXPECT_NE(first.key, 0u) << "rejection is not a parse error";
+  EXPECT_EQ(first.prog, nullptr);
+  CompileResponse second = svc.compileSync({source, noSat, CodegenOptions{}});
+  EXPECT_TRUE(second.cacheHit);
+  EXPECT_EQ(second.error, first.error);
+  auto ss = svc.stats();
+  EXPECT_EQ(ss.misses, 1);
+  EXPECT_EQ(ss.rejections, 1);
+  EXPECT_EQ(ss.cacheHits, 1);
+}
+
+TEST(ServerCache, ParseErrorFailsFastAndNeverQueues) {
+  CompileService svc;
+  CompileResponse r =
+      svc.compileSync({"this is not DFL", TargetConfig{}, CodegenOptions{}});
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.key, 0u);
+  auto ss = svc.stats();
+  EXPECT_EQ(ss.parseErrors, 1);
+  EXPECT_EQ(ss.misses, 0);
+  EXPECT_EQ(ss.batches, 0) << "nothing should have been dispatched";
+}
+
+TEST(ServerKey, FormattingNeverSplitsTheCache) {
+  // The key hashes the parsed-and-re-rendered program, so comments and
+  // whitespace differences address the same entry.
+  const std::string a =
+      "program p;\ninput x : fix;\noutput o : fix;\nbegin\no := x + 1;\nend\n";
+  const std::string b =
+      "program p;  // comment\n input x : fix;\n output o : fix;\n"
+      "begin\n   o :=    x+1;\nend\n";
+  TargetConfig cfg;
+  CodegenOptions opt;
+  EXPECT_EQ(CompileService::contentKey(a, cfg, opt),
+            CompileService::contentKey(b, cfg, opt));
+  // ... while a semantic difference, a config difference, or an options
+  // difference each produce a different address.
+  const std::string c =
+      "program p;\ninput x : fix;\noutput o : fix;\nbegin\no := x + 2;\nend\n";
+  EXPECT_NE(CompileService::contentKey(a, cfg, opt),
+            CompileService::contentKey(c, cfg, opt));
+  TargetConfig noMac = cfg;
+  noMac.hasMac = false;
+  EXPECT_NE(CompileService::contentKey(a, cfg, opt),
+            CompileService::contentKey(a, noMac, opt));
+  TargetConfig moreWords = cfg;
+  moreWords.dataWords = 4096;  // describe() omits dataWords; the key must not
+  EXPECT_NE(CompileService::contentKey(a, cfg, opt),
+            CompileService::contentKey(a, moreWords, opt));
+  CodegenOptions slow = opt;
+  slow.internExprs = false;
+  EXPECT_NE(CompileService::contentKey(a, cfg, opt),
+            CompileService::contentKey(a, cfg, slow));
+  EXPECT_EQ(CompileService::contentKey("not DFL", cfg, opt), 0u);
+}
+
+TEST(ServerKey, OptionsFingerprintIsDistinctPerField) {
+  std::set<std::string> prints;
+  CodegenOptions base;
+  prints.insert(base.fingerprint());
+  auto insertToggled = [&prints](auto mutate) {
+    CodegenOptions o;
+    mutate(o);
+    prints.insert(o.fingerprint());
+  };
+  insertToggled([](CodegenOptions& o) { o.cost = CostKind::Cycles; });
+  insertToggled([](CodegenOptions& o) { o.rewriteBudget = 1; });
+  insertToggled([](CodegenOptions& o) { o.foldConstants = true; });
+  insertToggled([](CodegenOptions& o) { o.atomizeExprs = true; });
+  insertToggled([](CodegenOptions& o) { o.useStreams = false; });
+  insertToggled([](CodegenOptions& o) { o.arLoopCounters = false; });
+  insertToggled([](CodegenOptions& o) { o.unrollThreshold = 7; });
+  insertToggled([](CodegenOptions& o) { o.accPromote = false; });
+  insertToggled([](CodegenOptions& o) { o.compaction = CompactMode::None; });
+  insertToggled([](CodegenOptions& o) { o.modeOpt = false; });
+  insertToggled([](CodegenOptions& o) { o.memBankOpt = false; });
+  insertToggled([](CodegenOptions& o) { o.loopTransforms = false; });
+  insertToggled([](CodegenOptions& o) { o.peephole = false; });
+  insertToggled([](CodegenOptions& o) { o.internExprs = false; });
+  insertToggled([](CodegenOptions& o) { o.memoLabels = false; });
+  insertToggled([](CodegenOptions& o) { o.pruneSearch = false; });
+  insertToggled([](CodegenOptions& o) { o.cacheRules = false; });
+  insertToggled([](CodegenOptions& o) { o.searchThreads = 3; });
+  EXPECT_EQ(prints.size(), 19u) << "two option sets share a fingerprint";
+  // The trace sink must NOT split the key (observability never changes the
+  // emitted program).
+  TraceContext trace;
+  CodegenOptions traced;
+  traced.trace = &trace;
+  EXPECT_EQ(base.fingerprint(), traced.fingerprint());
+}
+
+TEST(ServerOracle, ServiceRoutedCrossCheckMatchesDirect) {
+  const auto sweep = difftest::defaultSweep();
+  CompileService svc;
+  for (uint64_t seed = 1; seed <= 6; ++seed) {
+    difftest::ProgSpec spec = difftest::generateProgram(seed);
+    difftest::CrossCheckOpts direct;
+    direct.sequentialSearch = true;
+    difftest::CrossCheckOpts routed = direct;
+    routed.service = &svc;
+    difftest::OracleStats sd, sr;
+    auto dd = difftest::crossCheck(spec, sweep, &sd, direct);
+    auto dr = difftest::crossCheck(spec, sweep, &sr, routed);
+    EXPECT_EQ(dd.size(), dr.size()) << "seed " << seed;
+    EXPECT_EQ(sd.runs, sr.runs) << "seed " << seed;
+    EXPECT_EQ(sd.unsupported, sr.unsupported) << "seed " << seed;
+  }
+  EXPECT_GT(svc.stats().requests, 0);
+}
+
+TEST(ServerSoak, DigestInvariantUnderJobsAndService) {
+  difftest::SoakOptions base;
+  base.baseSeed = 1;
+  base.seedCount = 24;
+  base.jobs = 1;
+  base.minimizeDivergences = false;
+  const auto sweep = difftest::defaultSweep();
+  auto ref = difftest::runShardedSoak(base, sweep);
+
+  difftest::SoakOptions par = base;
+  par.jobs = 4;
+  CompileService svc;
+  par.service = &svc;
+  auto got = difftest::runShardedSoak(par, sweep);
+
+  EXPECT_EQ(ref.uniqueSetDigest(), got.uniqueSetDigest());
+  EXPECT_EQ(ref.seedsProcessed, got.seedsProcessed);
+  EXPECT_EQ(ref.stats.runs, got.stats.runs);
+  EXPECT_EQ(ref.stats.unsupported, got.stats.unsupported);
+  EXPECT_GT(svc.stats().requests, 0);
+  // The service saw each (program, config, mode) triple once per seed plus
+  // sweep, so the duplicate fraction is zero here -- but fast/slow pairs
+  // and repeated shapes may still hit. What matters: routed == direct.
+}
+
+TEST(ServerMutation, MutateSpecIsDeterministicAndParseable) {
+  difftest::ProgSpec base = difftest::generateProgram(5);
+  for (uint64_t seed = 100; seed < 116; ++seed) {
+    difftest::ProgSpec a = difftest::mutateSpec(base, seed);
+    difftest::ProgSpec b = difftest::mutateSpec(base, seed);
+    EXPECT_EQ(a.render(), b.render()) << "seed " << seed;
+    EXPECT_EQ(a.seed, seed);
+    DiagEngine diag;
+    EXPECT_TRUE(dfl::parseDfl(a.render(), diag))
+        << "seed " << seed << ": " << diag.str() << a.render();
+  }
+  // Different mutation seeds must actually explore (not all identical).
+  std::set<std::string> rendered;
+  for (uint64_t seed = 100; seed < 116; ++seed)
+    rendered.insert(difftest::mutateSpec(base, seed).render());
+  EXPECT_GT(rendered.size(), 4u);
+}
+
+TEST(ServerMutation, SpecRoundTripsThroughTheFrontend) {
+  for (uint64_t seed = 1; seed <= 16; ++seed) {
+    difftest::ProgSpec spec = difftest::generateProgram(seed);
+    const std::string source = spec.render();
+    DiagEngine diag;
+    auto prog = dfl::parseDfl(source, diag);
+    ASSERT_TRUE(prog) << diag.str();
+    auto back = difftest::specFromProgram(*prog, seed, spec.ticks);
+    ASSERT_TRUE(back) << "seed " << seed << " left the generator grammar";
+    EXPECT_EQ(back->render(), source) << "seed " << seed;
+  }
+}
+
+TEST(ServerMutation, CorpusEntriesSeedTheMutator) {
+  int usable = 0;
+  for (const auto& path : difftest::listCorpusFiles(RECORD_CORPUS_DIR)) {
+    difftest::CorpusEntry e;
+    std::string err;
+    ASSERT_TRUE(difftest::loadCorpusFile(path, &e, &err)) << path << err;
+    DiagEngine diag;
+    auto prog = dfl::parseDfl(e.source, diag, e.name);
+    ASSERT_TRUE(prog) << path << diag.str();
+    auto spec = difftest::specFromProgram(*prog, e.seed, e.ticks);
+    if (!spec) continue;  // outside the grammar: allowed, just unused
+    ++usable;
+    difftest::ProgSpec mut = difftest::mutateSpec(*spec, 7);
+    DiagEngine mdiag;
+    EXPECT_TRUE(dfl::parseDfl(mut.render(), mdiag))
+        << path << mdiag.str() << mut.render();
+  }
+  EXPECT_GT(usable, 0) << "no corpus entry is usable as a mutation seed";
+}
+
+TEST(ServerSoak, MutationKeepsJobsInvariance) {
+  difftest::ProgSpec shape = difftest::generateProgram(9);
+  difftest::SoakOptions a;
+  a.baseSeed = 50;
+  a.seedCount = 24;
+  a.jobs = 1;
+  a.minimizeDivergences = false;
+  a.mutationCorpus = {shape};
+  a.mutationPct = 50;
+  difftest::SoakOptions b = a;
+  b.jobs = 3;
+  const auto sweep = difftest::defaultSweep();
+  auto ra = difftest::runShardedSoak(a, sweep);
+  auto rb = difftest::runShardedSoak(b, sweep);
+  EXPECT_EQ(ra.uniqueSetDigest(), rb.uniqueSetDigest());
+  EXPECT_EQ(ra.stats.runs, rb.stats.runs);
+  EXPECT_EQ(ra.stats.unsupported, rb.stats.unsupported);
+}
+
+TEST(ServerLatency, PercentilesAreExact) {
+  bench::LatencySamples lat;
+  EXPECT_EQ(lat.percentile(50), 0);
+  EXPECT_EQ(lat.mean(), 0);
+  // 1..100 in scrambled order: nearest-rank percentiles are the values
+  // themselves.
+  for (int i = 0; i < 100; ++i) lat.record(static_cast<double>((i * 37) % 100 + 1));
+  EXPECT_EQ(lat.count(), 100u);
+  EXPECT_DOUBLE_EQ(lat.percentile(50), 50);
+  EXPECT_DOUBLE_EQ(lat.percentile(90), 90);
+  EXPECT_DOUBLE_EQ(lat.percentile(99), 99);
+  EXPECT_DOUBLE_EQ(lat.percentile(100), 100);
+  EXPECT_DOUBLE_EQ(lat.percentile(0), 1);
+  EXPECT_DOUBLE_EQ(lat.percentile(1), 1);
+  EXPECT_DOUBLE_EQ(lat.mean(), 50.5);
+  bench::LatencySamples one;
+  one.record(3.5);
+  EXPECT_DOUBLE_EQ(one.percentile(50), 3.5);
+  EXPECT_DOUBLE_EQ(one.percentile(99), 3.5);
+}
+
+}  // namespace
+}  // namespace record
