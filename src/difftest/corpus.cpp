@@ -242,9 +242,18 @@ ReplayOutcome replayEntry(const CorpusEntry& e,
       }
       ++out.runs;
       Measurement m = runAndCompare(res.prog, *prog, stim);
-      if (!m.ok)
+      if (!m.ok) {
         out.failures.push_back(e.name + ": " + pt.name + " " +
                                (fast ? "fast" : "slow") + ": " + m.error);
+        continue;
+      }
+      if (opts.checkEngines) {
+        std::string diff = compareSimEngines(res.prog, stim);
+        if (!diff.empty())
+          out.failures.push_back(e.name + ": " + pt.name + " " +
+                                 (fast ? "fast" : "slow") +
+                                 ": simulator engine divergence: " + diff);
+      }
     }
   }
   return out;

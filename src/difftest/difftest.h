@@ -168,6 +168,12 @@ struct CrossCheckOpts {
   /// stress of the service's cache and single-flight paths with
   /// bit-identity checked on every response. Null = direct compiles.
   server::CompileService* service = nullptr;
+  /// Also run every accepted (config x mode) pair on both simulator
+  /// engines (decode-once Machine vs. pre-decode ReferenceMachine) and
+  /// report any behavioral divergence between them as a Repro. This turns
+  /// every oracle run into a differential test of the interpreter rewrite
+  /// itself; the cost is one extra (cheap) reference execution per run.
+  bool checkEngines = true;
 };
 
 /// The oracle's compiler settings for one compile mode: fast-path layers

@@ -117,13 +117,23 @@ std::vector<Repro> crossCheck(const ProgSpec& spec,
       }
       if (stats) ++stats->runs;
       Measurement m = runAndCompare(*tp, *prog, stim);
-      if (m.ok) continue;
+      std::string engineDiff;
+      if (m.ok && opts.checkEngines) {
+        // The pipeline agrees with the golden model; also require the two
+        // simulator engines to agree with each other (decode-once vs.
+        // pre-decode reference), bit-for-bit.
+        engineDiff = compareSimEngines(*tp, stim);
+        if (engineDiff.empty()) continue;
+        engineDiff = "simulator engine divergence: " + engineDiff;
+      } else if (m.ok) {
+        continue;
+      }
       Repro r;
       r.seed = spec.seed;
       r.config = pt.name;
       r.configDesc = pt.cfg.describe();
       r.fastPath = fast;
-      r.divergence = m.error;
+      r.divergence = engineDiff.empty() ? m.error : engineDiff;
       r.source = source;
       // Recompile the diverging pair with tracing on so the repro carries
       // the full pass/remark history (tracing never changes codegen, so
@@ -157,7 +167,9 @@ StillFailing divergesAt(const SweepPoint& pt, bool fastPath,
     if (!compileVia(opts, source, *prog, pt.cfg, fastPath, &tp))
       return false;  // now rejected instead of miscompiled; not the bug
     Stimulus stim = makeStimulus(*prog, spec.seed, spec.ticks);
-    return !runAndCompare(*tp, *prog, stim).ok;
+    if (!runAndCompare(*tp, *prog, stim).ok) return true;
+    // Engine-only divergences minimize too.
+    return opts.checkEngines && !compareSimEngines(*tp, stim).empty();
   };
 }
 

@@ -2,6 +2,7 @@
 
 #include "ir/interp.h"
 #include "sim/machine.h"
+#include "sim/reference.h"
 #include "support/strings.h"
 
 namespace record {
@@ -68,6 +69,79 @@ Measurement runAndCompare(const TargetProgram& tp, const Program& prog,
   }
   m.ok = true;
   return m;
+}
+
+std::string compareSimEngines(const TargetProgram& tp, const Stimulus& stim) {
+  Machine dec(tp);
+  ReferenceMachine ref(tp);
+
+  for (const auto& [name, vals] : stim.arrays) {
+    if (tp.addrOf(name) < 0)
+      return "target program lacks symbol '" + name + "'";
+    for (size_t i = 0; i < vals.size(); ++i) {
+      dec.writeSymbol(name, static_cast<int>(i), vals[i]);
+      ref.writeSymbol(name, static_cast<int>(i), vals[i]);
+    }
+  }
+
+  for (int t = 0; t < stim.ticks; ++t) {
+    for (const auto& [name, vals] : stim.scalars) {
+      int64_t v = vals.empty()
+                      ? 0
+                      : vals[std::min<size_t>(static_cast<size_t>(t),
+                                              vals.size() - 1)];
+      dec.writeSymbol(name, 0, v);
+      ref.writeSymbol(name, 0, v);
+    }
+    auto rd = dec.run();
+    auto rr = ref.run();
+    if (rd.status != rr.status)
+      return formatv("tick %d: status %s (decoded) vs %s (reference)", t,
+                     runStatusName(rd.status), runStatusName(rr.status));
+    if (rd.trapReason != rr.trapReason)
+      return formatv("tick %d: trap reason '%s' (decoded) vs '%s' (reference)",
+                     t, rd.trapReason.c_str(), rr.trapReason.c_str());
+    if (rd.cycles != rr.cycles)
+      return formatv("tick %d: cycles %lld (decoded) vs %lld (reference)", t,
+                     static_cast<long long>(rd.cycles),
+                     static_cast<long long>(rr.cycles));
+    if (rd.instructions != rr.instructions)
+      return formatv("tick %d: instructions %lld (decoded) vs %lld (reference)",
+                     t, static_cast<long long>(rd.instructions),
+                     static_cast<long long>(rr.instructions));
+    if (dec.acc() != ref.acc() || dec.treg() != ref.treg() ||
+        dec.preg() != ref.preg())
+      return formatv(
+          "tick %d: ACC/T/P %lld/%lld/%lld (decoded) vs %lld/%lld/%lld "
+          "(reference)",
+          t, static_cast<long long>(dec.acc()),
+          static_cast<long long>(dec.treg()),
+          static_cast<long long>(dec.preg()),
+          static_cast<long long>(ref.acc()),
+          static_cast<long long>(ref.treg()),
+          static_cast<long long>(ref.preg()));
+    for (int i = 0; i < tp.config.numAddrRegs; ++i)
+      if (dec.ar(i) != ref.ar(i))
+        return formatv("tick %d: AR%d = %d (decoded) vs %d (reference)", t, i,
+                       dec.ar(i), ref.ar(i));
+    if (dec.ovm() != ref.ovm() || dec.sxm() != ref.sxm())
+      return formatv("tick %d: OVM/SXM mode bits diverge", t);
+    if (dec.pc() != ref.pc())
+      return formatv("tick %d: PC %d (decoded) vs %d (reference)", t,
+                     dec.pc(), ref.pc());
+    for (int a = 0; a < tp.config.dataWords; ++a)
+      if (dec.readData(a) != ref.readData(a))
+        return formatv("tick %d: data[%d] = %lld (decoded) vs %lld "
+                       "(reference)",
+                       t, a, static_cast<long long>(dec.readData(a)),
+                       static_cast<long long>(ref.readData(a)));
+    // A trap or budget exit is terminal and already proven identical;
+    // further ticks would just replay it from a stale PC.
+    if (rd.status != RunStatus::Halted) break;
+    dec.reset(false);
+    ref.reset(false);
+  }
+  return "";
 }
 
 Stimulus defaultStimulus(const Program& prog, uint32_t seed, int ticks) {

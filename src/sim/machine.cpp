@@ -5,7 +5,63 @@
 #include "ir/type.h"
 #include "sim/profile.h"
 
+// ---------------------------------------------------------------------------
+// Dispatch strategy selection
+// ---------------------------------------------------------------------------
+// RECORD_SIM_DISPATCH_{THREADED,SWITCH} come from the RECORD_SIM_DISPATCH
+// CMake option. Default (auto): computed-goto threaded dispatch wherever the
+// GNU label-value extension exists, the portable switch loop elsewhere. CI
+// builds and tests both (the two must be bit-identical).
+#if defined(RECORD_SIM_DISPATCH_THREADED) && defined(RECORD_SIM_DISPATCH_SWITCH)
+#error "RECORD_SIM_DISPATCH_THREADED and RECORD_SIM_DISPATCH_SWITCH conflict"
+#endif
+#if defined(RECORD_SIM_DISPATCH_SWITCH)
+#define RECORD_SIM_THREADED 0
+#elif defined(RECORD_SIM_DISPATCH_THREADED)
+#if !defined(__GNUC__) && !defined(__clang__)
+#error "RECORD_SIM_DISPATCH=threaded needs GNU label-value support"
+#endif
+#define RECORD_SIM_THREADED 1
+#elif defined(__GNUC__) || defined(__clang__)
+#define RECORD_SIM_THREADED 1
+#else
+#define RECORD_SIM_THREADED 0
+#endif
+
 namespace record {
+
+namespace {
+
+// The handler table must enumerate every opcode in declaration order (the
+// decoded handler index doubles as the opcode value). The mirror enum below
+// turns any drift between this list and target/isa.h into a compile error.
+#define RECORD_SIM_OPLIST(X)                                              \
+  X(LAC) X(LACK) X(ZAC) X(SACL) X(SACH) X(ADD) X(ADDK) X(SUB) X(SUBK)     \
+  X(NEG) X(AND) X(ANDK) X(OR) X(XOR) X(SFL) X(SFR) X(LT) X(MPY) X(MPYK)   \
+  X(PAC) X(APAC) X(SPAC) X(SPL) X(LTA) X(LTP) X(LTD) X(MPYXY) X(MACXY)    \
+  X(LARK) X(LAR) X(SAR) X(ADRK) X(SBRK) X(B) X(BZ) X(BGEZ) X(BANZ)        \
+  X(RPT) X(DMOV) X(SOVM) X(ROVM) X(SSXM) X(RSXM) X(NOP) X(HALT)
+
+enum : int {
+#define RECORD_SIM_MIRROR(n) kMirror_##n,
+  RECORD_SIM_OPLIST(RECORD_SIM_MIRROR)
+#undef RECORD_SIM_MIRROR
+      kMirrorCount
+};
+static_assert(kMirrorCount == kNumOpcodes,
+              "RECORD_SIM_OPLIST out of sync with Opcode");
+#define RECORD_SIM_CHECK(n) \
+  static_assert(kMirror_##n == static_cast<int>(Opcode::n));
+RECORD_SIM_OPLIST(RECORD_SIM_CHECK)
+#undef RECORD_SIM_CHECK
+
+/// Dispatch index of the decode-trap sink (one past the last opcode).
+constexpr int kMirror_TRAP = kMirrorCount;
+
+const char kNotMemRef[] = "operand is not a memory reference";
+const char kBadArIndex[] = "bad AR index";
+
+}  // namespace
 
 const char* runStatusName(RunStatus s) {
   switch (s) {
@@ -16,11 +72,21 @@ const char* runStatusName(RunStatus s) {
   return "?";
 }
 
+const char* Machine::dispatchMode() {
+#if RECORD_SIM_THREADED
+  return "threaded";
+#else
+  return "switch";
+#endif
+}
+
 Machine::Machine(const TargetProgram& prog)
     : prog_(prog),
       data_(static_cast<size_t>(prog.config.dataWords), 0),
       ar_(static_cast<size_t>(prog.config.numAddrRegs), 0) {
-  branchTarget_.resize(prog.code.size(), -1);
+  // Labels resolve exactly once, here; re-decodes (decode faults) reuse the
+  // resolved indexes and never touch labelIndex again.
+  rawTarget_.resize(prog.code.size(), -1);
   for (size_t i = 0; i < prog.code.size(); ++i) {
     const Instr& in = prog.code[i];
     if (opInfo(in.op).isBranch) {
@@ -28,9 +94,10 @@ Machine::Machine(const TargetProgram& prog)
       if (idx < 0)
         throw std::runtime_error("unresolved label in program: " +
                                  in.targetLabel);
-      branchTarget_[i] = idx;
+      rawTarget_[i] = idx;
     }
   }
+  decodeAll();
   reset();
 }
 
@@ -73,238 +140,562 @@ int64_t Machine::readSymbol(const std::string& sym, int offset) const {
 
 void Machine::setAcc(int64_t v) { acc_ = wrap32(v); }
 
-int Machine::resolveAddr(const Operand& o) {
-  if (o.mode == AddrMode::Direct) return o.value;
-  if (o.mode == AddrMode::Indirect) {
-    int idx = o.value;
-    if (idx < 0 || static_cast<size_t>(idx) >= ar_.size())
-      throw std::runtime_error("bad AR index");
-    int addr = ar_[static_cast<size_t>(idx)];
-    if (o.post == PostMod::Inc)
-      ar_[static_cast<size_t>(idx)] = (addr + 1) & 0xffff;
-    else if (o.post == PostMod::Dec)
-      ar_[static_cast<size_t>(idx)] = (addr - 1) & 0xffff;
-    return addr;
+// ---------------------------------------------------------------------------
+// Decode
+// ---------------------------------------------------------------------------
+
+Machine::DecodedOp Machine::decodeTrap(Opcode eff, std::string why) {
+  DecodedOp d;
+  d.handler = static_cast<uint8_t>(kMirror_TRAP);
+  d.op = eff;
+  d.cyc = 1;
+  d.a.val = static_cast<int32_t>(trapMsgs_.size());
+  trapMsgs_.push_back(std::move(why));
+  return d;
+}
+
+/// Lower a read-value operand (LAC/ADD/... sources): immediates stay
+/// inline, memory references pre-split; a missing operand is the same
+/// "not a memory reference" trap the pre-decode loop raised at runtime.
+bool Machine::decodeRead(const Operand& o, DecOperand* out,
+                         std::string* why) const {
+  if (o.mode == AddrMode::Imm) {
+    out->kind = 0;
+    out->val = o.value;
+    return true;
   }
-  throw std::runtime_error("operand is not a memory reference");
+  return decodeAddr(o, out, why);
 }
 
-int64_t Machine::readOperand(const Operand& o) {
-  if (o.mode == AddrMode::Imm) return o.value;
-  return readData(resolveAddr(o));
+/// Lower a memory-reference operand (stores, LTD/DMOV, XY sources).
+bool Machine::decodeAddr(const Operand& o, DecOperand* out,
+                         std::string* why) const {
+  if (o.mode == AddrMode::Direct) {
+    out->kind = 1;
+    out->val = o.value;
+    out->bank = static_cast<int8_t>(prog_.config.bankOf(o.value));
+    return true;
+  }
+  if (o.mode == AddrMode::Indirect) {
+    if (o.value < 0 || static_cast<size_t>(o.value) >= ar_.size()) {
+      *why = kBadArIndex;
+      return false;
+    }
+    out->kind = 2;
+    out->val = o.value;
+    out->post = o.post == PostMod::Inc ? 1 : o.post == PostMod::Dec ? -1 : 0;
+    return true;
+  }
+  *why = kNotMemRef;
+  return false;
 }
 
-int64_t Machine::ovmAdd(int64_t a, int64_t b) const {
-  return ovm_ ? sat32(a + b) : wrap32(a + b);
+Machine::DecodedOp Machine::decodeOne(const Instr& raw, int rawTarget) {
+  const Opcode eff = decodeFault_ ? decodeFault_(raw.op) : raw.op;
+  DecodedOp d;
+  d.handler = static_cast<uint8_t>(eff);
+  d.op = eff;
+  d.cyc = 1;
+  // The branch target (and the profiler's branch-site flag) stays keyed to
+  // the RAW instruction: a fault that remaps a branch to a non-branch still
+  // profiles as a never-taken branch site, exactly like the pre-decode loop.
+  d.target = rawTarget;
+  std::string why;
+
+  // AR-index operands are static, so a bad index is a decode trap here
+  // instead of a std::out_of_range at execution time.
+  auto arIndexOk = [this](int v) {
+    return v >= 0 && static_cast<size_t>(v) < ar_.size();
+  };
+
+  switch (eff) {
+    // readOperand(a)
+    case Opcode::LAC:
+    case Opcode::ADD:
+    case Opcode::SUB:
+    case Opcode::AND:
+    case Opcode::OR:
+    case Opcode::XOR:
+    case Opcode::LT:
+    case Opcode::MPY:
+    case Opcode::LTA:
+    case Opcode::LTP:
+      if (!decodeRead(raw.a, &d.a, &why)) return decodeTrap(eff, why);
+      break;
+    // a.value as immediate
+    case Opcode::LACK:
+    case Opcode::ADDK:
+    case Opcode::SUBK:
+    case Opcode::ANDK:
+    case Opcode::MPYK:
+      d.a.val = raw.a.value;
+      break;
+    // resolveAddr(a)
+    case Opcode::SACL:
+    case Opcode::SACH:
+    case Opcode::SPL:
+    case Opcode::LTD:
+    case Opcode::DMOV:
+      if (!decodeAddr(raw.a, &d.a, &why)) return decodeTrap(eff, why);
+      break;
+    // resolveAddr(a) and resolveAddr(b); direct operands carry their bank
+    case Opcode::MPYXY:
+    case Opcode::MACXY:
+      if (!decodeAddr(raw.a, &d.a, &why)) return decodeTrap(eff, why);
+      if (!decodeAddr(raw.b, &d.b, &why)) return decodeTrap(eff, why);
+      break;
+    // AR-file ops: operand a is the AR index, b an immediate / memory ref
+    case Opcode::LARK:
+    case Opcode::ADRK:
+    case Opcode::SBRK:
+      if (!arIndexOk(raw.a.value)) return decodeTrap(eff, kBadArIndex);
+      d.a.val = raw.a.value;
+      d.b.val = raw.b.value;
+      break;
+    case Opcode::LAR:
+      if (!arIndexOk(raw.a.value)) return decodeTrap(eff, kBadArIndex);
+      d.a.val = raw.a.value;
+      if (!decodeRead(raw.b, &d.b, &why)) return decodeTrap(eff, why);
+      break;
+    case Opcode::SAR:
+      if (!arIndexOk(raw.a.value)) return decodeTrap(eff, kBadArIndex);
+      d.a.val = raw.a.value;
+      if (!decodeAddr(raw.b, &d.b, &why)) return decodeTrap(eff, why);
+      break;
+    // Branches: a fault-injected branch has no label to resolve, so it
+    // traps immediately when reached instead of writing -1 into the PC and
+    // reporting a misleading "PC out of range" one fetch later.
+    case Opcode::B:
+    case Opcode::BZ:
+    case Opcode::BGEZ:
+      if (rawTarget < 0)
+        return decodeTrap(eff, "fault-injected branch without target");
+      d.cyc = 2;
+      break;
+    case Opcode::BANZ:
+      if (rawTarget < 0)
+        return decodeTrap(eff, "fault-injected branch without target");
+      if (!arIndexOk(raw.a.value)) return decodeTrap(eff, kBadArIndex);
+      d.a.val = raw.a.value;
+      d.cyc = 2;
+      break;
+    // A negative repeat count would make the repeat loop run zero times,
+    // silently skipping the next instruction; trap with a clear reason.
+    case Opcode::RPT:
+      if (raw.a.value < 0)
+        return decodeTrap(eff, "negative RPT count: " +
+                                   std::to_string(raw.a.value));
+      d.a.val = raw.a.value;
+      break;
+    case Opcode::ZAC:
+    case Opcode::SFL:
+    case Opcode::SFR:
+    case Opcode::NEG:
+    case Opcode::PAC:
+    case Opcode::APAC:
+    case Opcode::SPAC:
+    case Opcode::SOVM:
+    case Opcode::ROVM:
+    case Opcode::SSXM:
+    case Opcode::RSXM:
+    case Opcode::NOP:
+    case Opcode::HALT:
+      break;
+  }
+  return d;
 }
 
-int64_t Machine::ovmSub(int64_t a, int64_t b) const {
-  return ovm_ ? sat32(a - b) : wrap32(a - b);
+void Machine::decodeAll() {
+  trapMsgs_.clear();
+  decoded_.resize(prog_.code.size());
+  for (size_t i = 0; i < prog_.code.size(); ++i)
+    decoded_[i] = decodeOne(prog_.code[i], rawTarget_[i]);
 }
+
+
+// ---------------------------------------------------------------------------
+// Execution
+// ---------------------------------------------------------------------------
+
+namespace {
+// Cold throw paths, out of line so the bounds checks in the hot loop are a
+// compare + predicted-not-taken branch with no string construction nearby.
+[[noreturn, gnu::noinline]] void badRead(int addr) {
+  throw std::runtime_error("data read out of range: " + std::to_string(addr));
+}
+[[noreturn, gnu::noinline]] void badWrite(int addr) {
+  throw std::runtime_error("data write out of range: " + std::to_string(addr));
+}
+}  // namespace
+
+// The interpreter body is written once; only VM_CASE / VM_DISPATCH change
+// between the two dispatch strategies. In threaded mode every handler ends
+// by retiring and directly jumping to the next handler through its own
+// indirect branch (so the BTB learns per-opcode successor patterns); in
+// switch mode the same macro funnels back into one switch.
+#if RECORD_SIM_THREADED
+#define VM_CASE(n) L_##n:
+#define VM_DISPATCH() goto* kLabels[d->handler]
+#else
+#define VM_CASE(n) case kMirror_##n:
+#define VM_DISPATCH() goto vm_dispatch
+#endif
+
+// Fetch the instruction at pc and dispatch, honoring the cycle budget. The
+// budget is checked per fetch, never per repeat: an RPT batch runs to
+// completion even when it overshoots maxCycles (pre-decode loop behavior).
+#define VM_FETCH()                                               \
+  do {                                                           \
+    if (res.cycles >= maxCycles) goto budget_exhausted;          \
+    if (static_cast<unsigned>(pc) >= codeSize) goto pc_range;    \
+    pcThis = pc;                                                 \
+    d = ops + pc;                                                \
+    repsLeft = 1 + pendingRpt;                                   \
+    pendingRpt = 0;                                              \
+    branched = false;                                            \
+    cyc = d->cyc;                                                \
+    VM_DISPATCH();                                               \
+  } while (0)
+
+// Retire the instruction just executed (cycle ledger + profiling hooks,
+// compiled out when kProfile is false), then run the next repeat or fetch
+// the successor. `branched` resets per repeat so a repeated conditional
+// branch attributes each repeat's taken/not-taken decision correctly and
+// the final PC follows the LAST repeat: fall through to pcThis+1, not a
+// stale branch target.
+#define VM_NEXT()                                                         \
+  do {                                                                    \
+    res.cycles += cyc;                                                    \
+    ++res.instructions;                                                   \
+    if constexpr (kProfile) {                                             \
+      if (d->target >= 0)                                                 \
+        activeProfile_->noteBranch(pcThis, d->target, branched);          \
+      activeProfile_->commit(pcThis, d->op, cyc, 1);                      \
+    }                                                                     \
+    if (--repsLeft > 0) {                                                 \
+      branched = false;                                                   \
+      cyc = d->cyc;                                                       \
+      VM_DISPATCH();                                                      \
+    }                                                                     \
+    if (!branched) pc = pcThis + 1;                                       \
+    VM_FETCH();                                                           \
+  } while (0)
 
 RunResult Machine::run(int64_t maxCycles) {
+  // Pick the loop specialization once per run; the unprofiled loop carries
+  // no profiling code at all.
+  return profile_ ? runImpl<true>(maxCycles) : runImpl<false>(maxCycles);
+}
+
+template <bool kProfile>
+RunResult Machine::runImpl(int64_t maxCycles) {
   // Profiling hooks fire only between here and return, so data-memory
   // traffic from external setup (writeSymbol, reset) is never attributed
   // to the program.
-  activeProfile_ = profile_;
+  if constexpr (kProfile) activeProfile_ = profile_;
   struct Deactivate {
     Profile** p;
     ~Deactivate() { *p = nullptr; }
   } deactivate{&activeProfile_};
 
   RunResult res;
-  int rptCount = 0;  // pending repeats of the next instruction
-  while (res.cycles < maxCycles) {
-    if (pc_ < 0 || static_cast<size_t>(pc_) >= prog_.code.size()) {
-      res.status = RunStatus::Trapped;
-      res.trapped = true;
-      res.trapReason = "PC out of range";
-      return res;
-    }
-    const int pcThis = pc_;
-    const Instr& raw = prog_.code[static_cast<size_t>(pc_)];
-    Opcode op = decodeFault_ ? decodeFault_(raw.op) : raw.op;
-    const Operand& a = raw.a;
-    const Operand& b = raw.b;
-    int repeats = 1 + rptCount;
-    rptCount = 0;
-    bool branched = false;
-    int cyclesThis = 0;
+  const DecodedOp* const ops = decoded_.data();
+  const unsigned codeSize = static_cast<unsigned>(decoded_.size());
+  int64_t* const dataPtr = data_.data();
+  const unsigned dataSize = static_cast<unsigned>(data_.size());
+  int* const arPtr = ar_.data();
 
-    try {
-      for (int rep = 0; rep < repeats; ++rep) {
-        ++res.instructions;
-        int cyc = 1;
-        switch (op) {
-          case Opcode::LAC: acc_ = readOperand(a); break;
-          case Opcode::LACK: acc_ = a.value; break;
-          case Opcode::ZAC: acc_ = 0; break;
-          case Opcode::ADD: acc_ = ovmAdd(acc_, readOperand(a)); break;
-          case Opcode::ADDK: acc_ = ovmAdd(acc_, a.value); break;
-          case Opcode::SUB: acc_ = ovmSub(acc_, readOperand(a)); break;
-          case Opcode::SUBK: acc_ = ovmSub(acc_, a.value); break;
-          case Opcode::SACL: writeData(resolveAddr(a), acc_); break;
-          case Opcode::SACH:
-            writeData(resolveAddr(a), (acc_ >> 16) & 0xffff);
-            break;
-          case Opcode::AND: acc_ = and16(acc_, readOperand(a)); break;
-          case Opcode::ANDK: acc_ = and16(acc_, a.value); break;
-          case Opcode::OR: acc_ = or16(acc_, readOperand(a)); break;
-          case Opcode::XOR: acc_ = xor16(acc_, readOperand(a)); break;
-          // Shifts go through the shared uint64-based helpers: `acc_ << 1`
-          // on a negative accumulator is what tier-1 ran on for a while --
-          // defined-but-subtle in C++20, UB in earlier standards, and
-          // flagged by -fsanitize=shift either way.
-          case Opcode::SFL: acc_ = wrapShl32(acc_, 1); break;
-          case Opcode::SFR:
-            // SXM selects arithmetic (sign-extending) vs. logical shift-in.
-            acc_ = sxm_ ? asr32(acc_, 1) : lsr32(acc_, 1);
-            break;
-          case Opcode::NEG: acc_ = ovm_ ? sat32(-acc_) : wrap32(-acc_); break;
-          case Opcode::LT: t_ = readOperand(a); break;
-          case Opcode::MPY: p_ = mul16(t_, readOperand(a)); break;
-          case Opcode::MPYK: p_ = mul16(t_, a.value); break;
-          case Opcode::PAC: acc_ = p_; break;
-          case Opcode::APAC: acc_ = ovmAdd(acc_, p_); break;
-          case Opcode::SPAC: acc_ = ovmSub(acc_, p_); break;
-          case Opcode::SPL: writeData(resolveAddr(a), p_); break;
-          case Opcode::LTA: {
-            acc_ = ovmAdd(acc_, p_);
-            t_ = readOperand(a);
-            break;
-          }
-          case Opcode::LTP: {
-            acc_ = p_;
-            t_ = readOperand(a);
-            break;
-          }
-          case Opcode::LTD: {
-            acc_ = ovmAdd(acc_, p_);
-            int addr = resolveAddr(a);
-            t_ = readData(addr);
-            writeData(addr + 1, readData(addr));
-            break;
-          }
-          case Opcode::MPYXY: {
-            int addrA = resolveAddr(a);
-            int addrB = resolveAddr(b);
-            p_ = mul16(readData(addrA), readData(addrB));
-            cyc = (prog_.config.bankOf(addrA) != prog_.config.bankOf(addrB))
-                      ? 1
-                      : 2;
-            if (cyc == 2 && activeProfile_) activeProfile_->noteConflict();
-            break;
-          }
-          case Opcode::MACXY: {
-            acc_ = ovmAdd(acc_, p_);
-            int addrA = resolveAddr(a);
-            int addrB = resolveAddr(b);
-            p_ = mul16(readData(addrA), readData(addrB));
-            cyc = (prog_.config.bankOf(addrA) != prog_.config.bankOf(addrB))
-                      ? 1
-                      : 2;
-            if (cyc == 2 && activeProfile_) activeProfile_->noteConflict();
-            break;
-          }
-          case Opcode::LARK:
-            ar_.at(static_cast<size_t>(a.value)) = b.value & 0xffff;
-            break;
-          case Opcode::LAR:
-            ar_.at(static_cast<size_t>(a.value)) =
-                static_cast<int>(static_cast<uint64_t>(readOperand(b)) &
-                                 0xffff);
-            break;
-          case Opcode::SAR:
-            writeData(resolveAddr(b), ar_.at(static_cast<size_t>(a.value)));
-            break;
-          case Opcode::ADRK:
-            ar_.at(static_cast<size_t>(a.value)) =
-                (ar_.at(static_cast<size_t>(a.value)) + b.value) & 0xffff;
-            break;
-          case Opcode::SBRK:
-            ar_.at(static_cast<size_t>(a.value)) =
-                (ar_.at(static_cast<size_t>(a.value)) - b.value) & 0xffff;
-            break;
-          case Opcode::B:
-            pc_ = branchTarget_[static_cast<size_t>(pc_)];
-            branched = true;
-            cyc = 2;
-            break;
-          case Opcode::BZ:
-            cyc = 2;
-            if (acc_ == 0) {
-              pc_ = branchTarget_[static_cast<size_t>(pc_)];
-              branched = true;
-            }
-            break;
-          case Opcode::BGEZ:
-            cyc = 2;
-            if (acc_ >= 0) {
-              pc_ = branchTarget_[static_cast<size_t>(pc_)];
-              branched = true;
-            }
-            break;
-          case Opcode::BANZ: {
-            cyc = 2;
-            int& reg = ar_.at(static_cast<size_t>(a.value));
-            if (reg != 0) {
-              reg = (reg - 1) & 0xffff;
-              pc_ = branchTarget_[static_cast<size_t>(pc_)];
-              branched = true;
-            }
-            break;
-          }
-          case Opcode::RPT:
-            rptCount = a.value;
-            break;
-          case Opcode::DMOV: {
-            int addr = resolveAddr(a);
-            writeData(addr + 1, readData(addr));
-            break;
-          }
-          case Opcode::SOVM: ovm_ = true; break;
-          case Opcode::ROVM: ovm_ = false; break;
-          case Opcode::SSXM: sxm_ = true; break;
-          case Opcode::RSXM: sxm_ = false; break;
-          case Opcode::NOP: break;
-          case Opcode::HALT:
-            res.status = RunStatus::Halted;
-            res.halted = true;
-            res.cycles += cyclesThis + cyc;
-            if (activeProfile_) activeProfile_->commit(pcThis, op, cyc, 1);
-            return res;
-        }
-        cyclesThis += cyc;
-        if (activeProfile_) {
-          int tgt = branchTarget_[static_cast<size_t>(pcThis)];
-          if (tgt >= 0) activeProfile_->noteBranch(pcThis, tgt, branched);
-          activeProfile_->commit(pcThis, op, cyc, 1);
+  // Architectural state lives in locals for the duration of the run (the
+  // members would force a load/store per instruction); every exit path
+  // flushes below, including mid-instruction traps (locals keep their
+  // values across the unwind into the catch).
+  int64_t acc = acc_, tr = t_, pr = p_;
+  bool ovm = ovm_, sxm = sxm_;
+  int pc = pc_;
+
+  const DecodedOp* d = nullptr;
+  int pcThis = 0;
+  int pendingRpt = 0;  // pending repeats of the next instruction
+  int repsLeft = 0;
+  int cyc = 0;
+  bool branched = false;
+
+  auto flush = [&] {
+    acc_ = acc;
+    t_ = tr;
+    p_ = pr;
+    ovm_ = ovm;
+    sxm_ = sxm;
+    pc_ = pc;
+  };
+
+  // Data access with the same bounds/trap semantics as writeData/readData,
+  // minus the per-access profiler null check (specialized out) and with the
+  // throw paths out of line.
+  auto loadWord = [&](int addr) -> int64_t {
+    if (static_cast<unsigned>(addr) >= dataSize) badRead(addr);
+    if constexpr (kProfile) activeProfile_->noteAccess(addr);
+    return dataPtr[static_cast<unsigned>(addr)];
+  };
+  auto storeWord = [&](int addr, int64_t v) {
+    if (static_cast<unsigned>(addr) >= dataSize) badWrite(addr);
+    if constexpr (kProfile) activeProfile_->noteAccess(addr);
+    dataPtr[static_cast<unsigned>(addr)] = wrap16(v);
+  };
+
+  // Pre-split operand access. Indirect ARs were validated at decode, so no
+  // bounds check remains on the hot path; the post-modification writeback
+  // is unconditional (delta 0 re-stores the same masked value).
+  auto addrOf = [&](const DecOperand& o) {
+    if (o.kind == 2) {
+      int a = arPtr[o.val];
+      arPtr[o.val] = (a + o.post) & 0xffff;
+      return a;
+    }
+    return static_cast<int>(o.val);
+  };
+  auto readOp = [&](const DecOperand& o) {
+    return o.kind == 0 ? static_cast<int64_t>(o.val) : loadWord(addrOf(o));
+  };
+  auto addOvm = [&](int64_t a, int64_t b) {
+    return ovm ? sat32(a + b) : wrap32(a + b);
+  };
+  auto subOvm = [&](int64_t a, int64_t b) {
+    return ovm ? sat32(a - b) : wrap32(a - b);
+  };
+
+#if RECORD_SIM_THREADED
+  static const void* const kLabels[] = {
+#define RECORD_SIM_LABEL(n) &&L_##n,
+      RECORD_SIM_OPLIST(RECORD_SIM_LABEL)
+#undef RECORD_SIM_LABEL
+          &&L_TRAP,
+  };
+#endif
+
+  try {
+    VM_FETCH();
+
+#if !RECORD_SIM_THREADED
+  vm_dispatch:
+    switch (d->handler) {
+#endif
+
+      VM_CASE(LAC) { acc = readOp(d->a); }
+      VM_NEXT();
+      VM_CASE(LACK) { acc = d->a.val; }
+      VM_NEXT();
+      VM_CASE(ZAC) { acc = 0; }
+      VM_NEXT();
+      VM_CASE(ADD) { acc = addOvm(acc, readOp(d->a)); }
+      VM_NEXT();
+      VM_CASE(ADDK) { acc = addOvm(acc, d->a.val); }
+      VM_NEXT();
+      VM_CASE(SUB) { acc = subOvm(acc, readOp(d->a)); }
+      VM_NEXT();
+      VM_CASE(SUBK) { acc = subOvm(acc, d->a.val); }
+      VM_NEXT();
+      VM_CASE(SACL) { storeWord(addrOf(d->a), acc); }
+      VM_NEXT();
+      VM_CASE(SACH) { storeWord(addrOf(d->a), (acc >> 16) & 0xffff); }
+      VM_NEXT();
+      VM_CASE(AND) { acc = and16(acc, readOp(d->a)); }
+      VM_NEXT();
+      VM_CASE(ANDK) { acc = and16(acc, d->a.val); }
+      VM_NEXT();
+      VM_CASE(OR) { acc = or16(acc, readOp(d->a)); }
+      VM_NEXT();
+      VM_CASE(XOR) { acc = xor16(acc, readOp(d->a)); }
+      VM_NEXT();
+      // Shifts go through the shared uint64-based helpers: `acc << 1` on a
+      // negative accumulator is defined-but-subtle in C++20, UB earlier,
+      // and flagged by -fsanitize=shift either way.
+      VM_CASE(SFL) { acc = wrapShl32(acc, 1); }
+      VM_NEXT();
+      VM_CASE(SFR) {
+        // SXM selects arithmetic (sign-extending) vs. logical shift-in.
+        acc = sxm ? asr32(acc, 1) : lsr32(acc, 1);
+      }
+      VM_NEXT();
+      VM_CASE(NEG) { acc = ovm ? sat32(-acc) : wrap32(-acc); }
+      VM_NEXT();
+      VM_CASE(LT) { tr = readOp(d->a); }
+      VM_NEXT();
+      VM_CASE(MPY) { pr = mul16(tr, readOp(d->a)); }
+      VM_NEXT();
+      VM_CASE(MPYK) { pr = mul16(tr, d->a.val); }
+      VM_NEXT();
+      VM_CASE(PAC) { acc = pr; }
+      VM_NEXT();
+      VM_CASE(APAC) { acc = addOvm(acc, pr); }
+      VM_NEXT();
+      VM_CASE(SPAC) { acc = subOvm(acc, pr); }
+      VM_NEXT();
+      VM_CASE(SPL) { storeWord(addrOf(d->a), pr); }
+      VM_NEXT();
+      VM_CASE(LTA) {
+        acc = addOvm(acc, pr);
+        tr = readOp(d->a);
+      }
+      VM_NEXT();
+      VM_CASE(LTP) {
+        acc = pr;
+        tr = readOp(d->a);
+      }
+      VM_NEXT();
+      VM_CASE(LTD) {
+        acc = addOvm(acc, pr);
+        int addr = addrOf(d->a);
+        // One architectural read feeding both T and the delay-line shift
+        // (so an attached profiler counts exactly one access for it).
+        int64_t v = loadWord(addr);
+        tr = v;
+        storeWord(addr + 1, v);
+      }
+      VM_NEXT();
+      VM_CASE(MPYXY) {
+        int addrA = addrOf(d->a);
+        int addrB = addrOf(d->b);
+        pr = mul16(loadWord(addrA), loadWord(addrB));
+        int bankA = d->a.bank >= 0 ? d->a.bank : prog_.config.bankOf(addrA);
+        int bankB = d->b.bank >= 0 ? d->b.bank : prog_.config.bankOf(addrB);
+        cyc = (bankA != bankB) ? 1 : 2;
+        if constexpr (kProfile) {
+          if (cyc == 2) activeProfile_->noteConflict();
         }
       }
-    } catch (const std::exception& e) {
-      // The faulting repeat never retired: drop it from the instruction
-      // count and charge only the completed repeats' cycles, keeping the
-      // ledger (and any attached profile) consistent.
-      --res.instructions;
-      res.cycles += cyclesThis;
-      if (activeProfile_) activeProfile_->abortPending();
-      res.status = RunStatus::Trapped;
-      res.trapped = true;
-      res.trapReason = e.what();
-      return res;
+      VM_NEXT();
+      VM_CASE(MACXY) {
+        acc = addOvm(acc, pr);
+        int addrA = addrOf(d->a);
+        int addrB = addrOf(d->b);
+        pr = mul16(loadWord(addrA), loadWord(addrB));
+        int bankA = d->a.bank >= 0 ? d->a.bank : prog_.config.bankOf(addrA);
+        int bankB = d->b.bank >= 0 ? d->b.bank : prog_.config.bankOf(addrB);
+        cyc = (bankA != bankB) ? 1 : 2;
+        if constexpr (kProfile) {
+          if (cyc == 2) activeProfile_->noteConflict();
+        }
+      }
+      VM_NEXT();
+      VM_CASE(LARK) { arPtr[d->a.val] = d->b.val & 0xffff; }
+      VM_NEXT();
+      VM_CASE(LAR) {
+        arPtr[d->a.val] = static_cast<int>(
+            static_cast<uint64_t>(readOp(d->b)) & 0xffff);
+      }
+      VM_NEXT();
+      VM_CASE(SAR) { storeWord(addrOf(d->b), arPtr[d->a.val]); }
+      VM_NEXT();
+      VM_CASE(ADRK) {
+        int& reg = arPtr[d->a.val];
+        reg = (reg + d->b.val) & 0xffff;
+      }
+      VM_NEXT();
+      VM_CASE(SBRK) {
+        int& reg = arPtr[d->a.val];
+        reg = (reg - d->b.val) & 0xffff;
+      }
+      VM_NEXT();
+      VM_CASE(B) {
+        pc = d->target;
+        branched = true;
+      }
+      VM_NEXT();
+      VM_CASE(BZ) {
+        if (acc == 0) {
+          pc = d->target;
+          branched = true;
+        }
+      }
+      VM_NEXT();
+      VM_CASE(BGEZ) {
+        if (acc >= 0) {
+          pc = d->target;
+          branched = true;
+        }
+      }
+      VM_NEXT();
+      VM_CASE(BANZ) {
+        int& reg = arPtr[d->a.val];
+        if (reg != 0) {
+          reg = (reg - 1) & 0xffff;
+          pc = d->target;
+          branched = true;
+        }
+      }
+      VM_NEXT();
+      VM_CASE(RPT) { pendingRpt = d->a.val; }
+      VM_NEXT();
+      VM_CASE(DMOV) {
+        // One read, one write -- a single architectural access pair.
+        int addr = addrOf(d->a);
+        storeWord(addr + 1, loadWord(addr));
+      }
+      VM_NEXT();
+      VM_CASE(SOVM) { ovm = true; }
+      VM_NEXT();
+      VM_CASE(ROVM) { ovm = false; }
+      VM_NEXT();
+      VM_CASE(SSXM) { sxm = true; }
+      VM_NEXT();
+      VM_CASE(RSXM) { sxm = false; }
+      VM_NEXT();
+      VM_CASE(NOP) {}
+      VM_NEXT();
+      VM_CASE(HALT) {
+        res.status = RunStatus::Halted;
+        res.halted = true;
+        res.cycles += cyc;
+        ++res.instructions;
+        if constexpr (kProfile) activeProfile_->commit(pcThis, d->op, cyc, 1);
+        flush();
+        return res;
+      }
+      // Decode-level trap sink (invalid operand for the effective opcode,
+      // fault-injected branch without target, negative RPT count): the
+      // faulting instruction never retires.
+      VM_CASE(TRAP) {
+        res.status = RunStatus::Trapped;
+        res.trapped = true;
+        res.trapReason = trapMsgs_[static_cast<size_t>(d->a.val)];
+        flush();
+        return res;
+      }
+
+#if !RECORD_SIM_THREADED
     }
-    res.cycles += cyclesThis;
-    if (!branched) ++pc_;
+#endif
+  } catch (const std::exception& e) {
+    // The faulting instruction never retired: its cycles were not charged,
+    // so the ledger (and any attached profile) stays consistent. State is
+    // flushed as-is -- a partially-executed instruction keeps its partial
+    // effects, exactly like the pre-decode loop.
+    if constexpr (kProfile) activeProfile_->abortPending();
+    flush();
+    res.status = RunStatus::Trapped;
+    res.trapped = true;
+    res.trapReason = e.what();
+    return res;
   }
+
+budget_exhausted:
+  flush();
   res.status = RunStatus::Budget;
   res.trapReason = "cycle budget exhausted";
   return res;
+
+pc_range:
+  flush();
+  res.status = RunStatus::Trapped;
+  res.trapped = true;
+  res.trapReason = "PC out of range";
+  return res;
 }
 
-void Machine::trap(RunResult& r, const std::string& why) {
-  r.status = RunStatus::Trapped;
-  r.trapped = true;
-  r.trapReason = why;
-}
+#undef VM_CASE
+#undef VM_DISPATCH
+#undef VM_FETCH
+#undef VM_NEXT
 
 }  // namespace record

@@ -3,9 +3,24 @@
 // TargetProgram, cycles from running here, and correctness from comparing
 // memory/outputs against the IR golden-model interpreter.
 //
+// The core is a decode-once interpreter: at construction every Instr is
+// lowered into a flat DecodedOp (resolved handler index, pre-split operand
+// kind/value/post-modification, resolved branch target, static cycle hint,
+// pre-computed bank ids for dual-operand XY ops), so the hot loop never
+// re-touches opInfo, labelIndex, or Operand discriminants. Dispatch is
+// computed-goto threaded on GNU-compatible compilers with a portable switch
+// fallback, selectable at configure time via -DRECORD_SIM_DISPATCH=
+// auto|threaded|switch (see DESIGN.md "Execution core"). The pre-decode
+// fetch/switch loop survives as ReferenceMachine (sim/reference.h) for
+// differential pinning and as the throughput baseline of
+// bench/sim_throughput.
+//
 // Fault injection (decode substitution) supports the §4.5 self-test
 // experiments: a fault makes one opcode behave as another, and a good
-// self-test program must detect it.
+// self-test program must detect it. Faults remap the decoded handler (the
+// program is re-decoded on setDecodeFault/clearDecodeFault), not the raw
+// opcode in the hot loop; a fault that turns a non-branch into a branch has
+// no target to jump to and traps immediately when reached.
 #pragma once
 
 #include <cstdint>
@@ -47,7 +62,9 @@ class Machine {
   /// Leaves other data memory intact unless `clearData` is set.
   void reset(bool clearData = true);
 
-  // Data-memory access (16-bit words, sign-extended reads).
+  // Data-memory access. Words are 16-bit: writeData canonicalizes through
+  // wrap16, so storage always holds the sign-extended value of the low 16
+  // bits and readData returns it without further extension.
   void writeData(int addr, int64_t v);
   int64_t readData(int addr) const;
   /// Symbol-relative access via the program's layout.
@@ -63,27 +80,68 @@ class Machine {
   int ar(int i) const { return ar_[static_cast<size_t>(i)]; }
   bool ovm() const { return ovm_; }
   bool sxm() const { return sxm_; }
+  int pc() const { return pc_; }
   void setAcc(int64_t v);
 
-  /// Decode-level fault: every fetched opcode is remapped through `f`.
+  /// Decode-level fault: every instruction's opcode is remapped through `f`
+  /// and the program is re-decoded under the substitution. `f` must be a
+  /// pure function of the opcode (every caller's is): it is applied once
+  /// per instruction at decode time, not per fetch.
   void setDecodeFault(std::function<Opcode(Opcode)> f) {
     decodeFault_ = std::move(f);
+    decodeAll();
   }
-  void clearDecodeFault() { decodeFault_ = nullptr; }
+  void clearDecodeFault() {
+    decodeFault_ = nullptr;
+    decodeAll();
+  }
 
   /// Attach an execution profiler (nullptr detaches). The profile must
   /// outlive the run and be built against the same TargetProgram. Profiling
   /// observes only: architectural state and RunResult are bit-identical
-  /// with a profile attached or not, and the disabled path costs one
-  /// null-pointer check per retired instruction.
+  /// with a profile attached or not. The profiled/unprofiled choice is made
+  /// once per run() (two specializations of the interpreter loop), so the
+  /// disabled path carries zero per-instruction profiling checks -- strictly
+  /// cheaper than the historical one-null-check-per-retired-instruction
+  /// contract.
   void attachProfile(Profile* p) { profile_ = p; }
 
+  /// The dispatch strategy this build selected: "threaded" (computed goto)
+  /// or "switch" (portable fallback). Fixed at compile time by the
+  /// RECORD_SIM_DISPATCH CMake option.
+  static const char* dispatchMode();
+
  private:
-  int resolveAddr(const Operand& o);  // applies post-modification
-  int64_t readOperand(const Operand& o);
-  void trap(RunResult& r, const std::string& why);
-  int64_t ovmAdd(int64_t a, int64_t b) const;
-  int64_t ovmSub(int64_t a, int64_t b) const;
+  /// One pre-split operand. kind 0 = immediate/none (val is the literal or
+  /// AR index), 1 = direct (val is the data address), 2 = indirect (val is
+  /// a validated AR index, post the auto-modify delta).
+  struct DecOperand {
+    uint8_t kind = 0;
+    int8_t post = 0;   // -1 / 0 / +1, applied to the AR after use
+    int8_t bank = -1;  // XY ops: memory bank when static (direct), else -1
+    int32_t val = 0;
+  };
+
+  /// One decode-once instruction: everything the hot loop needs, flat.
+  struct DecodedOp {
+    uint8_t handler = 0;   // dispatch index: opcode value, or the trap sink
+    Opcode op = Opcode::NOP;  // effective (fault-remapped) opcode
+    uint8_t cyc = 0;       // static cycle hint (branches 2, rest 1)
+    DecOperand a;
+    DecOperand b;
+    int32_t target = -1;   // raw branch target (-1 when not a branch site)
+  };
+
+  /// The interpreter loop, specialized on whether a profiler is attached
+  /// (kProfile false drops every profiling hook at compile time).
+  template <bool kProfile>
+  RunResult runImpl(int64_t maxCycles);
+
+  void decodeAll();
+  DecodedOp decodeOne(const Instr& raw, int rawTarget);
+  DecodedOp decodeTrap(Opcode eff, std::string why);
+  bool decodeRead(const Operand& o, DecOperand* out, std::string* why) const;
+  bool decodeAddr(const Operand& o, DecOperand* out, std::string* why) const;
 
   const TargetProgram& prog_;
   std::function<Opcode(Opcode)> decodeFault_;
@@ -91,7 +149,10 @@ class Machine {
   Profile* activeProfile_ = nullptr;  // == profile_ only while run()ning, so
                                       // external setup accesses (writeSymbol
                                       // between runs, reset) are not counted
-  std::vector<int> branchTarget_;  // per instruction, -1 if not a branch
+  std::vector<int> rawTarget_;  // per instruction, label-resolved at
+                                // construction; -1 if not a branch
+  std::vector<DecodedOp> decoded_;
+  std::vector<std::string> trapMsgs_;  // decode-trap reasons, by a.val
   std::vector<int64_t> data_;
   int64_t acc_ = 0, t_ = 0, p_ = 0;
   std::vector<int> ar_;

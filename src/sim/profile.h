@@ -14,9 +14,10 @@
 //
 // Design constraints (mirroring src/trace for compilation observability):
 //
-//   * Zero cost when disabled. A Machine with no profiler attached pays one
-//     predictable null-pointer check per retired instruction (verified by
-//     the throughput benchmark in bench/overhead_cycles.cpp); RunResult and
+//   * Zero cost when disabled. The Machine picks a profiling-free
+//     specialization of its interpreter loop once per run() when no profiler
+//     is attached, so the disabled path carries no per-instruction profiling
+//     checks at all (bounded by bench/overhead_cycles.cpp); RunResult and
 //     all architectural state are bit-identical with profiling on or off
 //     (asserted by tests/profile_test.cpp).
 //

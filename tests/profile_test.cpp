@@ -236,6 +236,54 @@ TEST(Profile, BankConflictCounted) {
   EXPECT_EQ(pd.bankAccesses(1), 1);
 }
 
+// A repeated branch decides taken/not-taken per repeat, and the profiler
+// sees each repeat's decision: a BANZ executed as a 3-repeat batch with two
+// taken decrements and one final fall-through must profile as executed 3,
+// taken 2 -- not inherit the first repeat's taken flag for the rest.
+TEST(Profile, RepeatedBranchAttributesPerRepeat) {
+  auto tp = assembleOrDie(R"(
+      .sym n 1
+      LARK AR0, #2
+      ZAC
+      RPT #2
+ top: BANZ AR0, top
+      ADDK #1
+      SACL n
+      HALT
+  )",
+                          TargetConfig{});
+  Machine m(tp);
+  Profile prof(tp);
+  m.attachProfile(&prof);
+  auto rr = m.run();
+  ASSERT_TRUE(rr.halted);
+  auto branches = prof.branchProfiles();
+  ASSERT_EQ(branches.size(), 1u);
+  EXPECT_EQ(branches[0].pc, 3);
+  EXPECT_EQ(branches[0].target, 3);
+  EXPECT_EQ(branches[0].executed, 3);
+  EXPECT_EQ(branches[0].taken, 2);
+  EXPECT_EQ(prof.totalCycles(), rr.cycles);
+  EXPECT_EQ(prof.totalInstructions(), rr.instructions);
+}
+
+// LTD performs ONE architectural read (feeding both T and the delay-line
+// shift) plus one write: the profiler must count exactly two bank accesses
+// for it, not three.
+TEST(Profile, LtdCountsOneReadOneWrite) {
+  auto tp = assembleOrDie(".sym v 2\nLTD v\nHALT\n", TargetConfig{});
+  Machine m(tp);
+  Profile prof(tp);
+  m.attachProfile(&prof);
+  m.writeSymbol("v", 0, 5);
+  ASSERT_TRUE(m.run().halted);
+  int64_t accesses = 0;
+  for (int b = 0; b < prof.banks(); ++b) accesses += prof.bankAccesses(b);
+  EXPECT_EQ(accesses, 2);  // v read once, v+1 written once
+  EXPECT_EQ(m.treg(), 5);
+  EXPECT_EQ(m.readSymbol("v", 1), 5);
+}
+
 TEST(Profile, BackEdgeTripCount) {
   auto tp = assembleOrDie(R"(
       .sym n 1

@@ -1,7 +1,16 @@
 #include <gtest/gtest.h>
 
+#include <cstring>
+
+#include "codegen/baseline.h"
+#include "codegen/pipeline.h"
+#include "dfl/frontend.h"
+#include "difftest/corpus.h"
+#include "difftest/difftest.h"
+#include "dspstone/harness.h"
 #include "ir/type.h"
 #include "sim/machine.h"
+#include "sim/reference.h"
 #include "target/asmtext.h"
 
 namespace record {
@@ -359,6 +368,153 @@ TEST(Machine, ResetPreservesDataWhenAsked) {
   m.reset(true);
   EXPECT_EQ(m.readSymbol("a"), 0);
   EXPECT_EQ(m.readSymbol("r"), 0);
+}
+
+// A negative repeat count used to make the repeat loop run zero times,
+// silently skipping the next instruction; it must trap with a clear reason
+// and retire nothing.
+TEST(Machine, NegativeRptTraps) {
+  auto tp = asmProg(R"(
+      .sym r 1
+      RPT #-1
+      SACL r
+      HALT
+  )");
+  Machine m(tp);
+  auto rr = m.run();
+  EXPECT_EQ(rr.status, RunStatus::Trapped);
+  EXPECT_NE(rr.trapReason.find("negative RPT count: -1"), std::string::npos);
+  EXPECT_EQ(rr.instructions, 0);
+  EXPECT_EQ(rr.cycles, 0);
+}
+
+// A decode fault that turns a non-branch into a branch has no target to
+// jump to. It must trap immediately at the faulted instruction with a
+// descriptive reason -- not write -1 into the PC and report a misleading
+// "PC out of range" one fetch later.
+TEST(Machine, FaultInjectedBranchTrapsImmediately) {
+  auto tp = asmProg("NOP\nHALT\n");
+  Machine m(tp);
+  m.setDecodeFault(
+      [](Opcode op) { return op == Opcode::NOP ? Opcode::B : op; });
+  auto rr = m.run(1000);
+  EXPECT_EQ(rr.status, RunStatus::Trapped);
+  EXPECT_NE(rr.trapReason.find("fault-injected branch without target"),
+            std::string::npos);
+  EXPECT_EQ(rr.trapReason.find("PC out of range"), std::string::npos);
+  // Nothing retired: the faulting instruction charged no cycles.
+  EXPECT_EQ(rr.instructions, 0);
+  EXPECT_EQ(rr.cycles, 0);
+  EXPECT_EQ(m.pc(), 0);  // still pointing at the faulted instruction
+  // The reference engine agrees.
+  ReferenceMachine ref(tp);
+  ref.setDecodeFault(
+      [](Opcode op) { return op == Opcode::NOP ? Opcode::B : op; });
+  auto r2 = ref.run(1000);
+  EXPECT_EQ(r2.status, rr.status);
+  EXPECT_EQ(r2.trapReason, rr.trapReason);
+}
+
+// A branch faulted into a DIFFERENT branch kind keeps the raw
+// instruction's resolved target.
+TEST(Machine, FaultRemappedBranchKeepsTarget) {
+  auto tp = asmProg(R"(
+      .sym r 1
+      ZAC
+      BGEZ skip
+      ADDK #9
+ skip: SACL r
+      HALT
+  )");
+  Machine m(tp);
+  // BGEZ (taken: ACC == 0) faulted into BZ (also taken) must branch to the
+  // same resolved label.
+  m.setDecodeFault(
+      [](Opcode op) { return op == Opcode::BGEZ ? Opcode::BZ : op; });
+  auto rr = m.run();
+  ASSERT_TRUE(rr.halted);
+  EXPECT_EQ(m.readSymbol("r"), 0);  // ADDK was skipped
+}
+
+// clearDecodeFault re-decodes the clean program.
+TEST(Machine, ClearDecodeFaultRestores) {
+  auto tp = asmProg("NOP\nHALT\n");
+  Machine m(tp);
+  m.setDecodeFault(
+      [](Opcode op) { return op == Opcode::NOP ? Opcode::B : op; });
+  EXPECT_TRUE(m.run(1000).trapped);
+  m.clearDecodeFault();
+  m.reset(false);
+  EXPECT_TRUE(m.run(1000).halted);
+}
+
+TEST(Machine, DispatchModeIsReported) {
+  const char* mode = Machine::dispatchMode();
+  EXPECT_TRUE(std::strcmp(mode, "threaded") == 0 ||
+              std::strcmp(mode, "switch") == 0);
+}
+
+// A repeated branch decides taken/not-taken independently per repeat, and
+// the final PC follows the LAST repeat: when it falls through, execution
+// continues after the branch even though earlier repeats were taken.
+TEST(Machine, RepeatedBranchFollowsLastRepeat) {
+  auto tp = asmProg(R"(
+      .sym n 1
+      LARK AR0, #2
+      ZAC
+      RPT #2
+ top: BANZ AR0, top
+      ADDK #1
+      SACL n
+      HALT
+  )");
+  Machine m(tp);
+  auto rr = m.run();
+  ASSERT_TRUE(rr.halted);
+  // Three BANZ repeats: AR0 2 -> 1 (taken), 1 -> 0 (taken), 0 (fall
+  // through). The batch ends not-taken, so execution proceeds to ADDK
+  // exactly once -- no extra BANZ fetch.
+  EXPECT_EQ(m.readSymbol("n"), 1);
+  EXPECT_EQ(rr.instructions, 9);  // LARK ZAC RPT BANZx3 ADDK SACL HALT
+  EXPECT_EQ(rr.cycles, 12);        // branches cost 2 each
+  // The reference engine agrees on the whole ledger.
+  ReferenceMachine ref(tp);
+  auto r2 = ref.run();
+  EXPECT_EQ(r2.instructions, rr.instructions);
+  EXPECT_EQ(r2.cycles, rr.cycles);
+  EXPECT_EQ(ref.readSymbol("n"), 1);
+}
+
+// The decode-once engine and the pre-decode reference must be bit-identical
+// on every committed corpus program, across the full config sweep: same
+// RunResult, same architectural state, same data memory, every tick.
+TEST(Machine, EnginesAgreeAcrossCorpus) {
+  namespace dt = record::difftest;
+  auto files = dt::listCorpusFiles(RECORD_CORPUS_DIR);
+  ASSERT_FALSE(files.empty());
+  int compared = 0;
+  for (const auto& path : files) {
+    dt::CorpusEntry e;
+    std::string err;
+    ASSERT_TRUE(dt::loadCorpusFile(path, &e, &err)) << path << ": " << err;
+    DiagEngine diag;
+    auto prog = dfl::parseDfl(e.source, diag);
+    ASSERT_TRUE(prog) << path << ":\n" << diag.str();
+    Stimulus stim = dt::makeStimulus(*prog, e.seed, e.ticks);
+    for (const auto& pt : dt::defaultSweep()) {
+      CompileResult res;
+      try {
+        RecordCompiler rc(pt.cfg, recordOptions());
+        res = rc.compile(*prog);
+      } catch (const std::runtime_error&) {
+        continue;  // capability rejection: clean skip, like the oracle
+      }
+      std::string diff = compareSimEngines(res.prog, stim);
+      EXPECT_EQ(diff, "") << e.name << " @ " << pt.name;
+      ++compared;
+    }
+  }
+  EXPECT_GT(compared, 0);
 }
 
 }  // namespace
