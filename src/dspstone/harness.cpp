@@ -71,14 +71,73 @@ Measurement runAndCompare(const TargetProgram& tp, const Program& prog,
   return m;
 }
 
+namespace {
+
+/// Compare one engine's post-run state and result against another's,
+/// field by field; empty string when identical. Both Machine and
+/// ReferenceMachine satisfy the accessor surface.
+template <class EngineA, class EngineB>
+std::string compareEnginePair(int t, EngineA& a, const char* an,
+                              const RunResult& ra, EngineB& b, const char* bn,
+                              const RunResult& rb, const TargetProgram& tp) {
+  if (ra.status != rb.status)
+    return formatv("tick %d: status %s (%s) vs %s (%s)", t,
+                   runStatusName(ra.status), an, runStatusName(rb.status), bn);
+  if (ra.trapReason != rb.trapReason)
+    return formatv("tick %d: trap reason '%s' (%s) vs '%s' (%s)", t,
+                   ra.trapReason.c_str(), an, rb.trapReason.c_str(), bn);
+  if (ra.cycles != rb.cycles)
+    return formatv("tick %d: cycles %lld (%s) vs %lld (%s)", t,
+                   static_cast<long long>(ra.cycles), an,
+                   static_cast<long long>(rb.cycles), bn);
+  if (ra.instructions != rb.instructions)
+    return formatv("tick %d: instructions %lld (%s) vs %lld (%s)", t,
+                   static_cast<long long>(ra.instructions), an,
+                   static_cast<long long>(rb.instructions), bn);
+  if (a.acc() != b.acc() || a.treg() != b.treg() || a.preg() != b.preg())
+    return formatv(
+        "tick %d: ACC/T/P %lld/%lld/%lld (%s) vs %lld/%lld/%lld (%s)", t,
+        static_cast<long long>(a.acc()), static_cast<long long>(a.treg()),
+        static_cast<long long>(a.preg()), an,
+        static_cast<long long>(b.acc()), static_cast<long long>(b.treg()),
+        static_cast<long long>(b.preg()), bn);
+  for (int i = 0; i < tp.config.numAddrRegs; ++i)
+    if (a.ar(i) != b.ar(i))
+      return formatv("tick %d: AR%d = %d (%s) vs %d (%s)", t, i, a.ar(i), an,
+                     b.ar(i), bn);
+  if (a.ovm() != b.ovm() || a.sxm() != b.sxm())
+    return formatv("tick %d: OVM/SXM mode bits diverge (%s vs %s)", t, an, bn);
+  if (a.pc() != b.pc())
+    return formatv("tick %d: PC %d (%s) vs %d (%s)", t, a.pc(), an, b.pc(),
+                   bn);
+  for (int addr = 0; addr < tp.config.dataWords; ++addr)
+    if (a.readData(addr) != b.readData(addr))
+      return formatv("tick %d: data[%d] = %lld (%s) vs %lld (%s)", t, addr,
+                     static_cast<long long>(a.readData(addr)), an,
+                     static_cast<long long>(b.readData(addr)), bn);
+  return "";
+}
+
+}  // namespace
+
 std::string compareSimEngines(const TargetProgram& tp, const Stimulus& stim) {
+  // Three-way: the superblock-translated Machine and the plain decoded
+  // Machine are each held against the pre-decode ReferenceMachine (and so,
+  // transitively, against each other), tick by tick, over results, all
+  // architectural registers, and full data memory. This is the deopt
+  // contract's enforcement point: translation on must be bit-identical to
+  // translation off.
+  Machine tra(tp);
+  tra.setTranslate(true);
   Machine dec(tp);
+  dec.setTranslate(false);
   ReferenceMachine ref(tp);
 
   for (const auto& [name, vals] : stim.arrays) {
     if (tp.addrOf(name) < 0)
       return "target program lacks symbol '" + name + "'";
     for (size_t i = 0; i < vals.size(); ++i) {
+      tra.writeSymbol(name, static_cast<int>(i), vals[i]);
       dec.writeSymbol(name, static_cast<int>(i), vals[i]);
       ref.writeSymbol(name, static_cast<int>(i), vals[i]);
     }
@@ -90,54 +149,22 @@ std::string compareSimEngines(const TargetProgram& tp, const Stimulus& stim) {
                       ? 0
                       : vals[std::min<size_t>(static_cast<size_t>(t),
                                               vals.size() - 1)];
+      tra.writeSymbol(name, 0, v);
       dec.writeSymbol(name, 0, v);
       ref.writeSymbol(name, 0, v);
     }
+    auto rt = tra.run();
     auto rd = dec.run();
     auto rr = ref.run();
-    if (rd.status != rr.status)
-      return formatv("tick %d: status %s (decoded) vs %s (reference)", t,
-                     runStatusName(rd.status), runStatusName(rr.status));
-    if (rd.trapReason != rr.trapReason)
-      return formatv("tick %d: trap reason '%s' (decoded) vs '%s' (reference)",
-                     t, rd.trapReason.c_str(), rr.trapReason.c_str());
-    if (rd.cycles != rr.cycles)
-      return formatv("tick %d: cycles %lld (decoded) vs %lld (reference)", t,
-                     static_cast<long long>(rd.cycles),
-                     static_cast<long long>(rr.cycles));
-    if (rd.instructions != rr.instructions)
-      return formatv("tick %d: instructions %lld (decoded) vs %lld (reference)",
-                     t, static_cast<long long>(rd.instructions),
-                     static_cast<long long>(rr.instructions));
-    if (dec.acc() != ref.acc() || dec.treg() != ref.treg() ||
-        dec.preg() != ref.preg())
-      return formatv(
-          "tick %d: ACC/T/P %lld/%lld/%lld (decoded) vs %lld/%lld/%lld "
-          "(reference)",
-          t, static_cast<long long>(dec.acc()),
-          static_cast<long long>(dec.treg()),
-          static_cast<long long>(dec.preg()),
-          static_cast<long long>(ref.acc()),
-          static_cast<long long>(ref.treg()),
-          static_cast<long long>(ref.preg()));
-    for (int i = 0; i < tp.config.numAddrRegs; ++i)
-      if (dec.ar(i) != ref.ar(i))
-        return formatv("tick %d: AR%d = %d (decoded) vs %d (reference)", t, i,
-                       dec.ar(i), ref.ar(i));
-    if (dec.ovm() != ref.ovm() || dec.sxm() != ref.sxm())
-      return formatv("tick %d: OVM/SXM mode bits diverge", t);
-    if (dec.pc() != ref.pc())
-      return formatv("tick %d: PC %d (decoded) vs %d (reference)", t,
-                     dec.pc(), ref.pc());
-    for (int a = 0; a < tp.config.dataWords; ++a)
-      if (dec.readData(a) != ref.readData(a))
-        return formatv("tick %d: data[%d] = %lld (decoded) vs %lld "
-                       "(reference)",
-                       t, a, static_cast<long long>(dec.readData(a)),
-                       static_cast<long long>(ref.readData(a)));
+    std::string diff =
+        compareEnginePair(t, tra, "translated", rt, ref, "reference", rr, tp);
+    if (diff.empty())
+      diff = compareEnginePair(t, dec, "decoded", rd, ref, "reference", rr, tp);
+    if (!diff.empty()) return diff;
     // A trap or budget exit is terminal and already proven identical;
     // further ticks would just replay it from a stale PC.
     if (rd.status != RunStatus::Halted) break;
+    tra.reset(false);
     dec.reset(false);
     ref.reset(false);
   }

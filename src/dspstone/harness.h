@@ -48,13 +48,16 @@ Measurement runAndCompare(const TargetProgram& tp, const Program& prog,
 Stimulus defaultStimulus(const Program& prog, uint32_t seed = 1,
                          int ticks = 4);
 
-/// Run `tp` on `stim` under both simulator engines -- the decode-once
-/// Machine and the pre-decode ReferenceMachine -- and require bit-identical
-/// behavior: same RunResult (status, trap reason, cycles, instructions),
-/// same architectural state (ACC/T/P/ARs/OVM/SXM/PC), and same full data
-/// memory after every tick. Returns "" when identical, else a description
-/// of the first divergence. Used by sim_test, the difftest oracle, and
-/// bench/sim_throughput's verification pass.
+/// Run `tp` on `stim` under all three simulator engines -- the decode-once
+/// Machine with superblock translation forced on, the same Machine with
+/// translation forced off, and the pre-decode ReferenceMachine -- and
+/// require bit-identical behavior: same RunResult (status, trap reason,
+/// cycles, instructions), same architectural state (ACC/T/P/ARs/OVM/SXM/PC),
+/// and same full data memory after every tick. Returns "" when identical,
+/// else a description of the first divergence. Used by sim_test,
+/// translate_test, the difftest oracle, and bench/sim_throughput's
+/// verification pass; this is what keeps translation honest (see
+/// sim/translate.h's deopt contract).
 std::string compareSimEngines(const TargetProgram& tp, const Stimulus& stim);
 
 }  // namespace record

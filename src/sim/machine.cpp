@@ -28,6 +28,16 @@
 #define RECORD_SIM_THREADED 0
 #endif
 
+// RECORD_SIM_TRANSLATE_OFF comes from the RECORD_SIM_TRANSLATE CMake option
+// (off disables hot-region translation by default; auto/on enable it). Only
+// the *default* of setTranslate is build-time: both paths are always
+// compiled, and tests/benches force each explicitly.
+#if defined(RECORD_SIM_TRANSLATE_OFF)
+#define RECORD_SIM_TRANSLATE_DEFAULT 0
+#else
+#define RECORD_SIM_TRANSLATE_DEFAULT 1
+#endif
+
 namespace record {
 
 namespace {
@@ -80,6 +90,14 @@ const char* Machine::dispatchMode() {
 #endif
 }
 
+const char* Machine::translateMode() {
+#if RECORD_SIM_TRANSLATE_DEFAULT
+  return "on";
+#else
+  return "off";
+#endif
+}
+
 Machine::Machine(const TargetProgram& prog)
     : prog_(prog),
       data_(static_cast<size_t>(prog.config.dataWords), 0),
@@ -97,6 +115,7 @@ Machine::Machine(const TargetProgram& prog)
       rawTarget_[i] = idx;
     }
   }
+  translateOn_ = RECORD_SIM_TRANSLATE_DEFAULT != 0;
   decodeAll();
   reset();
 }
@@ -144,7 +163,7 @@ void Machine::setAcc(int64_t v) { acc_ = wrap32(v); }
 // Decode
 // ---------------------------------------------------------------------------
 
-Machine::DecodedOp Machine::decodeTrap(Opcode eff, std::string why) {
+DecodedOp Machine::decodeTrap(Opcode eff, std::string why) {
   DecodedOp d;
   d.handler = static_cast<uint8_t>(kMirror_TRAP);
   d.op = eff;
@@ -190,7 +209,7 @@ bool Machine::decodeAddr(const Operand& o, DecOperand* out,
   return false;
 }
 
-Machine::DecodedOp Machine::decodeOne(const Instr& raw, int rawTarget) {
+DecodedOp Machine::decodeOne(const Instr& raw, int rawTarget) {
   const Opcode eff = decodeFault_ ? decodeFault_(raw.op) : raw.op;
   DecodedOp d;
   d.handler = static_cast<uint8_t>(eff);
@@ -310,6 +329,10 @@ void Machine::decodeAll() {
   decoded_.resize(prog_.code.size());
   for (size_t i = 0; i < prog_.code.size(); ++i)
     decoded_[i] = decodeOne(prog_.code[i], rawTarget_[i]);
+  // Any re-decode (fault injection, clearDecodeFault) invalidates every
+  // translation: blocks and promotion counters are rebuilt from scratch
+  // against the new decode, re-forming RPT blocks statically.
+  trans_.rebuild(decoded_);
 }
 
 
@@ -344,10 +367,18 @@ namespace {
 // Fetch the instruction at pc and dispatch, honoring the cycle budget. The
 // budget is checked per fetch, never per repeat: an RPT batch runs to
 // completion even when it overshoots maxCycles (pre-decode loop behavior).
+// The macro expands at every VM_NEXT site so each handler keeps its own
+// fetch+dispatch indirect branch (per-opcode successor prediction -- the
+// point of threaded dispatch); under kTranslate it adds only the superblock
+// lookup, with the heavyweight block execution out of line at vm_block.
 #define VM_FETCH()                                               \
   do {                                                           \
     if (res.cycles >= maxCycles) goto budget_exhausted;          \
     if (static_cast<unsigned>(pc) >= codeSize) goto pc_range;    \
+    if constexpr (kTranslate) {                                  \
+      if (pendingRpt == 0 && blockMap[pc] >= 0)                  \
+        goto vm_block;                                           \
+    }                                                            \
     pcThis = pc;                                                 \
     d = ops + pc;                                                \
     repsLeft = 1 + pendingRpt;                                   \
@@ -383,12 +414,17 @@ namespace {
 
 RunResult Machine::run(int64_t maxCycles) {
   // Pick the loop specialization once per run; the unprofiled loop carries
-  // no profiling code at all.
-  return profile_ ? runImpl<true>(maxCycles) : runImpl<false>(maxCycles);
+  // no profiling code at all, and a profiled run never consults the
+  // translation set (superblocks would hide per-PC attribution).
+  if (profile_) return runImpl<true, false>(maxCycles);
+  return translateOn_ ? runImpl<false, true>(maxCycles)
+                      : runImpl<false, false>(maxCycles);
 }
 
-template <bool kProfile>
+template <bool kProfile, bool kTranslate>
 RunResult Machine::runImpl(int64_t maxCycles) {
+  static_assert(!(kProfile && kTranslate),
+                "profiled runs bypass translation by construction");
   // Profiling hooks fire only between here and return, so data-memory
   // traffic from external setup (writeSymbol, reset) is never attributed
   // to the program.
@@ -404,6 +440,10 @@ RunResult Machine::runImpl(int64_t maxCycles) {
   int64_t* const dataPtr = data_.data();
   const unsigned dataSize = static_cast<unsigned>(data_.size());
   int* const arPtr = ar_.data();
+  // Per-PC superblock map as a raw pointer: the fetch path consults it once
+  // per instruction, so it must be a single load (stable across block
+  // formation -- see TranslationSet::blockMap).
+  [[maybe_unused]] const int16_t* const blockMap = trans_.blockMap();
 
   // Architectural state lives in locals for the duration of the run (the
   // members would force a load/store per instruction); every exit path
@@ -473,8 +513,147 @@ RunResult Machine::runImpl(int64_t maxCycles) {
   };
 #endif
 
+  // Hot run-entry regions: the straight-line prefix at the PC a run starts
+  // from is a superblock candidate once the same entry recurs (tiny
+  // straight-line kernels re-run per tick live entirely in such a block).
+  if constexpr (kTranslate) {
+    if (static_cast<unsigned>(pc) < codeSize && blockMap[pc] < 0 &&
+        trans_.noteEntry(pc))
+      trans_.tryFormEntry(decoded_, pc);
+  }
+
   try {
     VM_FETCH();
+
+    // Superblock execution, out of line from the per-handler fetch sites
+    // (VM_FETCH jumps here when the pending-repeat-free fetch PC keys a
+    // block; a pending repeat applies to the instruction about to be
+    // fetched, and superblocks model single execution, so repeated entries
+    // stay on the decoded path). The budget and PC-range checks already
+    // passed at the jumping fetch site.
+  vm_block:
+    __attribute__((unused));  // label is unreferenced when !kTranslate
+    if constexpr (kTranslate) {
+      {
+        const Superblock& b = trans_.block(blockMap[pc]);
+        if (b.kind == Superblock::Kind::Entry) {
+          // Entry blocks (single straight-line pass, None/Halt close) are
+          // walked right here, fully inlined: no out-of-line call, no state
+          // marshalling. Tiny run-entry kernels execute one such block per
+          // run and are dominated by fixed per-run cost, so this path is
+          // what makes them faster than the decoded loop; the out-of-line
+          // threaded executor keeps the multi-pass Loop/Rpt blocks, where
+          // per-op dispatch quality dominates instead. The micro-op bodies
+          // expand against runImpl's own access lambdas (identical
+          // semantics; kProfile is false on every translated run).
+          if (res.cycles + b.maxCyclesPerPass > maxCycles) {
+            ++trans_.stats().deopts;
+            goto vm_block_stay;
+          }
+          ++trans_.stats().blockRuns;
+          int* const ar = arPtr;
+          const TargetConfig& cfg = prog_.config;
+          const TransOp* op = b.body.data();
+          int sub = 0;
+          int64_t extra = 0;
+          try {
+            for (;; sub = 0, ++op) {
+              switch (op->kind) {
+#define RECORD_TB_EXEC_INLINE(k, ...) \
+  case TK::k: {                       \
+    __VA_ARGS__;                      \
+  } break;
+                RECORD_TB_OPS(RECORD_TB_EXEC_INLINE)
+#undef RECORD_TB_EXEC_INLINE
+                case TK::End:
+                  goto vm_entry_close;
+                default:
+                  __builtin_unreachable();  // drops the jump-table range check
+              }
+            }
+          vm_entry_close:
+            // Pass done: fold the precomputed totals (worst-case cycles
+            // corrected by the XY bank discounts) plus the close into the
+            // run ledger, one update per counter.
+            if (b.close == Superblock::Close::Halt) {
+              res.cycles += b.passCycles + extra + 1;
+              res.instructions += b.passInsns + 1;
+              trans_.stats().blockInstructions += b.passInsns + 1;
+              pc = b.closePc;
+              res.status = RunStatus::Halted;
+              res.halted = true;
+              flush();
+              return res;
+            }
+            res.cycles += b.passCycles + extra;
+            res.instructions += b.passInsns;
+            trans_.stats().blockInstructions += b.passInsns;
+            pc = b.exitPc;
+          } catch (...) {
+            // Mid-pass trap: reconstruct the exact decoded-loop ledger and
+            // PC from the faulting op's worst-case prefix plus the retired
+            // fused halves (same contract as runSuperblock's catch); the
+            // outer catch then flushes the partial architectural state the
+            // locals already hold.
+            res.cycles += op->cPre + extra + sub;
+            res.instructions += op->nPre + sub;
+            trans_.stats().blockInstructions += op->nPre + sub;
+            pc = b.entry + op->nPre + sub;
+            throw;
+          }
+          VM_FETCH();
+        }
+
+        SimState st{acc, tr, pr, ovm, sxm, pc};
+        BlockExit ex;
+        try {
+          ex = runSuperblock(b, prog_.config, dataPtr, dataSize, arPtr, st,
+                             maxCycles, res.cycles, res.instructions,
+                             trans_.stats());
+        } catch (...) {
+          // Trap inside the block: adopt the written-back state so the
+          // outer catch flushes exactly what the decoded loop would have.
+          acc = st.acc;
+          tr = st.t;
+          pr = st.p;
+          ovm = st.ovm;
+          sxm = st.sxm;
+          pc = st.pc;
+          throw;
+        }
+        acc = st.acc;
+        tr = st.t;
+        pr = st.p;
+        ovm = st.ovm;
+        sxm = st.sxm;
+        pc = st.pc;
+        if (ex == BlockExit::Flow) VM_FETCH();
+        if (ex == BlockExit::Halted) {
+          res.status = RunStatus::Halted;
+          res.halted = true;
+          flush();
+          return res;
+        }
+      }
+      // BlockExit::Stay (or the inline pre-check above bailing): a
+      // worst-case pass might overrun the budget, so replay this iteration
+      // from the block entry (pc == entry) on the decoded path, which
+      // re-checks the budget per fetch. The budget must be re-tested first
+      // -- a deopt can land exactly on exhaustion (completed passes consumed
+      // the whole budget), where the decoded loop stops at this fetch. The
+      // PC-range check already passed, and the block check is skipped on
+      // purpose (re-running VM_FETCH would re-enter the block and spin).
+    vm_block_stay:
+      __attribute__((unused));
+      if (res.cycles >= maxCycles) goto budget_exhausted;
+      pcThis = pc;
+      d = ops + pc;
+      repsLeft = 1;  // blocks are only entered with no pending repeat
+      pendingRpt = 0;
+      branched = false;
+      cyc = d->cyc;
+      VM_DISPATCH();
+    }
 
 #if !RECORD_SIM_THREADED
   vm_dispatch:
@@ -597,15 +776,27 @@ RunResult Machine::runImpl(int64_t maxCycles) {
         reg = (reg - d->b.val) & 0xffff;
       }
       VM_NEXT();
+      // Taken back-edges (target at or before the branch -- the same shape
+      // the profiler's BranchProfile::isBackEdge uses) feed the dynamic
+      // loop-promotion counter under kTranslate; crossing the threshold
+      // forms a loop superblock entered at the very next fetch.
       VM_CASE(B) {
         pc = d->target;
         branched = true;
+        if constexpr (kTranslate) {
+          if (pc <= pcThis && trans_.noteBackEdge(pcThis))
+            trans_.tryFormLoop(decoded_, pc, pcThis);
+        }
       }
       VM_NEXT();
       VM_CASE(BZ) {
         if (acc == 0) {
           pc = d->target;
           branched = true;
+          if constexpr (kTranslate) {
+            if (pc <= pcThis && trans_.noteBackEdge(pcThis))
+              trans_.tryFormLoop(decoded_, pc, pcThis);
+          }
         }
       }
       VM_NEXT();
@@ -613,6 +804,10 @@ RunResult Machine::runImpl(int64_t maxCycles) {
         if (acc >= 0) {
           pc = d->target;
           branched = true;
+          if constexpr (kTranslate) {
+            if (pc <= pcThis && trans_.noteBackEdge(pcThis))
+              trans_.tryFormLoop(decoded_, pc, pcThis);
+          }
         }
       }
       VM_NEXT();
@@ -622,6 +817,10 @@ RunResult Machine::runImpl(int64_t maxCycles) {
           reg = (reg - 1) & 0xffff;
           pc = d->target;
           branched = true;
+          if constexpr (kTranslate) {
+            if (pc <= pcThis && trans_.noteBackEdge(pcThis))
+              trans_.tryFormLoop(decoded_, pc, pcThis);
+          }
         }
       }
       VM_NEXT();

@@ -28,6 +28,7 @@
 #include <string>
 #include <vector>
 
+#include "sim/translate.h"
 #include "target/isa.h"
 
 namespace record {
@@ -111,30 +112,27 @@ class Machine {
   /// RECORD_SIM_DISPATCH CMake option.
   static const char* dispatchMode();
 
+  /// Force hot-region translation on/off for this machine, overriding the
+  /// build default. Translation is semantics-neutral (superblocks deopt to
+  /// the decoded loop at the exact architectural instant -- see
+  /// sim/translate.h); profiled runs always bypass it so per-PC attribution
+  /// stays exact.
+  void setTranslate(bool on) { translateOn_ = on; }
+  bool translateOn() const { return translateOn_; }
+  /// The build-default translation mode: "on" or "off". Fixed at compile
+  /// time by the RECORD_SIM_TRANSLATE CMake option (auto == on).
+  static const char* translateMode();
+  /// Formation/execution counters of this machine's translation set
+  /// (reset whenever the program is re-decoded, e.g. by fault injection).
+  const TranslateStats& translateStats() const { return trans_.stats(); }
+
  private:
-  /// One pre-split operand. kind 0 = immediate/none (val is the literal or
-  /// AR index), 1 = direct (val is the data address), 2 = indirect (val is
-  /// a validated AR index, post the auto-modify delta).
-  struct DecOperand {
-    uint8_t kind = 0;
-    int8_t post = 0;   // -1 / 0 / +1, applied to the AR after use
-    int8_t bank = -1;  // XY ops: memory bank when static (direct), else -1
-    int32_t val = 0;
-  };
-
-  /// One decode-once instruction: everything the hot loop needs, flat.
-  struct DecodedOp {
-    uint8_t handler = 0;   // dispatch index: opcode value, or the trap sink
-    Opcode op = Opcode::NOP;  // effective (fault-remapped) opcode
-    uint8_t cyc = 0;       // static cycle hint (branches 2, rest 1)
-    DecOperand a;
-    DecOperand b;
-    int32_t target = -1;   // raw branch target (-1 when not a branch site)
-  };
-
   /// The interpreter loop, specialized on whether a profiler is attached
-  /// (kProfile false drops every profiling hook at compile time).
-  template <bool kProfile>
+  /// (kProfile false drops every profiling hook at compile time) and on
+  /// whether hot-region translation is active (kTranslate false carries no
+  /// block checks or promotion counters). Profiling and translation are
+  /// mutually exclusive by construction.
+  template <bool kProfile, bool kTranslate>
   RunResult runImpl(int64_t maxCycles);
 
   void decodeAll();
@@ -152,6 +150,8 @@ class Machine {
   std::vector<int> rawTarget_;  // per instruction, label-resolved at
                                 // construction; -1 if not a branch
   std::vector<DecodedOp> decoded_;
+  TranslationSet trans_;     // superblocks over decoded_; rebuilt on decode
+  bool translateOn_ = true;  // runtime switch; ctor applies the build default
   std::vector<std::string> trapMsgs_;  // decode-trap reasons, by a.val
   std::vector<int64_t> data_;
   int64_t acc_ = 0, t_ = 0, p_ = 0;

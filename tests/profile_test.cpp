@@ -178,6 +178,36 @@ TEST(Profile, RunResultBitIdenticalWithProfilingAttached) {
   EXPECT_EQ(plain.sizeWords, profiled.sizeWords);
 }
 
+// The exact-accounting invariants hold on a Machine with hot-region
+// translation enabled and blocks already hot: profiled runs take the
+// unprofiled-decoded specialization (never a superblock), so every
+// histogram still sums to the RunResult totals.
+TEST(Profile, SumsToTotalWithTranslationEnabled) {
+  const Kernel& k = kernelByName("fir");
+  auto prog = dfl::parseDflOrDie(k.dfl);
+  TargetConfig cfg;
+  auto res = RecordCompiler(cfg, recordOptions()).compile(prog);
+  Machine m(res.prog);
+  m.setTranslate(true);
+  // Warm until loop/entry promotion has happened.
+  for (int i = 0; i < 4; ++i) {
+    ASSERT_TRUE(m.run().halted);
+    m.reset(false);
+  }
+  ASSERT_GE(m.translateStats().blockRuns, 1);
+
+  Profile prof(res.prog);
+  m.attachProfile(&prof);
+  auto rr = m.run();
+  ASSERT_TRUE(rr.halted);
+  EXPECT_EQ(prof.totalCycles(), rr.cycles);
+  EXPECT_EQ(prof.totalInstructions(), rr.instructions);
+  EXPECT_EQ(sumLineCycles(prof), rr.cycles);
+  EXPECT_EQ(sumClassCycles(prof), rr.cycles);
+  EXPECT_EQ(sumClassCounts(prof), rr.instructions);
+  EXPECT_EQ(sumPcCycles(prof), rr.cycles);
+}
+
 TEST(Profile, SetupAccessesAreNotCounted) {
   auto tp = assembleOrDie(".sym a 1\n.sym r 1\nLAC a\nSACL r\nHALT\n",
                           TargetConfig{});

@@ -10,6 +10,7 @@
 #include "dspstone/harness.h"
 #include "ir/type.h"
 #include "sim/machine.h"
+#include "sim/profile.h"
 #include "sim/reference.h"
 #include "target/asmtext.h"
 
@@ -454,6 +455,60 @@ TEST(Machine, DispatchModeIsReported) {
               std::strcmp(mode, "switch") == 0);
 }
 
+// The build-time translation default is reported, and a fresh Machine's
+// runtime switch starts from it (tests and benches may then force either
+// mode per Machine regardless of the build).
+TEST(Machine, TranslateModeIsReported) {
+  const char* mode = Machine::translateMode();
+  ASSERT_TRUE(std::strcmp(mode, "on") == 0 || std::strcmp(mode, "off") == 0);
+  Machine m(asmProg("NOP\nHALT\n"));
+  EXPECT_EQ(m.translateOn(), std::strcmp(mode, "on") == 0);
+  m.setTranslate(false);
+  EXPECT_FALSE(m.translateOn());
+  m.setTranslate(true);
+  EXPECT_TRUE(m.translateOn());
+}
+
+// A profiled run bypasses superblocks entirely (per-PC attribution must
+// stay exact), even on a Machine with translation enabled and hot blocks
+// already formed -- and the bypass does not disturb the ledger.
+TEST(Machine, ProfiledRunBypassesTranslation) {
+  auto tp = asmProg(R"(
+      .sym v 8
+      .sym s 1
+      LARK AR0, #0
+      ZAC
+      RPT #7
+      ADD *AR0+
+      SACL s
+      HALT
+  )");
+  Machine m(tp);
+  m.setTranslate(true);
+  ASSERT_EQ(m.translateStats().rptBlocks, 1);
+  auto warm = m.run();
+  ASSERT_TRUE(warm.halted);
+  int64_t runsBefore = m.translateStats().blockRuns;
+  ASSERT_GE(runsBefore, 1);
+
+  Profile prof(tp);
+  m.attachProfile(&prof);
+  m.reset(false);
+  auto rp = m.run();
+  ASSERT_TRUE(rp.halted);
+  EXPECT_EQ(m.translateStats().blockRuns, runsBefore);  // no block executed
+  EXPECT_EQ(rp.cycles, warm.cycles);
+  EXPECT_EQ(rp.instructions, warm.instructions);
+  EXPECT_EQ(prof.totalCycles(), rp.cycles);
+  EXPECT_EQ(prof.totalInstructions(), rp.instructions);
+
+  // Detaching the profiler puts the next run back inside the block.
+  m.attachProfile(nullptr);
+  m.reset(false);
+  ASSERT_TRUE(m.run().halted);
+  EXPECT_GT(m.translateStats().blockRuns, runsBefore);
+}
+
 // A repeated branch decides taken/not-taken independently per repeat, and
 // the final PC follows the LAST repeat: when it falls through, execution
 // continues after the branch even though earlier repeats were taken.
@@ -485,9 +540,11 @@ TEST(Machine, RepeatedBranchFollowsLastRepeat) {
   EXPECT_EQ(ref.readSymbol("n"), 1);
 }
 
-// The decode-once engine and the pre-decode reference must be bit-identical
-// on every committed corpus program, across the full config sweep: same
-// RunResult, same architectural state, same data memory, every tick.
+// The decode-once engine -- with superblock translation forced on AND
+// forced off -- and the pre-decode reference must be bit-identical on every
+// committed corpus program, across the full config sweep: same RunResult,
+// same architectural state, same data memory, every tick
+// (compareSimEngines runs all three engines against each other).
 TEST(Machine, EnginesAgreeAcrossCorpus) {
   namespace dt = record::difftest;
   auto files = dt::listCorpusFiles(RECORD_CORPUS_DIR);

@@ -1,0 +1,364 @@
+// Hot-region translation (sim/translate.h): block formation pins, the
+// deopt contract (budget, traps, fault injection, profiling), and a
+// randomized per-tick equivalence sweep of the translated engine against
+// the pre-decode reference. Everything here runs with translation forced
+// on/off per Machine, so the suite is meaningful in every build regardless
+// of the -DRECORD_SIM_TRANSLATE default.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "codegen/baseline.h"
+#include "codegen/pipeline.h"
+#include "dfl/frontend.h"
+#include "difftest/difftest.h"
+#include "dspstone/harness.h"
+#include "sim/machine.h"
+#include "sim/reference.h"
+#include "target/asmtext.h"
+
+namespace record {
+namespace {
+
+TargetProgram asmProg(const std::string& src, TargetConfig cfg = {}) {
+  return assembleOrDie(src, cfg);
+}
+
+// ---------------------------------------------------------------------------
+// Formation pins
+// ---------------------------------------------------------------------------
+
+// RPT bodies are translated statically: the block exists after decode,
+// before any run, and the first run already executes inside it.
+TEST(Translate, RptBodyFormsAtDecode) {
+  auto tp = asmProg(R"(
+      .sym v 8
+      .sym s 1
+      LARK AR0, #0
+      ZAC
+      RPT #7
+      ADD *AR0+
+      SACL s
+      HALT
+  )");
+  Machine m(tp);
+  m.setTranslate(true);
+  EXPECT_EQ(m.translateStats().rptBlocks, 1);
+  EXPECT_EQ(m.translateStats().blockRuns, 0);
+  auto rr = m.run();
+  ASSERT_TRUE(rr.halted);
+  EXPECT_GE(m.translateStats().blockRuns, 1);
+  // RPT + 8 repeats retire inside the block.
+  EXPECT_GE(m.translateStats().blockInstructions, 9);
+  ReferenceMachine ref(tp);
+  auto r2 = ref.run();
+  EXPECT_EQ(rr.cycles, r2.cycles);
+  EXPECT_EQ(rr.instructions, r2.instructions);
+}
+
+// A backward branch promotes its region into a loop block exactly when its
+// taken count crosses kBackEdgeThreshold -- within a single run when the
+// loop is hot enough, never for a short loop.
+TEST(Translate, BackEdgePromotionCrossesThreshold) {
+  auto loopProg = [](int count) {
+    return asmProg(
+        "      .sym s 1\n"
+        "      LARK AR0, #" + std::to_string(count) + "\n"
+        "      ZAC\n"
+        " top: ADDK #1\n"
+        "      BANZ AR0, top\n"
+        "      SACL s\n"
+        "      HALT\n");
+  };
+  {
+    Machine hot(loopProg(2 * kBackEdgeThreshold));
+    hot.setTranslate(true);
+    ASSERT_TRUE(hot.run().halted);
+    EXPECT_EQ(hot.translateStats().loopBlocks, 1);
+    EXPECT_GE(hot.translateStats().blockRuns, 1);
+  }
+  {
+    Machine cold(loopProg(kBackEdgeThreshold / 2));
+    cold.setTranslate(true);
+    ASSERT_TRUE(cold.run().halted);
+    EXPECT_EQ(cold.translateStats().loopBlocks, 0);
+    EXPECT_EQ(cold.translateStats().blockRuns, 0);
+  }
+}
+
+// The straight-line region at a recurring run entry is promoted on the
+// kEntryThreshold-th run() from that PC.
+TEST(Translate, EntryPromotionCrossesThreshold) {
+  auto tp = asmProg(R"(
+      .sym a 1
+      .sym b 1
+      .sym r 1
+      LAC a
+      ADD b
+      SACL r
+      HALT
+  )");
+  Machine m(tp);
+  m.setTranslate(true);
+  for (int run = 1; run < kEntryThreshold; ++run) {
+    ASSERT_TRUE(m.run().halted);
+    EXPECT_EQ(m.translateStats().entryBlocks, 0) << "run " << run;
+    m.reset(false);
+  }
+  ASSERT_TRUE(m.run().halted);
+  EXPECT_EQ(m.translateStats().entryBlocks, 1);
+  EXPECT_GE(m.translateStats().blockRuns, 1);
+  // The whole kernel (HALT close included) retires inside the block.
+  EXPECT_GE(m.translateStats().blockInstructions, 4);
+}
+
+// ---------------------------------------------------------------------------
+// Deopt contract: budget
+// ---------------------------------------------------------------------------
+
+// Sweep every cycle budget across a promoted loop: the translated machine
+// must stop at the exact architectural instant the reference does, even
+// when the budget expires mid-superblock (the executor's worst-case
+// pre-check deopts to the decoded loop for the final partial pass).
+TEST(Translate, BudgetSweepMatchesReferenceMidBlock) {
+  auto tp = asmProg(R"(
+      .sym s 1
+      LARK AR0, #19
+      ZAC
+ top: ADDK #1
+      BANZ AR0, top
+      SACL s
+      HALT
+  )");
+  Machine tra(tp);
+  tra.setTranslate(true);
+  auto full = tra.run();
+  ASSERT_TRUE(full.halted);
+  ASSERT_EQ(tra.translateStats().loopBlocks, 1);  // promoted and hot
+
+  for (int64_t budget = 0; budget <= full.cycles + 2; ++budget) {
+    tra.reset(false);
+    ReferenceMachine ref(tp);
+    auto rt = tra.run(budget);
+    auto rr = ref.run(budget);
+    ASSERT_EQ(rt.status, rr.status) << "budget " << budget;
+    EXPECT_EQ(rt.cycles, rr.cycles) << "budget " << budget;
+    EXPECT_EQ(rt.instructions, rr.instructions) << "budget " << budget;
+    EXPECT_EQ(tra.pc(), ref.pc()) << "budget " << budget;
+    EXPECT_EQ(tra.acc(), ref.acc()) << "budget " << budget;
+    EXPECT_EQ(tra.ar(0), ref.ar(0)) << "budget " << budget;
+  }
+}
+
+// Same sweep for an entry block (the inline straight-line walk): its budget
+// pre-check must fall back to the decoded loop for exact per-fetch budget
+// semantics.
+TEST(Translate, BudgetSweepMatchesReferenceInEntryBlock) {
+  auto tp = asmProg(R"(
+      .sym a 1
+      .sym b 1
+      .sym r 1
+      LAC a
+      ADD b
+      ADD b
+      SACL r
+      HALT
+  )");
+  Machine tra(tp);
+  tra.setTranslate(true);
+  int64_t total = 0;
+  for (int i = 0; i < kEntryThreshold; ++i) {
+    auto rr = tra.run();
+    ASSERT_TRUE(rr.halted);
+    total = rr.cycles;
+    tra.reset(false);
+  }
+  ASSERT_EQ(tra.translateStats().entryBlocks, 1);
+
+  for (int64_t budget = 0; budget <= total + 1; ++budget) {
+    tra.reset(false);
+    ReferenceMachine ref(tp);
+    auto rt = tra.run(budget);
+    auto rr = ref.run(budget);
+    ASSERT_EQ(rt.status, rr.status) << "budget " << budget;
+    EXPECT_EQ(rt.cycles, rr.cycles) << "budget " << budget;
+    EXPECT_EQ(rt.instructions, rr.instructions) << "budget " << budget;
+    EXPECT_EQ(tra.pc(), ref.pc()) << "budget " << budget;
+    EXPECT_EQ(tra.acc(), ref.acc()) << "budget " << budget;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Deopt contract: traps
+// ---------------------------------------------------------------------------
+
+// A trap raised mid-pass inside a promoted loop block -- here a store that
+// walks off the end of data memory, in the middle of a fused LT;MPY;APAC
+// idiom's neighborhood -- must report the identical reason at the identical
+// retired-instruction count as both the decoded loop and the reference.
+TEST(Translate, TrapInsideLoopBlockIsBitIdentical) {
+  // AR1 starts at 2000 (eight ADRK #250 from 0); the loop stores upward and
+  // runs long enough (200 iterations requested) that the block is promoted
+  // well before the write to address 2048 traps.
+  auto tp = asmProg(R"(
+      .sym s 1
+      LARK AR0, #200
+      LARK AR1, #250
+      ADRK AR1, #250
+      ADRK AR1, #250
+      ADRK AR1, #250
+      ADRK AR1, #250
+      ADRK AR1, #250
+      ADRK AR1, #250
+      ADRK AR1, #250
+      LAC s
+ top: ADDK #1
+      SACL *AR1+
+      BANZ AR0, top
+      HALT
+  )");
+  Machine tra(tp);
+  tra.setTranslate(true);
+  Machine dec(tp);
+  dec.setTranslate(false);
+  ReferenceMachine ref(tp);
+  auto rt = tra.run();
+  auto rd = dec.run();
+  auto rr = ref.run();
+  ASSERT_TRUE(rt.trapped);
+  EXPECT_GE(tra.translateStats().loopBlocks, 1);
+  EXPECT_GE(tra.translateStats().blockRuns, 1);
+  EXPECT_EQ(rt.trapReason, "data write out of range: 2048");
+  EXPECT_EQ(rt.trapReason, rd.trapReason);
+  EXPECT_EQ(rt.trapReason, rr.trapReason);
+  EXPECT_EQ(rt.instructions, rr.instructions);
+  EXPECT_EQ(rt.cycles, rr.cycles);
+  EXPECT_EQ(rd.instructions, rr.instructions);
+  EXPECT_EQ(tra.pc(), ref.pc());
+  EXPECT_EQ(tra.ar(1), ref.ar(1));
+  EXPECT_EQ(tra.acc(), ref.acc());
+}
+
+// Trap in the middle of an RPT batch: the statically-formed RPT block's
+// per-repeat ledger must stop at the same partial count as the reference.
+TEST(Translate, TrapInsideRptBlockIsBitIdentical) {
+  auto tp = asmProg(R"(
+      .sym s 1
+      LARK AR0, #255
+      ADRK AR0, #255
+      ADRK AR0, #255
+      ADRK AR0, #255
+      ADRK AR0, #255
+      ADRK AR0, #255
+      ADRK AR0, #255
+      ADRK AR0, #255
+      LAC s
+      RPT #20
+      SACL *AR0+
+      HALT
+  )");
+  Machine tra(tp);
+  tra.setTranslate(true);
+  ASSERT_EQ(tra.translateStats().rptBlocks, 1);
+  ReferenceMachine ref(tp);
+  auto rt = tra.run();
+  auto rr = ref.run();
+  ASSERT_TRUE(rt.trapped);
+  EXPECT_EQ(rt.trapReason, "data write out of range: 2048");
+  EXPECT_EQ(rt.trapReason, rr.trapReason);
+  EXPECT_EQ(rt.instructions, rr.instructions);
+  EXPECT_EQ(rt.cycles, rr.cycles);
+  EXPECT_EQ(tra.pc(), ref.pc());
+  EXPECT_EQ(tra.ar(0), ref.ar(0));
+}
+
+// ---------------------------------------------------------------------------
+// Deopt contract: decode-fault injection and recovery
+// ---------------------------------------------------------------------------
+
+// Injecting a fault that turns a translated region's instruction into a
+// trap sink must invalidate the block (the re-decode rebuilds the
+// translation set and refuses the now-illegal body) and trap with the same
+// reason at the same retired count as the translation-off machine;
+// clearDecodeFault re-decodes and restores the original translation.
+TEST(Translate, DecodeFaultInvalidatesAndClearRestores) {
+  auto tp = asmProg(R"(
+      .sym v 8
+      .sym s 1
+      LARK AR0, #0
+      ZAC
+      RPT #7
+      ADD *AR0+
+      SACL s
+      HALT
+  )");
+  Machine tra(tp);
+  tra.setTranslate(true);
+  ASSERT_EQ(tra.translateStats().rptBlocks, 1);
+  ASSERT_TRUE(tra.run().halted);
+  ASSERT_GE(tra.translateStats().blockRuns, 1);
+
+  // Fault: the RPT body's ADD decodes as a branch with no target -- a trap
+  // sink, so the RPT region is refused and the program runs decoded.
+  auto fault = [](Opcode op) { return op == Opcode::ADD ? Opcode::B : op; };
+  tra.setDecodeFault(fault);
+  EXPECT_EQ(tra.translateStats().rptBlocks, 0);
+  Machine dec(tp);
+  dec.setTranslate(false);
+  dec.setDecodeFault(fault);
+  tra.reset(false);
+  auto rt = tra.run();
+  auto rd = dec.run();
+  ASSERT_TRUE(rt.trapped);
+  EXPECT_EQ(rt.trapReason, rd.trapReason);
+  EXPECT_EQ(rt.instructions, rd.instructions);
+  EXPECT_EQ(rt.cycles, rd.cycles);
+  EXPECT_EQ(tra.translateStats().blockRuns, 0);  // stats reset by rebuild
+
+  // Clearing the fault re-decodes: the RPT block re-forms and the next run
+  // executes translated again, bit-identical to the reference.
+  tra.clearDecodeFault();
+  EXPECT_EQ(tra.translateStats().rptBlocks, 1);
+  tra.reset(false);
+  auto r2 = tra.run();
+  ASSERT_TRUE(r2.halted);
+  EXPECT_GE(tra.translateStats().blockRuns, 1);
+  ReferenceMachine ref(tp);
+  auto rr = ref.run();
+  EXPECT_EQ(r2.cycles, rr.cycles);
+  EXPECT_EQ(r2.instructions, rr.instructions);
+}
+
+// ---------------------------------------------------------------------------
+// Randomized per-tick equivalence
+// ---------------------------------------------------------------------------
+
+// >= 200 generated difftest programs, each run tick by tick through the
+// three-way engine comparison (translated Machine, decoded Machine,
+// ReferenceMachine): same RunResult, same architectural state, same full
+// data memory after every tick, traps and budget exits included. This is
+// the translation layer's standing randomized soak in tier 1.
+TEST(Translate, RandomProgramsAgreePerTick) {
+  TargetConfig cfg;
+  int compared = 0;
+  for (uint64_t seed = 1; seed <= 260; ++seed) {
+    auto spec = difftest::generateProgram(seed);
+    DiagEngine diag;
+    auto prog = dfl::parseDfl(spec.render(), diag);
+    ASSERT_TRUE(prog) << "seed " << seed << ":\n" << diag.str();
+    CompileResult res;
+    try {
+      res = RecordCompiler(cfg, recordOptions()).compile(*prog);
+    } catch (const std::runtime_error&) {
+      continue;  // capability rejection: clean skip, like the oracle
+    }
+    Stimulus stim = difftest::makeStimulus(*prog, seed, spec.ticks);
+    std::string diff = compareSimEngines(res.prog, stim);
+    EXPECT_EQ(diff, "") << "seed " << seed << "\n" << spec.render();
+    ++compared;
+  }
+  EXPECT_GE(compared, 200);
+}
+
+}  // namespace
+}  // namespace record
