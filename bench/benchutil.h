@@ -23,6 +23,7 @@
 #include "sim/profile.h"
 #include "support/json.h"
 #include "target/asmtext.h"
+#include "trace/metrics.h"
 
 namespace record::bench {
 
@@ -146,40 +147,11 @@ inline std::string writeGlobalStats(const std::string& benchName) {
 // Latency percentiles
 // ---------------------------------------------------------------------------
 
-/// Exact latency percentiles from stored samples. The benches stream a few
-/// thousand requests, so storing every sample (8 bytes each) is cheaper and
-/// more honest than a reservoir or histogram sketch -- the p99 reported is
-/// the actual 99th-percentile sample, not an interpolation bucket.
-class LatencySamples {
- public:
-  void record(double ms) { samples_.push_back(ms); }
-  size_t count() const { return samples_.size(); }
-
-  /// Exact percentile by nearest-rank (p in [0,100]); 0 when empty. The
-  /// rank-`ceil(p/100*N)`-th smallest sample, so p=100 is the max and p=0
-  /// the min.
-  double percentile(double p) const {
-    if (samples_.empty()) return 0;
-    std::vector<double> sorted(samples_);
-    std::sort(sorted.begin(), sorted.end());
-    if (p <= 0) return sorted.front();
-    size_t rank = static_cast<size_t>(
-        std::ceil(p / 100.0 * static_cast<double>(sorted.size())));
-    if (rank == 0) rank = 1;
-    if (rank > sorted.size()) rank = sorted.size();
-    return sorted[rank - 1];
-  }
-
-  double mean() const {
-    if (samples_.empty()) return 0;
-    double sum = 0;
-    for (double s : samples_) sum += s;
-    return sum / static_cast<double>(samples_.size());
-  }
-
- private:
-  std::vector<double> samples_;
-};
+/// Exact latency percentiles from stored samples; now lives in
+/// src/trace/metrics.h next to the histogram it serves as the test oracle
+/// for. Aliased here because the benches and server tests use it by this
+/// name.
+using LatencySamples = ::record::LatencySamples;
 
 /// Record the standard latency summary (count, mean, p50/p90/p99, max) of
 /// one sample set into a stats row. Keys are ms_-prefixed, so perfcmp
@@ -192,6 +164,20 @@ inline void recordLatencyStats(StatsSink& sink, const std::string& row,
   sink.set(row, "ms_latency_p90", lat.percentile(90));
   sink.set(row, "ms_latency_p99", lat.percentile(99));
   sink.set(row, "ms_latency_max", lat.percentile(100));
+}
+
+/// Same latency summary, sourced from a service-side HistogramSnapshot
+/// (the log-bucketed distribution): exact count/mean/max, bucket-bound
+/// p50/p90/p99 clamped to the observed max. Lets the benches report the
+/// service's own telemetry instead of re-measuring client-side.
+inline void recordLatencyStats(StatsSink& sink, const std::string& row,
+                               const HistogramSnapshot& h) {
+  sink.set(row, "latency_samples", static_cast<double>(h.count));
+  sink.set(row, "ms_latency_mean", h.meanMs());
+  sink.set(row, "ms_latency_p50", h.percentile(50));
+  sink.set(row, "ms_latency_p90", h.percentile(90));
+  sink.set(row, "ms_latency_p99", h.percentile(99));
+  sink.set(row, "ms_latency_max", h.maxMs());
 }
 
 /// Record one compile's statistics as a stats row.

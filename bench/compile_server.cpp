@@ -7,6 +7,17 @@
 //   ./bench/compile_server                      # default 3000-request stream
 //   ./bench/compile_server --programs 500       # CI smoke size
 //   ./bench/compile_server --workers 4
+//   ./bench/compile_server --slow-trace slow.json --slow-ms 1 \
+//       --request-log requests.jsonl            # telemetry artifacts
+//
+// Latency numbers come from the service's own telemetry (the per-outcome
+// server.latency.* histograms merged per run), not from client-side
+// re-measurement: count/mean/max are exact, p50/p90/p99 are log-bucket
+// upper bounds (<= 12.5% wide) clamped to the observed max. Per-phase keys
+// (compile_ms_p50/p90/p99, queue_ms_p99) expose where the microseconds go.
+// --slow-trace writes the dup90 run's slow-request spans as Chrome trace
+// JSON (validated before writing); --request-log appends that run's
+// per-request JSONL event log.
 //
 // Rows written to BENCH_compile_server_stats.json:
 //   dup0 / dup50 / dup90     cached runs at 0% / 50% / 90% duplicate ratio
@@ -32,6 +43,8 @@
 #include "benchutil.h"
 #include "difftest/difftest.h"
 #include "server/compileservice.h"
+#include "trace/metrics.h"
+#include "trace/trace.h"
 
 namespace {
 
@@ -90,21 +103,40 @@ std::vector<int> buildStream(int programs, int dupPct, int poolSize) {
   return stream;
 }
 
+/// The four outcomes a parse-clean stream can land in.
+constexpr const char* kOutcomes[] = {"hit", "coalesced", "miss", "rejected"};
+
 struct RunResult {
   server::ServiceStats stats;
-  bench::LatencySamples latency;
+  MetricsSnapshot metrics;     // the service's full registry snapshot
+  HistogramSnapshot latency;   // server.latency.* merged across outcomes
+  std::string slowTraceJson;   // captured when slowMs >= 0
   double steadySec = 0;
   double wallSec = 0;
   int programs = 0;
   int uniquePrograms = 0;
 };
 
+/// Merge one phase's histograms across all outcomes of a run.
+HistogramSnapshot phaseHistogram(const MetricsSnapshot& m,
+                                 const std::string& phase) {
+  HistogramSnapshot h;
+  for (const char* o : kOutcomes)
+    if (const HistogramSnapshot* s =
+            m.histogram("server.phase." + phase + "." + std::string(o)))
+      h.merge(*s);
+  return h;
+}
+
 RunResult replay(const std::vector<server::CompileRequest>& pool,
                  const std::vector<int>& stream, int workers,
-                 size_t cacheBytes) {
+                 size_t cacheBytes, double slowMs = -1,
+                 const std::string& requestLogPath = "") {
   server::ServiceOptions so;
   so.workers = workers;
   so.cacheBytes = cacheBytes;
+  so.slowRequestMs = slowMs;
+  so.requestLogPath = requestLogPath;
   server::CompileService svc(so);
 
   bench::DualTimer timer;
@@ -121,11 +153,24 @@ RunResult replay(const std::vector<server::CompileRequest>& pool,
                    i, resp.error.c_str());
       std::exit(1);
     }
-    r.latency.record(resp.msLatency);
     if (stream[i] > uniqueMax) uniqueMax = stream[i];
   }
   bench::DualTimes t = timer.elapsed();
   r.stats = svc.stats();
+  r.metrics = svc.metricsSnapshot();
+  for (const char* o : kOutcomes)
+    if (const HistogramSnapshot* s =
+            r.metrics.histogram("server.latency." + std::string(o)))
+      r.latency.merge(*s);
+  if (static_cast<int64_t>(r.latency.count) != r.stats.requests) {
+    std::fprintf(stderr,
+                 "FATAL: latency histogram count %llu != %lld requests -- "
+                 "telemetry lost samples\n",
+                 (unsigned long long)r.latency.count,
+                 (long long)r.stats.requests);
+    std::exit(1);
+  }
+  if (slowMs >= 0) r.slowTraceJson = svc.slowTraceJson();
   r.steadySec = t.steadySec;
   r.wallSec = t.wallSec;
   r.programs = static_cast<int>(stream.size());
@@ -145,6 +190,14 @@ void recordRun(const std::string& row, const RunResult& r) {
         r.steadySec > 0 ? r.programs / r.steadySec : 0);
   g.set(row, "wall_sec", r.wallSec);
   bench::recordLatencyStats(g, row, r.latency);
+  // Where the microseconds go: compile-phase percentiles and the queue-wait
+  // tail. The *_p50/*_p99 suffixes mark them as host timing for perfcmp.
+  HistogramSnapshot compile = phaseHistogram(r.metrics, "compile");
+  g.set(row, "compile_ms_p50", compile.percentile(50));
+  g.set(row, "compile_ms_p90", compile.percentile(90));
+  g.set(row, "compile_ms_p99", compile.percentile(99));
+  g.set(row, "queue_ms_p99",
+        phaseHistogram(r.metrics, "queue_wait").percentile(99));
 }
 
 }  // namespace
@@ -152,14 +205,22 @@ void recordRun(const std::string& row, const RunResult& r) {
 int main(int argc, char** argv) {
   int programs = 3000;
   int workers = 0;  // one per hardware thread
+  std::string slowTracePath;
+  std::string requestLogPath;
+  double slowMs = 0;  // with --slow-trace: capture everything by default
   for (int i = 1; i < argc; ++i) {
     auto arg = [&](const char* name) {
       return std::strcmp(argv[i], name) == 0 && i + 1 < argc;
     };
     if (arg("--programs")) programs = std::atoi(argv[++i]);
     else if (arg("--workers")) workers = std::atoi(argv[++i]);
+    else if (arg("--slow-trace")) slowTracePath = argv[++i];
+    else if (arg("--slow-ms")) slowMs = std::atof(argv[++i]);
+    else if (arg("--request-log")) requestLogPath = argv[++i];
     else {
-      std::fprintf(stderr, "usage: %s [--programs N] [--workers N]\n",
+      std::fprintf(stderr,
+                   "usage: %s [--programs N] [--workers N] [--slow-trace "
+                   "FILE] [--slow-ms MS] [--request-log FILE]\n",
                    argv[0]);
       return 2;
     }
@@ -178,7 +239,24 @@ int main(int argc, char** argv) {
   for (int dupPct : {0, 50, 90}) {
     std::vector<int> stream =
         buildStream(programs, dupPct, static_cast<int>(pool.size()));
-    RunResult r = replay(pool, stream, workers, server::ServiceOptions{}.cacheBytes);
+    // The dup90 run carries the telemetry artifacts (slow trace, request
+    // log) when asked -- it is the headline cached run.
+    bool artifacts = dupPct == 90 && !slowTracePath.empty();
+    RunResult r = replay(pool, stream, workers,
+                         server::ServiceOptions{}.cacheBytes,
+                         artifacts ? slowMs : -1,
+                         dupPct == 90 ? requestLogPath : "");
+    if (artifacts) {
+      std::string err;
+      if (!validateChromeTrace(r.slowTraceJson, &err)) {
+        std::fprintf(stderr, "FATAL: slow-request trace is invalid: %s\n",
+                     err.c_str());
+        return 1;
+      }
+      std::ofstream out(slowTracePath);
+      out << r.slowTraceJson;
+      std::printf("slow-request trace: %s\n", slowTracePath.c_str());
+    }
     std::string row = "dup" + std::to_string(dupPct);
     recordRun(row, r);
     double thr = r.steadySec > 0 ? r.programs / r.steadySec : 0;

@@ -31,6 +31,19 @@
 //                         (requests/hits/misses/evictions) and per-request
 //                         latency; with --trace the counters also appear
 //                         in the pass-trace report
+//   --metrics[=FILE]      dump the compile service's metrics registry
+//                         (counters, gauges, per-phase latency histograms
+//                         split by outcome) as nested JSON; implies
+//                         --server-stats. With no FILE the JSON goes to
+//                         stdout and the listing is suppressed (pipe into
+//                         jq)
+//   --prom[=FILE]         same registry as Prometheus text exposition
+//   --slow-trace=FILE     capture every service request's per-phase spans
+//                         and write them as Chrome trace JSON (validated);
+//                         implies --server-stats
+//   --request-log=FILE    append one JSON line per service request (id,
+//                         key, outcome, per-phase ms); implies
+//                         --server-stats
 //   --trace               print the pass trace (timers, counters, remarks)
 //                         to stderr
 //   --trace-json[=FILE]   write a Chrome trace_event JSON trace to FILE;
@@ -61,7 +74,9 @@ int main(int argc, char** argv) {
   bool run = false, stats = false, emitIsd = false, srcListing = false;
   bool traceText = false, traceJson = false, profile = false;
   int serverRepeat = 0;  // > 0: route through CompileService, N submissions
+  bool metricsOut = false, promOut = false;
   std::string traceJsonFile, profileStatsFile, profileTraceFile;
+  std::string metricsFile, promFile, slowTraceFile, requestLogFile;
 
   for (int i = 1; i < argc; ++i) {
     std::string a = argv[i];
@@ -96,6 +111,20 @@ int main(int argc, char** argv) {
     else if (a == "--server-stats") serverRepeat = 4;
     else if (a.rfind("--server-stats=", 0) == 0)
       serverRepeat = std::atoi(a.c_str() + std::strlen("--server-stats="));
+    else if (a == "--metrics") metricsOut = true;
+    else if (a.rfind("--metrics=", 0) == 0) {
+      metricsOut = true;
+      metricsFile = a.substr(std::strlen("--metrics="));
+    }
+    else if (a == "--prom") promOut = true;
+    else if (a.rfind("--prom=", 0) == 0) {
+      promOut = true;
+      promFile = a.substr(std::strlen("--prom="));
+    }
+    else if (a.rfind("--slow-trace=", 0) == 0)
+      slowTraceFile = a.substr(std::strlen("--slow-trace="));
+    else if (a.rfind("--request-log=", 0) == 0)
+      requestLogFile = a.substr(std::strlen("--request-log="));
     else if (a == "--trace") traceText = true;
     else if (a == "--trace-json") traceJson = true;
     else if (a.rfind("--trace-json=", 0) == 0) {
@@ -154,6 +183,12 @@ int main(int argc, char** argv) {
   TraceContext trace;
   if (traceText || traceJson) opt.trace = &trace;
 
+  // Telemetry exports observe the compile service, so they imply it.
+  if ((metricsOut || promOut || !slowTraceFile.empty() ||
+       !requestLogFile.empty()) &&
+      serverRepeat == 0)
+    serverRepeat = 4;
+
   if (serverRepeat != 0) {
     if (!isdFile.empty()) {
       std::fprintf(stderr,
@@ -164,6 +199,8 @@ int main(int argc, char** argv) {
     if (serverRepeat < 1) serverRepeat = 1;
     server::ServiceOptions so;
     so.trace = &trace;  // server.* counters land in the pass trace
+    if (!slowTraceFile.empty()) so.slowRequestMs = 0;  // capture everything
+    so.requestLogPath = requestLogFile;
     server::CompileService svc(so);
     std::shared_ptr<const TargetProgram> compiled;
     std::ostringstream requestLines;
@@ -188,16 +225,63 @@ int main(int argc, char** argv) {
       if (traceText) std::fprintf(stderr, "%s", trace.text().c_str());
       return 1;
     }
-    std::printf("%s", compiled->listing(srcListing).c_str());
-    server::ServiceStats ss = svc.stats();
-    std::printf(
-        "; server: %lld requests, %lld cache hits, %lld coalesced, "
-        "%lld compiled, %lld evictions, %lld cached entries (%lld bytes)\n",
-        (long long)ss.requests, (long long)ss.cacheHits,
-        (long long)ss.coalesced, (long long)ss.misses,
-        (long long)ss.evictions, (long long)ss.cacheEntries,
-        (long long)ss.cacheBytes);
-    std::printf("%s", requestLines.str().c_str());
+    // --metrics / --prom with no file stream the export to stdout (for
+    // jq / scrapers); the listing would corrupt it, so it is suppressed.
+    const bool exportToStdout = (metricsOut && metricsFile.empty()) ||
+                                (promOut && promFile.empty());
+    if (!exportToStdout) {
+      std::printf("%s", compiled->listing(srcListing).c_str());
+      server::ServiceStats ss = svc.stats();
+      std::printf(
+          "; server: %lld requests, %lld cache hits, %lld coalesced, "
+          "%lld compiled, %lld evictions, %lld cached entries (%lld bytes)\n",
+          (long long)ss.requests, (long long)ss.cacheHits,
+          (long long)ss.coalesced, (long long)ss.misses,
+          (long long)ss.evictions, (long long)ss.cacheEntries,
+          (long long)ss.cacheBytes);
+      std::printf("%s", requestLines.str().c_str());
+    }
+    if (metricsOut) {
+      std::string json = svc.metricsJson();
+      if (metricsFile.empty()) {
+        std::printf("%s\n", json.c_str());
+      } else {
+        std::ofstream out(metricsFile);
+        if (!out) {
+          std::fprintf(stderr, "cannot write %s\n", metricsFile.c_str());
+          return 2;
+        }
+        out << json << "\n";
+      }
+    }
+    if (promOut) {
+      std::string text = svc.prometheusText();
+      if (promFile.empty()) {
+        std::printf("%s", text.c_str());
+      } else {
+        std::ofstream out(promFile);
+        if (!out) {
+          std::fprintf(stderr, "cannot write %s\n", promFile.c_str());
+          return 2;
+        }
+        out << text;
+      }
+    }
+    if (!slowTraceFile.empty()) {
+      std::string json = svc.slowTraceJson();
+      std::string verr;
+      if (!validateChromeTrace(json, &verr)) {
+        std::fprintf(stderr, "internal error: bad slow-request trace: %s\n",
+                     verr.c_str());
+        return 2;
+      }
+      std::ofstream out(slowTraceFile);
+      if (!out) {
+        std::fprintf(stderr, "cannot write %s\n", slowTraceFile.c_str());
+        return 2;
+      }
+      out << json;
+    }
     if (traceText) std::fprintf(stderr, "%s", trace.text().c_str());
     return 0;
   }

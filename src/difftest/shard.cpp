@@ -1,11 +1,15 @@
 #include "difftest/shard.h"
 
 #include <algorithm>
+#include <atomic>
 #include <chrono>
 #include <cstring>
 #include <map>
 #include <mutex>
+#include <set>
 #include <sstream>
+
+#include "server/compileservice.h"
 
 #include "support/strings.h"
 #include "support/threadpool.h"
@@ -173,6 +177,13 @@ SoakReport runShardedSoak(const SoakOptions& opt,
 
   std::vector<ShardResult> results(static_cast<size_t>(shards));
   std::mutex progressMu;
+  // Cross-shard aggregates for the progress lines: total throughput, raw
+  // divergence count, and the live set of divergence keys (the dedup the
+  // final report performs, maintained incrementally so "unique" is honest
+  // mid-run).
+  std::atomic<unsigned long long> totalSeeds{0};
+  std::atomic<int> totalDivs{0};
+  std::set<uint64_t> liveKeys;  // guarded by progressMu
   auto runShard = [&](int s) {
     ShardResult& res = results[static_cast<size_t>(s)];
     // Splittable stream: shard s owns seed offsets s, s+S, s+2S, ... so
@@ -210,12 +221,33 @@ SoakReport runShardedSoak(const SoakOptions& opt,
         d.key = divergenceKey(d.minimizedSource, r.config,
                               cfg ? *cfg : TargetConfig{}, r.fastPath);
         d.repro = std::move(r);
+        totalDivs.fetch_add(1, std::memory_order_relaxed);
+        {
+          std::lock_guard<std::mutex> lock(progressMu);
+          liveKeys.insert(d.key);
+        }
         res.divs.push_back(std::move(d));
       }
+      totalSeeds.fetch_add(1, std::memory_order_relaxed);
       if (opt.progress && res.seeds % 100 == 0) {
+        unsigned long long seen = totalSeeds.load(std::memory_order_relaxed);
+        double sec = elapsed();
         std::lock_guard<std::mutex> lock(progressMu);
-        opt.progress(formatv("[shard %d] %llu programs, %d divergences", s,
-                             res.seeds, (int)res.divs.size()));
+        std::string line = formatv(
+            "[soak] %llu programs (%.0f/s), %d divergences (%d unique)", seen,
+            sec > 0 ? static_cast<double>(seen) / sec : 0.0,
+            totalDivs.load(std::memory_order_relaxed), (int)liveKeys.size());
+        if (opt.service) {
+          server::ServiceStats st = opt.service->stats();
+          line += formatv(", service hit rate %.0f%%",
+                          st.requests > 0
+                              ? 100.0 *
+                                    static_cast<double>(
+                                        st.servedWithoutCompile()) /
+                                    static_cast<double>(st.requests)
+                              : 0.0);
+        }
+        opt.progress(line);
       }
     }
   };

@@ -90,6 +90,9 @@ struct SoakOptions {
                                    OracleStats*)>
       check;
   /// Optional progress sink (called under a mutex from worker threads).
+  /// Lines aggregate across shards: programs checked and seeds/s, raw and
+  /// unique divergence counts, and -- when `service` is attached -- its
+  /// cache hit rate.
   std::function<void(const std::string&)> progress;
 };
 

@@ -5,6 +5,7 @@
 #include <condition_variable>
 #include <cstdio>
 #include <deque>
+#include <fstream>
 #include <list>
 #include <mutex>
 #include <thread>
@@ -14,6 +15,7 @@
 #include "dfl/frontend.h"
 #include "support/diag.h"
 #include "support/threadpool.h"
+#include "trace/metrics.h"
 #include "trace/trace.h"
 
 namespace record::server {
@@ -22,8 +24,8 @@ namespace {
 
 using Clock = std::chrono::steady_clock;
 
-double msSince(Clock::time_point t0) {
-  return std::chrono::duration<double, std::milli>(Clock::now() - t0).count();
+double msBetween(Clock::time_point a, Clock::time_point b) {
+  return std::chrono::duration<double, std::milli>(b - a).count();
 }
 
 uint64_t fnv1a(uint64_t h, const std::string& s) {
@@ -66,6 +68,29 @@ std::string leaseKeyOf(const TargetConfig& cfg,
 
 }  // namespace
 
+const char* phaseName(Phase p) {
+  switch (p) {
+    case Phase::Parse: return "parse";
+    case Phase::CacheLookup: return "cache_lookup";
+    case Phase::QueueWait: return "queue_wait";
+    case Phase::BatchAssembly: return "batch_assembly";
+    case Phase::Compile: return "compile";
+    case Phase::Fulfill: return "fulfill";
+  }
+  return "?";
+}
+
+const char* outcomeName(Outcome o) {
+  switch (o) {
+    case Outcome::Hit: return "hit";
+    case Outcome::Coalesced: return "coalesced";
+    case Outcome::Miss: return "miss";
+    case Outcome::Rejected: return "rejected";
+    case Outcome::ParseError: return "parse_error";
+  }
+  return "?";
+}
+
 size_t approxProgramBytes(const TargetProgram& tp) {
   size_t n = sizeof(TargetProgram);
   n += tp.code.capacity() * sizeof(Instr);
@@ -79,11 +104,14 @@ size_t approxProgramBytes(const TargetProgram& tp) {
 }
 
 struct CompileService::Impl {
-  // One pending response: the promise plus everything needed to stamp the
-  // response's per-request fields (latency, coalesced flag) at fulfillment.
+  // One pending response: the promise plus the lifecycle marks needed to
+  // stamp the response's per-phase breakdown at fulfillment.
   struct Waiter {
     std::shared_ptr<std::promise<CompileResponse>> promise;
-    Clock::time_point t0;
+    uint64_t id = 0;
+    Clock::time_point t0;           // submit entry
+    Clock::time_point tParsed;      // parse + key derivation done
+    Clock::time_point tClassified;  // hit/inflight/miss decided under mu
     bool coalesced = false;
   };
 
@@ -93,6 +121,10 @@ struct CompileService::Impl {
     TargetConfig cfg;
     CodegenOptions effective;  // trace/searchThreads already applied
     std::string leaseKey;
+    // Compile-side marks, shared by every waiter of this key.
+    Clock::time_point tDequeued;      // popped off the admission queue
+    Clock::time_point tCompileStart;  // runJob entered on a worker
+    Clock::time_point tCompileEnd;    // compile returned / threw
     // Cache-off mode only: the one waiter this job fulfills directly
     // (with caching on, waiters live in `inflight` so duplicates coalesce).
     std::vector<Waiter> directWaiters;
@@ -116,6 +148,7 @@ struct CompileService::Impl {
 
   explicit Impl(ServiceOptions o)
       : opt(o),
+        epoch(Clock::now()),
         workerCount(o.workers > 0
                         ? o.workers
                         : std::max(1u, std::thread::hardware_concurrency())),
@@ -123,6 +156,7 @@ struct CompileService::Impl {
     if (opt.queueDepth < 1) opt.queueDepth = 1;
     if (opt.batchSize < 1) opt.batchSize = 2 * workerCount;
     if (opt.recycleAfter < 1) opt.recycleAfter = 1;
+    if (opt.slowTraceLimit < 1) opt.slowTraceLimit = 1;
     if (opt.trace) {
       cRequests = opt.trace->counter("server.requests");
       cParseErrors = opt.trace->counter("server.parse_errors");
@@ -132,6 +166,36 @@ struct CompileService::Impl {
       cRejections = opt.trace->counter("server.rejections");
       cEvictions = opt.trace->counter("server.evictions");
       cBatches = opt.trace->counter("server.batches");
+    }
+    // Pre-resolve every metric the hot path records into: counters mirror
+    // ServiceStats, gauges track levels, histograms carry the phase/outcome
+    // latency matrix. record() on them is lock-free.
+    mRequests = reg.counter("server.requests");
+    mParseErrors = reg.counter("server.parse_errors");
+    mHits = reg.counter("server.cache_hits");
+    mCoalesced = reg.counter("server.coalesced");
+    mMisses = reg.counter("server.cache_misses");
+    mRejections = reg.counter("server.rejections");
+    mEvictions = reg.counter("server.evictions");
+    mBatches = reg.counter("server.batches");
+    gCacheEntries = reg.gauge("server.cache_entries");
+    gCacheBytes = reg.gauge("server.cache_bytes");
+    gQueueDepth = reg.gauge("server.queue_depth");
+    gInflight = reg.gauge("server.inflight_keys");
+    for (int o2 = 0; o2 < kNumOutcomes; ++o2) {
+      const char* oname = outcomeName(static_cast<Outcome>(o2));
+      latencyHist[o2] =
+          reg.histogram(std::string("server.latency.") + oname);
+      for (int p = 0; p < kNumPhases; ++p)
+        phaseHist[p][o2] = reg.histogram(
+            std::string("server.phase.") + phaseName(static_cast<Phase>(p)) +
+            "." + oname);
+    }
+    if (!opt.requestLogPath.empty()) {
+      requestLog.open(opt.requestLogPath, std::ios::app);
+      if (!requestLog)
+        std::fprintf(stderr, "WARNING: cannot open request log %s\n",
+                     opt.requestLogPath.c_str());
     }
     dispatcher = std::thread([this] { dispatchLoop(); });
   }
@@ -146,21 +210,114 @@ struct CompileService::Impl {
     dispatcher.join();
   }
 
+  double msSinceEpoch(Clock::time_point t) const {
+    return msBetween(epoch, t);
+  }
+
+  // ---- telemetry ----------------------------------------------------------
+
+  /// Build and deliver one response: stamp the phase breakdown from the
+  /// lifecycle marks (monotone cumulative, so the phases tile submit..now
+  /// exactly and msLatency == phases.totalMs()), record the histograms,
+  /// capture a slow-request span set, and append the event-log line.
+  void fulfill(Waiter& w, uint64_t key, Outcome outcome,
+               std::shared_ptr<const TargetProgram> prog, std::string error,
+               const Job* job) {
+    const Clock::time_point tFulfilled = Clock::now();
+    CompileResponse resp;
+    resp.prog = std::move(prog);
+    resp.error = std::move(error);
+    resp.cacheHit = outcome == Outcome::Hit;
+    resp.coalesced = outcome == Outcome::Coalesced;
+    resp.key = key;
+    resp.requestId = w.id;
+    resp.outcome = outcome;
+
+    Clock::time_point marks[kNumPhases];
+    marks[0] = w.tParsed;
+    marks[1] = w.tClassified;
+    if (job) {
+      marks[2] = job->tDequeued;
+      marks[3] = job->tCompileStart;
+      marks[4] = job->tCompileEnd;
+    } else {
+      marks[2] = marks[3] = marks[4] = w.tClassified;
+    }
+    marks[5] = tFulfilled;
+    // A coalesced waiter may have attached after the job was dequeued (or
+    // mid-compile); clamping each mark forward keeps every phase >= 0 and
+    // the tiling exact.
+    Clock::time_point cursor = w.t0;
+    for (int p = 0; p < kNumPhases; ++p) {
+      if (marks[p] < cursor) marks[p] = cursor;
+      resp.phases.ms[p] = msBetween(cursor, marks[p]);
+      cursor = marks[p];
+    }
+    resp.msLatency = resp.phases.totalMs();
+
+    const int oi = static_cast<int>(outcome);
+    latencyHist[oi]->record(resp.msLatency);
+    if (outcome == Outcome::ParseError) {
+      // Parse errors never reach the lookup/queue/compile phases; recording
+      // zeros there would break the phase-count == outcome-count contract.
+      phaseHist[static_cast<int>(Phase::Parse)][oi]->record(
+          resp.phases[Phase::Parse]);
+      phaseHist[static_cast<int>(Phase::Fulfill)][oi]->record(
+          resp.phases[Phase::Fulfill]);
+    } else {
+      for (int p = 0; p < kNumPhases; ++p)
+        phaseHist[p][oi]->record(resp.phases.ms[p]);
+    }
+
+    const bool slow =
+        opt.slowRequestMs >= 0 && resp.msLatency >= opt.slowRequestMs;
+    if (slow || requestLog.is_open()) {
+      std::lock_guard<std::mutex> lock(telemetryMu);
+      if (slow) {
+        slowRing.push_back(SlowRequest{resp.requestId, resp.key, outcome,
+                                       msSinceEpoch(w.t0), resp.phases,
+                                       resp.msLatency});
+        while (static_cast<int>(slowRing.size()) > opt.slowTraceLimit)
+          slowRing.pop_front();
+      }
+      if (requestLog.is_open()) {
+        char head[192];
+        std::snprintf(head, sizeof head,
+                      "{\"id\": %llu, \"key\": \"%016llx\", \"outcome\": "
+                      "\"%s\", \"ok\": %d, \"start_ms\": %.6g, \"ms\": %.6g",
+                      (unsigned long long)resp.requestId,
+                      (unsigned long long)resp.key, outcomeName(outcome),
+                      resp.ok() ? 1 : 0, msSinceEpoch(w.t0), resp.msLatency);
+        requestLog << head;
+        for (int p = 0; p < kNumPhases; ++p) {
+          char field[96];
+          std::snprintf(field, sizeof field, ", \"%s_ms\": %.6g",
+                        phaseName(static_cast<Phase>(p)), resp.phases.ms[p]);
+          requestLog << field;
+        }
+        requestLog << "}\n";
+        requestLog.flush();
+      }
+    }
+    w.promise->set_value(std::move(resp));
+  }
+
   // ---- admission ----------------------------------------------------------
 
   Ticket submit(CompileRequest req) {
-    Clock::time_point t0 = Clock::now();
-    auto prom = std::make_shared<std::promise<CompileResponse>>();
-    Ticket ticket{prom->get_future().share()};
+    Waiter w;
+    w.t0 = Clock::now();
+    w.id = nextRequestId.fetch_add(1, std::memory_order_relaxed);
+    w.promise = std::make_shared<std::promise<CompileResponse>>();
+    Ticket ticket{w.promise->get_future().share()};
 
     // Parse outside every lock: it is cheap relative to a compile but not
     // free, and a malformed request must never occupy a queue slot.
     DiagEngine diag;
     std::optional<Program> parsed = dfl::parseDfl(req.source, diag);
+    w.tParsed = Clock::now();
     if (!parsed) {
-      CompileResponse resp;
-      resp.error = diag.str().empty() ? "parse error" : diag.str();
-      resp.msLatency = msSince(t0);
+      w.tClassified = w.tParsed;
       {
         std::lock_guard<std::mutex> lock(mu);
         stats.requests++;
@@ -168,7 +325,10 @@ struct CompileService::Impl {
       }
       if (cRequests) cRequests->add();
       if (cParseErrors) cParseErrors->add();
-      prom->set_value(std::move(resp));
+      mRequests->add();
+      mParseErrors->add();
+      fulfill(w, /*key=*/0, Outcome::ParseError, nullptr,
+              diag.str().empty() ? "parse error" : diag.str(), nullptr);
       return ticket;
     }
 
@@ -179,22 +339,22 @@ struct CompileService::Impl {
     std::unique_lock<std::mutex> lock(mu);
     stats.requests++;
     if (cRequests) cRequests->add();
+    mRequests->add();
 
     if (opt.cacheBytes > 0) {
       auto it = cache.find(key);
       if (it != cache.end()) {
         // Hit: touch the LRU order and fulfill immediately.
         lruOrder.splice(lruOrder.begin(), lruOrder, it->second.lruIt);
-        CompileResponse resp;
-        resp.prog = it->second.prog;
-        resp.error = it->second.error;
-        resp.cacheHit = true;
-        resp.key = key;
+        std::shared_ptr<const TargetProgram> prog = it->second.prog;
+        std::string error = it->second.error;
         stats.cacheHits++;
         if (cHits) cHits->add();
+        mHits->add();
+        w.tClassified = Clock::now();
         lock.unlock();
-        resp.msLatency = msSince(t0);
-        prom->set_value(std::move(resp));
+        fulfill(w, key, Outcome::Hit, std::move(prog), std::move(error),
+                nullptr);
         return ticket;
       }
       auto inIt = inflight.find(key);
@@ -202,22 +362,31 @@ struct CompileService::Impl {
         // Single-flight: attach to the compile already running/queued.
         stats.coalesced++;
         if (cCoalesced) cCoalesced->add();
-        inIt->second.push_back(Waiter{std::move(prom), t0, true});
+        mCoalesced->add();
+        w.tClassified = Clock::now();
+        w.coalesced = true;
+        inIt->second.push_back(std::move(w));
         return ticket;
       }
-      inflight[key].push_back(Waiter{std::move(prom), t0, false});
     }
 
     stats.misses++;
     if (cMisses) cMisses->add();
+    mMisses->add();
+    w.tClassified = Clock::now();
     Job job;
     job.key = key;
     job.prog = std::move(progPtr);
     job.cfg = req.cfg;
     job.effective = effective;
     job.leaseKey = leaseKeyOf(req.cfg, effective);
-    if (opt.cacheBytes == 0)
-      job.directWaiters.push_back(Waiter{std::move(prom), t0, false});
+    if (opt.cacheBytes > 0) {
+      auto& waiters = inflight[key];
+      gInflight->set(static_cast<int64_t>(inflight.size()));
+      waiters.push_back(std::move(w));
+    } else {
+      job.directWaiters.push_back(std::move(w));
+    }
     // Backpressure: block while the admission queue is full. `stop` breaks
     // the wait so a destructor racing a late submit cannot hang; the job is
     // still enqueued and drained.
@@ -225,6 +394,7 @@ struct CompileService::Impl {
       return stop || static_cast<int>(queue.size()) < opt.queueDepth;
     });
     queue.push_back(std::move(job));
+    gQueueDepth->set(static_cast<int64_t>(queue.size()));
     lock.unlock();
     work.notify_one();
     return ticket;
@@ -240,15 +410,19 @@ struct CompileService::Impl {
         if (stop) return;
         continue;
       }
+      const Clock::time_point tDequeued = Clock::now();
       int n = std::min<int>(opt.batchSize, static_cast<int>(queue.size()));
       std::vector<Job> batch;
       batch.reserve(n);
       for (int i = 0; i < n; ++i) {
         batch.push_back(std::move(queue.front()));
+        batch.back().tDequeued = tDequeued;
         queue.pop_front();
       }
+      gQueueDepth->set(static_cast<int64_t>(queue.size()));
       stats.batches++;
       if (cBatches) cBatches->add();
+      mBatches->add();
       lock.unlock();
       queueSpace.notify_all();
       // The dispatcher participates in its own batch (parallelFor runs jobs
@@ -259,6 +433,7 @@ struct CompileService::Impl {
   }
 
   void runJob(Job& job) {
+    job.tCompileStart = Clock::now();
     std::unique_lock<std::mutex> lock(mu);
     std::unique_ptr<Lease> lease = acquireLease(job);
     lock.unlock();
@@ -271,6 +446,7 @@ struct CompileService::Impl {
     } catch (const std::exception& e) {
       error = e.what();
     }
+    job.tCompileEnd = Clock::now();
     // The arena inside the lease now references this program's symbols.
     lease->retained.push_back(job.prog);
     lease->compiles++;
@@ -281,6 +457,7 @@ struct CompileService::Impl {
     if (!error.empty()) {
       stats.rejections++;
       if (cRejections) cRejections->add();
+      mRejections->add();
     }
     if (opt.cacheBytes > 0) {
       insertCacheLocked(job.key, prog, error);
@@ -288,6 +465,7 @@ struct CompileService::Impl {
       if (it != inflight.end()) {
         waiters = std::move(it->second);
         inflight.erase(it);
+        gInflight->set(static_cast<int64_t>(inflight.size()));
       }
     }
     if (!recycle) leases[job.leaseKey].push_back(std::move(lease));
@@ -296,13 +474,11 @@ struct CompileService::Impl {
     lease.reset();
 
     for (Waiter& w : waiters) {
-      CompileResponse resp;
-      resp.prog = prog;
-      resp.error = error;
-      resp.coalesced = w.coalesced;
-      resp.key = job.key;
-      resp.msLatency = msSince(w.t0);
-      w.promise->set_value(std::move(resp));
+      Outcome outcome = w.coalesced
+                            ? Outcome::Coalesced
+                            : (error.empty() ? Outcome::Miss
+                                             : Outcome::Rejected);
+      fulfill(w, job.key, outcome, prog, error, &job);
     }
   }
 
@@ -341,12 +517,21 @@ struct CompileService::Impl {
       cache.erase(it);
       stats.evictions++;
       if (cEvictions) cEvictions->add();
+      mEvictions->add();
     }
     stats.cacheEntries = static_cast<int64_t>(cache.size());
     stats.cacheBytes = static_cast<int64_t>(cacheBytesUsed);
+    gCacheEntries->set(stats.cacheEntries);
+    gCacheBytes->set(stats.cacheBytes);
+  }
+
+  std::vector<SlowRequest> slowRequests() const {
+    std::lock_guard<std::mutex> lock(telemetryMu);
+    return {slowRing.begin(), slowRing.end()};
   }
 
   ServiceOptions opt;
+  Clock::time_point epoch;
   int workerCount;
   ThreadPool pool;
   std::thread dispatcher;
@@ -364,6 +549,30 @@ struct CompileService::Impl {
   std::unordered_map<std::string, std::vector<std::unique_ptr<Lease>>> leases;
 
   ServiceStats stats;  // guarded by mu
+
+  std::atomic<uint64_t> nextRequestId{1};
+
+  // Telemetry. The registry's hot-path handles are lock-free; the slow-
+  // request ring and event log sit behind their own mutex so they never
+  // contend with the service lock.
+  MetricsRegistry reg;
+  TraceCounter* mRequests = nullptr;
+  TraceCounter* mParseErrors = nullptr;
+  TraceCounter* mHits = nullptr;
+  TraceCounter* mCoalesced = nullptr;
+  TraceCounter* mMisses = nullptr;
+  TraceCounter* mRejections = nullptr;
+  TraceCounter* mEvictions = nullptr;
+  TraceCounter* mBatches = nullptr;
+  Gauge* gCacheEntries = nullptr;
+  Gauge* gCacheBytes = nullptr;
+  Gauge* gQueueDepth = nullptr;
+  Gauge* gInflight = nullptr;
+  LatencyHistogram* latencyHist[kNumOutcomes] = {};
+  LatencyHistogram* phaseHist[kNumPhases][kNumOutcomes] = {};
+  mutable std::mutex telemetryMu;
+  std::deque<SlowRequest> slowRing;
+  std::ofstream requestLog;
 
   TraceCounter* cRequests = nullptr;
   TraceCounter* cParseErrors = nullptr;
@@ -405,6 +614,75 @@ ServiceStats CompileService::stats() const {
 }
 
 int CompileService::workers() const { return impl_->workerCount; }
+
+MetricsRegistry& CompileService::metrics() const { return impl_->reg; }
+
+MetricsSnapshot CompileService::metricsSnapshot() const {
+  return impl_->reg.snapshot();
+}
+
+std::string CompileService::metricsJson() const {
+  return impl_->reg.metricsJson();
+}
+
+std::string CompileService::prometheusText() const {
+  return impl_->reg.prometheusText();
+}
+
+std::vector<SlowRequest> CompileService::slowRequests() const {
+  return impl_->slowRequests();
+}
+
+std::string CompileService::slowTraceJson() const {
+  // One 'X' span per captured request plus one per non-zero phase,
+  // tid = request id, ts in microseconds since the service epoch. The
+  // validator requires ts to be non-decreasing in array order, so events
+  // are rendered in sorted-ts order.
+  struct Ev {
+    double tsUs = 0;
+    double durUs = 0;
+    uint64_t tid = 0;
+    std::string name;
+    std::string args;
+  };
+  std::vector<Ev> events;
+  for (const SlowRequest& s : impl_->slowRequests()) {
+    char args[160];
+    std::snprintf(args, sizeof args,
+                  "{\"key\": \"%016llx\", \"outcome\": \"%s\", \"ms\": %.6g}",
+                  (unsigned long long)s.key, outcomeName(s.outcome),
+                  s.msLatency);
+    events.push_back(Ev{s.startMs * 1000.0, s.msLatency * 1000.0, s.id,
+                        "request", args});
+    double cursorUs = s.startMs * 1000.0;
+    for (int p = 0; p < kNumPhases; ++p) {
+      double durUs = s.phases.ms[p] * 1000.0;
+      if (durUs > 0)
+        events.push_back(
+            Ev{cursorUs, durUs, s.id, phaseName(static_cast<Phase>(p)), ""});
+      cursorUs += durUs;
+    }
+  }
+  std::stable_sort(events.begin(), events.end(),
+                   [](const Ev& a, const Ev& b) { return a.tsUs < b.tsUs; });
+  std::string out = "[";
+  bool first = true;
+  for (const Ev& e : events) {
+    out += first ? "\n  " : ",\n  ";
+    first = false;
+    char buf[256];
+    std::snprintf(buf, sizeof buf,
+                  "{\"name\": \"%s\", \"cat\": \"request\", \"ph\": \"X\", "
+                  "\"ts\": %.3f, \"dur\": %.3f, \"pid\": 0, \"tid\": %llu",
+                  e.name.c_str(), e.tsUs, e.durUs,
+                  (unsigned long long)e.tid);
+    out += buf;
+    if (!e.args.empty()) out += ", \"args\": " + e.args;
+    out += "}";
+  }
+  out += "\n]\n";
+  return out;
+}
 
 uint64_t CompileService::contentKey(const std::string& source,
                                     const TargetConfig& cfg,

@@ -50,6 +50,21 @@
 // ("server.cache_hits", ...) when one is attached, so they appear in
 // recordc --trace / --stats and every stats JSON artifact.
 //
+// Telemetry (always on; see DESIGN.md "Service telemetry"): the service
+// owns a MetricsRegistry and stamps every request with a monotonic id and
+// a per-phase timing breakdown -- parse, cache lookup, queue wait, batch
+// assembly, compile, fulfillment. Phase durations tile the request's
+// lifetime exactly (CompileResponse::msLatency == phases.totalMs(), one
+// measurement path, asserted by tests/metrics_test.cpp) and feed
+// per-phase log-bucketed histograms split by outcome (hit / coalesced /
+// miss / rejected / parse_error), so phase-histogram counts reconcile
+// exactly with ServiceStats. metricsJson() / prometheusText() export the
+// registry; a slow-request tracer (ServiceOptions::slowRequestMs) keeps
+// the newest-N full per-phase span captures and renders them as
+// validateChromeTrace-clean Chrome trace JSON, and an optional JSONL
+// request event log (ServiceOptions::requestLogPath) records one line per
+// fulfilled request.
+//
 // Thread safety: submit()/compileSync()/compileBatch() may be called from
 // any number of threads. Responses are delivered through futures; the
 // shared TargetPrograms are immutable and may be simulated concurrently.
@@ -67,6 +82,8 @@
 namespace record {
 
 class TraceContext;
+class MetricsRegistry;
+struct MetricsSnapshot;
 
 namespace server {
 
@@ -80,6 +97,44 @@ struct CompileRequest {
   CodegenOptions opt;  // trace pointer is ignored (the service owns tracing)
 };
 
+/// The phases a request's lifetime divides into. Every fulfilled request
+/// records all six (zero-duration phases included, so per-phase histogram
+/// counts equal the per-outcome request counts), except parse errors,
+/// which never reach the lookup/queue/compile phases.
+enum class Phase {
+  Parse,          // DFL parse + content-key derivation
+  CacheLookup,    // classification under the service lock (hit/inflight/miss)
+  QueueWait,      // admission-queue residency (coalesced: wait on the
+                  // in-flight compile)
+  BatchAssembly,  // batch pop to compile start on a worker
+  Compile,        // the RecordCompiler run
+  Fulfill,        // cache insert + response delivery
+};
+inline constexpr int kNumPhases = 6;
+const char* phaseName(Phase p);  // "parse", "cache_lookup", ...
+
+/// How a request was ultimately served. Hit + Coalesced + Miss + Rejected
+/// partition requests - parseErrors; Miss and Rejected together equal
+/// ServiceStats::misses (a rejection is a compile that ran and failed).
+enum class Outcome { Hit, Coalesced, Miss, Rejected, ParseError };
+inline constexpr int kNumOutcomes = 5;
+const char* outcomeName(Outcome o);  // "hit", "coalesced", ...
+
+/// Per-request phase durations in milliseconds. The phases tile the
+/// request's submit-to-fulfillment interval exactly: totalMs() IS the
+/// request latency (no second clock, no separate bookkeeping).
+struct PhaseTimes {
+  double ms[kNumPhases] = {};
+
+  double& operator[](Phase p) { return ms[static_cast<int>(p)]; }
+  double operator[](Phase p) const { return ms[static_cast<int>(p)]; }
+  double totalMs() const {
+    double t = 0;
+    for (double v : ms) t += v;
+    return t;
+  }
+};
+
 struct CompileResponse {
   /// Immutable compiled program, shared with the cache and every other
   /// requester of the same key. Null when `error` is set.
@@ -88,6 +143,11 @@ struct CompileResponse {
   bool cacheHit = false;   // served from cache (no compile ran)
   bool coalesced = false;  // attached to an in-flight compile of the key
   uint64_t key = 0;        // content address (0 on parse error)
+  uint64_t requestId = 0;  // monotonic per-service request id (from 1)
+  Outcome outcome = Outcome::Miss;
+  /// Per-phase breakdown; msLatency == phases.totalMs() by construction
+  /// (one clock, one measurement path).
+  PhaseTimes phases;
   double msLatency = 0;    // submit-to-fulfillment, steady clock
 
   bool ok() const { return error.empty(); }
@@ -132,6 +192,26 @@ struct ServiceOptions {
   bool sequentialSearch = true;
   /// Optional trace sink for the server.* counters.
   TraceContext* trace = nullptr;
+  /// Slow-request tracing: capture the full per-phase span breakdown of
+  /// every request whose latency is >= this many milliseconds (0 captures
+  /// everything; < 0 disables capture). Rendered by slowTraceJson().
+  double slowRequestMs = -1;
+  /// Newest-N ring of captured slow requests.
+  int slowTraceLimit = 64;
+  /// When non-empty, append one JSON line per fulfilled request (id, key,
+  /// outcome, per-phase ms) to this file -- the request event log.
+  std::string requestLogPath;
+};
+
+/// One captured slow request: everything needed to render its per-phase
+/// spans on an absolute (service-epoch) timeline.
+struct SlowRequest {
+  uint64_t id = 0;
+  uint64_t key = 0;
+  Outcome outcome = Outcome::Miss;
+  double startMs = 0;  // submit time, ms since service construction
+  PhaseTimes phases;
+  double msLatency = 0;  // == phases.totalMs()
 };
 
 /// Monotonic service counters; a consistent snapshot via stats().
@@ -173,6 +253,24 @@ class CompileService {
 
   ServiceStats stats() const;
   int workers() const;
+
+  // ---- telemetry ----------------------------------------------------------
+  /// The service's always-on metrics registry: server.* counters and
+  /// gauges, per-phase latency histograms "server.phase.<phase>.<outcome>"
+  /// and overall "server.latency.<outcome>" (milliseconds).
+  MetricsRegistry& metrics() const;
+  /// Consistent copy of every metric (mergeable across services/runs).
+  MetricsSnapshot metricsSnapshot() const;
+  /// Nested JSON export of metricsSnapshot() (counters/gauges/histograms).
+  std::string metricsJson() const;
+  /// Prometheus text exposition of metricsSnapshot().
+  std::string prometheusText() const;
+  /// Captured slow requests (newest-N ring, submit order).
+  std::vector<SlowRequest> slowRequests() const;
+  /// Chrome trace_event JSON of the captured slow requests: one 'X' span
+  /// per request plus one per non-zero phase, tid = request id. Valid
+  /// input for chrome://tracing and validateChromeTrace().
+  std::string slowTraceJson() const;
 
   /// The content address submit() would assign: canonical program text of
   /// the parsed source x config x effective-options fingerprint. Exposed

@@ -35,9 +35,17 @@ void Profile::noteBranch(int pc, int target, bool taken) {
 
 void Profile::commit(int pc, Opcode op, int64_t cycles,
                      int64_t instructions) {
-  if (opt_.timelineLimit > 0 &&
-      timeline_.size() < static_cast<size_t>(opt_.timelineLimit))
-    timeline_.push_back({pc, op, totalCycles_, cycles});
+  if (opt_.timelineLimit > 0 && !timelineSaturated_) {
+    if (timeline_.size() >= static_cast<size_t>(opt_.timelineLimit)) {
+      size_t before = timeline_.size();
+      collapseTimeline();
+      // Straight-line code has nothing to collapse: fall back to the old
+      // truncation behaviour (the histograms stay complete regardless).
+      if (timeline_.size() >= before) timelineSaturated_ = true;
+    }
+    if (!timelineSaturated_)
+      timeline_.push_back({pc, pc, op, totalCycles_, cycles, 1, instructions});
+  }
 
   if (pc >= 0 && static_cast<size_t>(pc) < pcCycles_.size()) {
     pcCycles_[static_cast<size_t>(pc)] += cycles;
@@ -60,6 +68,79 @@ void Profile::commit(int pc, Opcode op, int64_t cycles,
 void Profile::abortPending() {
   for (auto& b : pendingBank_) b = 0;
   pendingConflicts_ = 0;
+}
+
+void Profile::collapseTimeline() {
+  // Loop iterations dominate a full timeline (a 4096-span budget lasts a
+  // few hundred trips around even a short kernel loop). Two passes, both
+  // cycle-exact -- spans only ever merge, never drop:
+  //
+  //   1. Adjacent aggregates over the same PC range merge (so repeated
+  //      collapses of a steady loop compound into one span instead of
+  //      re-filling the budget with aggregates).
+  //   2. Period detection: k >= 2 consecutive repeats of the same L-long
+  //      PC sequence of raw spans collapse into one aggregate spanning
+  //      [min pc, max pc] with iterations += k.
+  constexpr int kMaxPeriod = 128;
+  std::vector<TimelineEvent> out;
+  out.reserve(timeline_.size());
+  size_t i = 0;
+  const size_t n = timeline_.size();
+  auto rawRun = [&](size_t from, size_t len) {
+    for (size_t j = from; j < from + len; ++j)
+      if (timeline_[j].iterations != 1) return false;
+    return true;
+  };
+  while (i < n) {
+    // Pass 1 (interleaved): merge an aggregate into a preceding aggregate
+    // over the identical PC range.
+    if (!out.empty() && out.back().isAggregate() &&
+        timeline_[i].isAggregate() && timeline_[i].pc == out.back().pc &&
+        timeline_[i].endPc == out.back().endPc) {
+      TimelineEvent& agg = out.back();
+      agg.cycles += timeline_[i].cycles;
+      agg.iterations += timeline_[i].iterations;
+      agg.instructions += timeline_[i].instructions;
+      ++i;
+      continue;
+    }
+    // Pass 2: find the shortest period that repeats at least twice.
+    bool collapsed = false;
+    for (size_t L = 1; L <= kMaxPeriod && i + 2 * L <= n; ++L) {
+      bool match = rawRun(i, 2 * L);
+      for (size_t j = 0; match && j < L; ++j)
+        match = timeline_[i + j].pc == timeline_[i + L + j].pc;
+      if (!match) continue;
+      size_t k = 2;
+      while (i + (k + 1) * L <= n && rawRun(i + k * L, L)) {
+        bool more = true;
+        for (size_t j = 0; more && j < L; ++j)
+          more = timeline_[i + j].pc == timeline_[i + k * L + j].pc;
+        if (!more) break;
+        ++k;
+      }
+      TimelineEvent agg = timeline_[i];
+      agg.endPc = agg.pc;
+      agg.iterations = static_cast<int64_t>(k);
+      agg.cycles = 0;
+      agg.instructions = 0;
+      for (size_t j = i; j < i + k * L; ++j) {
+        agg.pc = std::min(agg.pc, timeline_[j].pc);
+        agg.endPc = std::max(agg.endPc, timeline_[j].pc);
+        agg.cycles += timeline_[j].cycles;
+        agg.instructions += timeline_[j].instructions;
+      }
+      out.push_back(agg);
+      i += k * L;
+      collapsed = true;
+      break;
+    }
+    if (!collapsed) {
+      out.push_back(timeline_[i]);
+      ++i;
+    }
+  }
+  timeline_ = std::move(out);
 }
 
 std::map<int, int64_t> Profile::lineCycles() const {
@@ -225,10 +306,22 @@ std::string Profile::chromeJson() const {
   };
   for (const auto& ev : timeline_) {
     sep();
-    os << "{\"name\": \"" << opcodeName(ev.op) << "\", \"cat\": \"instr\", "
-       << "\"ph\": \"X\", \"ts\": " << ev.startCycle
-       << ", \"dur\": " << ev.cycles << ", \"pid\": 0, \"tid\": 0, "
-       << "\"args\": {\"pc\": " << ev.pc;
+    if (ev.isAggregate()) {
+      // A collapsed loop: one span for all `iterations` trips around
+      // [pc, endPc] (see ProfileOptions::timelineLimit).
+      os << "{\"name\": \"loop pc " << ev.pc << "-" << ev.endPc << " x"
+         << ev.iterations << "\", \"cat\": \"instr\", "
+         << "\"ph\": \"X\", \"ts\": " << ev.startCycle
+         << ", \"dur\": " << ev.cycles << ", \"pid\": 0, \"tid\": 0, "
+         << "\"args\": {\"pc\": " << ev.pc << ", \"end_pc\": " << ev.endPc
+         << ", \"iterations\": " << ev.iterations
+         << ", \"instructions\": " << ev.instructions;
+    } else {
+      os << "{\"name\": \"" << opcodeName(ev.op) << "\", \"cat\": \"instr\", "
+         << "\"ph\": \"X\", \"ts\": " << ev.startCycle
+         << ", \"dur\": " << ev.cycles << ", \"pid\": 0, \"tid\": 0, "
+         << "\"args\": {\"pc\": " << ev.pc;
+    }
     std::string loc = locOf(ev.pc);
     if (!loc.empty()) os << ", \"loc\": \"" << json::escape(loc) << "\"";
     os << "}}";

@@ -46,8 +46,12 @@
 namespace record {
 
 struct ProfileOptions {
-  /// Maximum retired-instruction spans kept for the Chrome timeline (the
-  /// histograms are always complete). 0 disables timeline recording.
+  /// Maximum spans kept for the Chrome timeline (the histograms are always
+  /// complete). 0 disables timeline recording. When the timeline fills,
+  /// repeated loop iterations are collapsed into aggregated spans
+  /// (iteration count + summed cycles) instead of truncating; only when
+  /// collapsing cannot shrink the timeline (straight-line code) does
+  /// recording saturate at the limit.
   int timelineLimit = 4096;
 };
 
@@ -63,12 +67,20 @@ struct BranchProfile {
   bool isBackEdge() const { return target <= pc; }
 };
 
-/// One retired-instruction span on the cycle timeline.
+/// One span on the cycle timeline: a single retired instruction
+/// (iterations == 1), or -- after the timeline fills and loop collapsing
+/// kicks in -- an aggregate of `iterations` repeats of the PC range
+/// [pc, endPc] (cycles and instructions summed over every repeat).
 struct TimelineEvent {
   int pc = 0;
+  int endPc = 0;  // == pc for a single instruction
   Opcode op = Opcode::NOP;
   int64_t startCycle = 0;
   int64_t cycles = 0;
+  int64_t iterations = 1;    // loop repeats aggregated into this span
+  int64_t instructions = 1;  // retired instructions covered
+
+  bool isAggregate() const { return iterations > 1; }
 };
 
 class Machine;
@@ -156,7 +168,13 @@ class Profile {
   };
   std::map<int, BranchCounts> branches_;
 
+  /// Collapse repeated loop iterations in the full timeline into aggregate
+  /// spans (see ProfileOptions::timelineLimit). Called by commit() when the
+  /// timeline reaches the limit.
+  void collapseTimeline();
+
   std::vector<TimelineEvent> timeline_;
+  bool timelineSaturated_ = false;  // collapsing stopped shrinking
 };
 
 }  // namespace record

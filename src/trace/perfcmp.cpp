@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 #include <cstdio>
+#include <cstring>
 #include <sstream>
 
 #include "support/json.h"
@@ -73,10 +74,20 @@ void appendDeltas(std::ostringstream& os, const char* tag,
 }  // namespace
 
 bool isTimingKey(const std::string& key) {
+  auto hasSuffix = [&](const char* s) {
+    size_t n = std::strlen(s);
+    return key.size() >= n && key.compare(key.size() - n, n, s) == 0;
+  };
   if (key.rfind("ms_", 0) == 0) return true;
   if (key.find("wall") != std::string::npos) return true;
-  if (key.size() >= 4 && key.compare(key.size() - 4, 4, "_sec") == 0)
+  // Latency-summary keys from the service telemetry: host-timing
+  // percentiles (compile_ms_p99, queue_ms_p99, ...) and embedded or
+  // trailing millisecond measurements. Exact counts (latency_samples,
+  // served_from_cache) stay deterministic.
+  if (hasSuffix("_p50") || hasSuffix("_p90") || hasSuffix("_p99"))
     return true;
+  if (hasSuffix("_ms") || key.find("_ms_") != std::string::npos) return true;
+  if (hasSuffix("_sec")) return true;
   return false;
 }
 

@@ -12,8 +12,10 @@
 //     machines, so ANY change is a real behavioural difference and a change
 //     beyond the threshold is reported as a regression/improvement.
 //
-//   * Timing keys (ms_*, *_wall_*, *_sec) measure host wall-clock and vary
-//     run to run; they are reported informationally, never as regressions.
+//   * Timing keys (ms_*, *_ms, *_ms_*, *_wall_*, *_sec, and the latency
+//     percentile suffixes *_p50/*_p90/*_p99) measure host wall-clock and
+//     vary run to run; they are reported informationally, never as
+//     regressions.
 //
 // The CLI wrapper (bench/perfcmp.cpp) exits nonzero only on schema errors;
 // regressions print loudly but exit 0 ("soft gate"), so CI stays green on a
@@ -53,7 +55,8 @@ struct Result {
   bool hasRegressions() const { return !regressions.empty(); }
 };
 
-/// Is `key` a host-timing measurement (ms_*, *_sec, *wall*) rather than a
+/// Is `key` a host-timing measurement (ms_*, *_ms, *_ms_*, *_sec, *wall*,
+/// *_p50/*_p90/*_p99) rather than a
 /// deterministic simulator/compiler output?
 bool isTimingKey(const std::string& key);
 

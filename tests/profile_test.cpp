@@ -424,14 +424,64 @@ TEST(Profile, TimelineCapDoesNotAffectHistograms) {
   TargetConfig cfg;
   auto res = RecordCompiler(cfg, recordOptions()).compile(prog);
 
+  // A 4-span budget cannot hold even one loop iteration, so collapsing
+  // saturates and the timeline stays at the cap -- but the histograms are
+  // complete either way.
   Profile capped(res.prog, ProfileOptions{/*timelineLimit=*/4});
   auto m = runAndCompare(res.prog, prog, defaultStimulus(prog, 1, k.ticks),
                          &capped);
   ASSERT_TRUE(m.ok) << m.error;
-  EXPECT_EQ(capped.timeline().size(), 4u);
+  EXPECT_LE(capped.timeline().size(), 4u);
+  EXPECT_GT(capped.timeline().size(), 0u);
   EXPECT_EQ(capped.totalCycles(), m.cycles);  // histograms stay complete
   std::string err;
   EXPECT_TRUE(validateChromeTrace(capped.chromeJson(), &err)) << err;
+}
+
+TEST(Profile, TimelineCollapsesLoopIterations) {
+  const Kernel& k = kernelByName("fir");
+  auto prog = dfl::parseDflOrDie(k.dfl);
+  TargetConfig cfg;
+  auto res = RecordCompiler(cfg, recordOptions()).compile(prog);
+
+  // An uncapped control: the full timeline is longer than the 256-span
+  // budget below, so the capped profile must have collapsed something.
+  Profile full(res.prog, ProfileOptions{/*timelineLimit=*/1 << 20});
+  auto mf = runAndCompare(res.prog, prog, defaultStimulus(prog, 1, k.ticks),
+                          &full);
+  ASSERT_TRUE(mf.ok) << mf.error;
+  ASSERT_GT(full.timeline().size(), 256u);
+
+  Profile capped(res.prog, ProfileOptions{/*timelineLimit=*/256});
+  auto m = runAndCompare(res.prog, prog, defaultStimulus(prog, 1, k.ticks),
+                         &capped);
+  ASSERT_TRUE(m.ok) << m.error;
+  EXPECT_LE(capped.timeline().size(), 256u);
+
+  // Collapsing merges spans instead of dropping them: the timeline still
+  // covers every retired instruction and cycle, with repeated loop
+  // iterations folded into aggregates carrying an iteration count.
+  int64_t cycles = 0, instructions = 0, aggregates = 0, iterations = 0;
+  for (const TimelineEvent& ev : capped.timeline()) {
+    cycles += ev.cycles;
+    instructions += ev.instructions;
+    if (ev.isAggregate()) {
+      ++aggregates;
+      iterations += ev.iterations;
+      EXPECT_LE(ev.pc, ev.endPc);
+    }
+  }
+  EXPECT_EQ(cycles, capped.totalCycles());
+  EXPECT_EQ(instructions, capped.totalInstructions());
+  EXPECT_GT(aggregates, 0);
+  EXPECT_GT(iterations, aggregates);  // every aggregate holds >= 2 trips
+
+  // The aggregates render as named loop spans and still validate.
+  std::string json = capped.chromeJson();
+  EXPECT_NE(json.find("\"name\": \"loop pc "), std::string::npos);
+  EXPECT_NE(json.find("\"iterations\": "), std::string::npos);
+  std::string err;
+  EXPECT_TRUE(validateChromeTrace(json, &err)) << err;
 }
 
 TEST(Profile, StatsJsonIsValidAndFlat) {
@@ -498,6 +548,17 @@ TEST(Perfcmp, TimingKeysAreInformationalOnly) {
   EXPECT_FALSE(perfcmp::isTimingKey("cycles"));
   EXPECT_FALSE(perfcmp::isTimingKey("size_words"));
 
+  // Service-telemetry latency summaries: percentile suffixes and embedded
+  // or trailing _ms are host timing; exact counts stay deterministic.
+  EXPECT_TRUE(perfcmp::isTimingKey("compile_ms_p50"));
+  EXPECT_TRUE(perfcmp::isTimingKey("compile_ms_p99"));
+  EXPECT_TRUE(perfcmp::isTimingKey("queue_ms_p99"));
+  EXPECT_TRUE(perfcmp::isTimingKey("parse_ms"));
+  EXPECT_TRUE(perfcmp::isTimingKey("queue_ms_mean"));
+  EXPECT_FALSE(perfcmp::isTimingKey("latency_samples"));
+  EXPECT_FALSE(perfcmp::isTimingKey("served_from_cache"));
+  EXPECT_FALSE(perfcmp::isTimingKey("msisdn_count"));  // no bare-prefix match
+
   std::string base = R"({"rows": {"fir": {"ms_rewrite": 10}}})";
   std::string cur = R"({"rows": {"fir": {"ms_rewrite": 20}}})";
   auto r = perfcmp::compare(base, cur, 2.0);
@@ -505,6 +566,14 @@ TEST(Perfcmp, TimingKeysAreInformationalOnly) {
   EXPECT_TRUE(r.regressions.empty());  // host timing never gates
   ASSERT_EQ(r.timingShifts.size(), 1u);
   EXPECT_FALSE(r.hasRegressions());
+
+  std::string pbase = R"({"rows": {"dup90": {"compile_ms_p99": 1}}})";
+  std::string pcur = R"({"rows": {"dup90": {"compile_ms_p99": 9}}})";
+  auto pr = perfcmp::compare(pbase, pcur, 2.0);
+  ASSERT_TRUE(pr.schemaOk);
+  EXPECT_TRUE(pr.regressions.empty());
+  ASSERT_EQ(pr.timingShifts.size(), 1u);
+  EXPECT_FALSE(pr.hasRegressions());
 }
 
 TEST(Perfcmp, SchemaErrorsAreLoud) {
