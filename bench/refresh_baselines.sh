@@ -54,6 +54,8 @@ run_bench() {
 # non-matching filter, exactly as CI runs them.
 run_bench BENCH_overhead_cycles_stats.json \
   "$ROOT/$BUILD_DIR/bench/overhead_cycles" "--benchmark_filter=^\$"
+run_bench BENCH_compile_throughput_stats.json \
+  "$ROOT/$BUILD_DIR/bench/compile_throughput" "--benchmark_filter=^\$"
 run_bench BENCH_table1_dspstone_stats.json \
   "$ROOT/$BUILD_DIR/bench/table1_dspstone" "--benchmark_filter=^\$"
 

@@ -15,7 +15,16 @@
 //   --dual-mul            dual-operand multiplier + 2 memory banks
 //   --no-sat --no-rpt --no-dmov      strip core features
 //   --emit-isd            print the core's instruction-set description
-//   --isd FILE            retarget: compile against an ISD text file
+//   --emit-desc           print the full target description (insn clauses
+//                         + feature-gated rules, src/isd/gen.h grammar) --
+//                         the checked-in src/target/tdsp.isd is this output
+//   --isd FILE            retarget: compile against an ISD text file.
+//   --isd=FILE            Plain rule files swap the BURS rules only; a
+//                         full target description (starting with a
+//                         `target`/`insn` clause) additionally generates
+//                         and installs the ISA/decode tables, so the
+//                         assembler, encoder and simulator cycle hints all
+//                         come from the description
 //   --run                 execute on the simulator with zero inputs
 //   --src                 annotate the listing with DFL source lines
 //   --profile[=FILE]      execute under the cycle profiler (implies --run)
@@ -60,6 +69,7 @@
 #include "codegen/pipeline.h"
 #include "dfl/frontend.h"
 #include "dspstone/kernels.h"
+#include "isd/gen.h"
 #include "server/compileservice.h"
 #include "sim/machine.h"
 #include "sim/profile.h"
@@ -71,7 +81,8 @@ int main(int argc, char** argv) {
   TargetConfig cfg;
   CodegenOptions opt = recordOptions();
   std::string file, kernel, isdFile;
-  bool run = false, stats = false, emitIsd = false, srcListing = false;
+  bool run = false, stats = false, emitIsd = false, emitDesc = false;
+  bool srcListing = false;
   bool traceText = false, traceJson = false, profile = false;
   int serverRepeat = 0;  // > 0: route through CompileService, N submissions
   bool metricsOut = false, promOut = false;
@@ -132,7 +143,10 @@ int main(int argc, char** argv) {
       traceJsonFile = a.substr(std::strlen("--trace-json="));
     }
     else if (a == "--emit-isd") emitIsd = true;
+    else if (a == "--emit-desc") emitDesc = true;
     else if (a == "--isd") isdFile = i + 1 < argc ? argv[++i] : "";
+    else if (a.rfind("--isd=", 0) == 0)
+      isdFile = a.substr(std::strlen("--isd="));
     else if (a == "--kernel") kernel = i + 1 < argc ? argv[++i] : "";
     else if (a[0] == '-') {
       std::fprintf(stderr, "unknown option %s\n", a.c_str());
@@ -144,6 +158,10 @@ int main(int argc, char** argv) {
 
   if (emitIsd) {
     std::printf("%s", buildTdspRules(cfg).str().c_str());
+    return 0;
+  }
+  if (emitDesc) {
+    std::printf("%s", isdgen::deriveTdspDesc().str().c_str());
     return 0;
   }
 
@@ -288,6 +306,10 @@ int main(int argc, char** argv) {
 
   try {
     std::optional<RecordCompiler> compilerStorage;
+    // Outlives the compile + run: the simulator's decode reads the active
+    // ISA table, so a table generated from a full description must stay
+    // alive (and installed) until the end of main.
+    std::optional<IsaTable> generatedTable;
     if (!isdFile.empty()) {
       std::ifstream in(isdFile);
       if (!in) {
@@ -296,14 +318,36 @@ int main(int argc, char** argv) {
       }
       std::ostringstream ss;
       ss << in.rdbuf();
+      const std::string isdText = ss.str();
       DiagEngine isdDiag;
-      auto rules = parseIsd(ss.str(), isdDiag);
-      if (!rules) {
-        std::fprintf(stderr, "%s", isdDiag.str().c_str());
-        return 1;
+      isdDiag.setSourceName(isdFile);
+      // A full target description declares itself with a `target` or
+      // `insn` clause; a plain rule file starts straight at `rule`.
+      const bool fullDesc = isdText.find("target ") != std::string::npos ||
+                            isdText.find("insn ") != std::string::npos;
+      if (fullDesc) {
+        auto desc = isdgen::parseTargetDesc(isdText, isdDiag);
+        if (!desc || !isdgen::validateDesc(*desc, isdDiag)) {
+          std::fprintf(stderr, "%s", isdDiag.str().c_str());
+          return 1;
+        }
+        auto table = isdgen::buildIsaTable(*desc, isdDiag);
+        if (!table) {
+          std::fprintf(stderr, "%s", isdDiag.str().c_str());
+          return 1;
+        }
+        generatedTable = std::move(*table);
+        setActiveIsaTable(&*generatedTable);
+        compilerStorage.emplace(isdgen::rulesFor(*desc, cfg), opt);
+      } else {
+        auto rules = parseIsd(isdText, isdDiag);
+        if (!rules) {
+          std::fprintf(stderr, "%s", isdDiag.str().c_str());
+          return 1;
+        }
+        rules->config = cfg;
+        compilerStorage.emplace(std::move(*rules), opt);
       }
-      rules->config = cfg;
-      compilerStorage.emplace(std::move(*rules), opt);
     } else {
       compilerStorage.emplace(cfg, opt);
     }

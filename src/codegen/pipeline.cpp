@@ -16,6 +16,7 @@
 #include "codegen/binder.h"
 #include "codegen/layout.h"
 #include "ir/interner.h"
+#include "isd/gen.h"
 #include "regalloc/arfile.h"
 #include "rewrite/enumerate.h"
 #include "support/threadpool.h"
@@ -1126,6 +1127,17 @@ class Emitter {
 
 namespace {
 
+/// The default rule set for a config: hand-written, or -- in the
+/// generated-tables build -- compiled from src/target/tdsp.isd (proven
+/// bit-identical by tests/isdgen_test.cpp).
+RuleSet defaultRules(const TargetConfig& cfg) {
+#ifdef RECORD_ISD_GENERATED
+  return isdgen::generatedTdspRules(cfg);
+#else
+  return buildTdspRules(cfg);
+#endif
+}
+
 /// Process-wide cache of built-in rule sets: building one is identical for
 /// identical configs, so compilers can share an immutable instance instead
 /// of re-deriving ~70 rules per construction.
@@ -1138,7 +1150,7 @@ std::shared_ptr<const RuleSet> cachedTdspRules(const TargetConfig& cfg) {
                 cfg.memBanks, cfg.dataWords, cfg.numAddrRegs);
   std::lock_guard<std::mutex> lock(mu);
   auto& slot = cache[key];
-  if (!slot) slot = std::make_shared<const RuleSet>(buildTdspRules(cfg));
+  if (!slot) slot = std::make_shared<const RuleSet>(defaultRules(cfg));
   return slot;
 }
 
@@ -1165,7 +1177,7 @@ RecordCompiler::RecordCompiler(TargetConfig cfg, CodegenOptions opt)
       opt_(opt),
       rules_(opt.cacheRules
                  ? cachedTdspRules(cfg_)
-                 : std::make_shared<const RuleSet>(buildTdspRules(cfg_))) {}
+                 : std::make_shared<const RuleSet>(defaultRules(cfg_))) {}
 
 RecordCompiler::RecordCompiler(RuleSet rules, CodegenOptions opt)
     : cfg_(rules.config),

@@ -1,0 +1,133 @@
+// Target-description compiler (the "tblgen" of this repo): parses a textual
+// target description -- the ISD rule grammar of src/target/isd.h extended
+// with per-opcode `insn` clauses (operand constraints, encoding flags,
+// decode cycle hints, datapath feature requirements) and per-rule `when`
+// feature gates -- and compiles it into the tables the rest of the system
+// runs on:
+//
+//   * a RuleSet of BURS rules for src/isel/burs (rulesFor),
+//   * an IsaTable driving the assembler/encoder/optimizer predicates and
+//     the simulator's decode-once cycle hints (buildIsaTable), installable
+//     via setActiveIsaTable,
+//   * generated-vs-hand-written equivalence: deriveTdspDesc() recovers the
+//     description from the built-in tables, and tests/isdgen_test.cpp
+//     proves the round trip bit-identical.
+//
+// Grammar (one clause per line, '#' starts a comment):
+//
+//   target NAME
+//   insn NAME class CLS operands N flags FLAGS [ar] [requires FEAT...]
+//        cycles N                      (one physical line per clause)
+//   rule NAME nt <- PATTERN emit OP $k ; OP2 ... cost S,C
+//        [mode ovm=V sxm=V] [when FEAT...]
+//
+// `rule` lines are exactly RuleSet::str() / parseIsd() syntax plus the
+// optional trailing `when` gate (a conjunction of feature names: mac,
+// dualmul, sat, rpt, dmov). `flags` uses the opInfoFlags() alphabet
+// ("-" = none). The ISE bridge (rulesFromExtraction) maps instructions
+// extracted from an RT netlist onto the same Rule representation, so
+// discovered instructions drop in as generated rules.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "support/diag.h"
+#include "target/isa.h"
+#include "target/isd.h"
+
+namespace record::ise {
+struct GenRule;
+}  // namespace record::ise
+
+namespace record::isdgen {
+
+/// One `insn` clause: every per-opcode fact an IsaTable row carries.
+struct DescInsn {
+  std::string name;
+  OpClass cls = OpClass::AccAlu;
+  OpInfo info;
+  bool takesAr = false;
+  uint8_t needs = 0;  // kFeat* requirement mask
+  int cycles = 1;     // decode-time cycle hint
+  int line = 0;       // description line (0 = synthesized)
+};
+
+/// One `rule` clause plus its feature gate.
+struct DescRule {
+  Rule rule;
+  uint8_t when = 0;  // kFeat* conjunction; 0 = unconditional
+  int line = 0;
+};
+
+/// A parsed target description. str() renders the canonical text form;
+/// parseTargetDesc(str()) is a fixed point.
+struct TargetDesc {
+  std::string name = "tdsp";
+  std::vector<DescInsn> insns;
+  std::vector<DescRule> rules;
+
+  std::string str() const;
+};
+
+/// Feature-name vocabulary of `requires` / `when` clauses.
+bool featureFromName(const std::string& name, uint8_t& out);
+/// Space-separated names of the bits in `mask` ("mac sat"); "" for 0.
+std::string featureMaskNames(uint8_t mask);
+
+/// Parse a description. Returns nullopt after emitting located diagnostics
+/// on any error; never throws on malformed input.
+std::optional<TargetDesc> parseTargetDesc(const std::string& text,
+                                          DiagEngine& diag);
+
+/// Structural well-formedness: insn names resolve to known opcodes and are
+/// unique, operand/cycle counts are in range, every emitted opcode has an
+/// insn clause, emit operand slots are in range, the zero-cost chain-rule
+/// subgraph is acyclic (positive-cost cycles like load/spill are
+/// legitimate), and every rule's lhs nonterminal is reachable from the
+/// start symbol (stmt). Emits located diagnostics; returns false on any.
+bool validateDesc(const TargetDesc& desc, DiagEngine& diag);
+
+/// The BURS rule set for one core variant: rules whose `when` gate is
+/// satisfied by cfg's feature mask, in description order, with rs.config
+/// set to cfg.
+RuleSet rulesFor(const TargetDesc& desc, const TargetConfig& cfg);
+
+/// Compile the insn clauses into an IsaTable (rows not named by the
+/// description keep their built-in values). Returns nullopt with located
+/// diagnostics when an insn name is unknown.
+std::optional<IsaTable> buildIsaTable(const TargetDesc& desc,
+                                      DiagEngine& diag);
+
+/// Recover the full tdsp description from the hand-written tables:
+/// insn clauses from builtinIsaTable(), rule clauses from
+/// buildTdspRules() with feature gates inferred by sweeping all feature
+/// combinations. src/target/tdsp.isd is this, checked in.
+TargetDesc deriveTdspDesc();
+
+/// The checked-in src/target/tdsp.isd text, embedded at build time.
+const std::string& tdspIsdText();
+
+/// tdsp.isd parsed and validated (throws std::logic_error with the
+/// diagnostics if the checked-in description ever fails to compile --
+/// that is a build break, not a runtime condition).
+const TargetDesc& generatedTdspDesc();
+
+/// Generated equivalents of the hand-written tables: proven bit-identical
+/// to buildTdspRules()/builtinIsaTable() by tests/isdgen_test.cpp. These
+/// replace the hand-written tables build-wide under -DRECORD_ISD_GENERATED.
+RuleSet generatedTdspRules(const TargetConfig& cfg);
+const IsaTable& generatedTdspIsaTable();
+
+/// ISE bridge: map instructions extracted from an RT netlist
+/// (src/ise/bridge.h classification) onto generated BURS rules, so a
+/// processor described only as a netlist retargets the *full* compiler
+/// pipeline, not just the straight-line GeneratedCompiler. Adds the
+/// spill / immediate-widening plumbing rules the matcher needs when the
+/// extraction provides a store / an immediate load.
+RuleSet rulesFromExtraction(const std::vector<ise::GenRule>& extracted,
+                            const TargetConfig& cfg);
+
+}  // namespace record::isdgen

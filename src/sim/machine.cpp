@@ -214,7 +214,10 @@ DecodedOp Machine::decodeOne(const Instr& raw, int rawTarget) {
   DecodedOp d;
   d.handler = static_cast<uint8_t>(eff);
   d.op = eff;
-  d.cyc = 1;
+  // Cycle hint from the active ISA table (branches 2, rest 1 on the
+  // built-in core); MPYXY/MACXY bank-conflict cycles stay dynamic in the
+  // handlers.
+  d.cyc = activeIsaTable().decodeCycles[static_cast<size_t>(eff)];
   // The branch target (and the profiler's branch-site flag) stays keyed to
   // the RAW instruction: a fault that remaps a branch to a non-branch still
   // profiles as a never-taken branch site, exactly like the pre-decode loop.
@@ -289,14 +292,12 @@ DecodedOp Machine::decodeOne(const Instr& raw, int rawTarget) {
     case Opcode::BGEZ:
       if (rawTarget < 0)
         return decodeTrap(eff, "fault-injected branch without target");
-      d.cyc = 2;
       break;
     case Opcode::BANZ:
       if (rawTarget < 0)
         return decodeTrap(eff, "fault-injected branch without target");
       if (!arIndexOk(raw.a.value)) return decodeTrap(eff, kBadArIndex);
       d.a.val = raw.a.value;
-      d.cyc = 2;
       break;
     // A negative repeat count would make the repeat loop run zero times,
     // silently skipping the next instruction; trap with a clear reason.

@@ -1,6 +1,6 @@
 #include "target/isa.h"
 
-#include <array>
+#include <atomic>
 
 #include "target/config.h"
 
@@ -21,30 +21,156 @@ const char* const kOpcodeNames[kNumOpcodes] = {
     "SOVM", "ROVM", "SSXM", "RSXM", "NOP",  "HALT",
 };
 
-struct OpInfoTable {
-  std::array<OpInfo, kNumOpcodes> t{};
+uint8_t builtinNeeds(Opcode op) {
+  switch (op) {
+    case Opcode::LT:
+    case Opcode::MPY:
+    case Opcode::MPYK:
+    case Opcode::PAC:
+    case Opcode::APAC:
+    case Opcode::SPAC:
+    case Opcode::SPL:
+    case Opcode::LTA:
+    case Opcode::LTP:
+      return kFeatMac;
+    case Opcode::LTD:
+      return kFeatMac | kFeatDmov;
+    case Opcode::MPYXY:
+    case Opcode::MACXY:
+      return kFeatDualMul;
+    case Opcode::SOVM:
+    case Opcode::ROVM:
+      return kFeatSat;
+    case Opcode::RPT:
+      return kFeatRpt;
+    case Opcode::DMOV:
+      return kFeatDmov;
+    default:
+      return 0;
+  }
+}
 
-  OpInfo& at(Opcode op) { return t[static_cast<size_t>(op)]; }
+OpClass builtinClassOf(Opcode op) {
+  switch (op) {
+    case Opcode::LT:
+    case Opcode::MPY:
+    case Opcode::MPYK:
+    case Opcode::PAC:
+    case Opcode::APAC:
+    case Opcode::SPAC:
+    case Opcode::SPL:
+    case Opcode::LTA:
+    case Opcode::LTP:
+    case Opcode::LTD:
+    case Opcode::MPYXY:
+    case Opcode::MACXY:
+      return OpClass::Mac;
+    case Opcode::LAC:
+    case Opcode::SACL:
+    case Opcode::SACH:
+    case Opcode::DMOV:
+      return OpClass::LoadStore;
+    case Opcode::LARK:
+    case Opcode::LAR:
+    case Opcode::SAR:
+    case Opcode::ADRK:
+    case Opcode::SBRK:
+      return OpClass::Agu;
+    case Opcode::B:
+    case Opcode::BZ:
+    case Opcode::BGEZ:
+    case Opcode::BANZ:
+      return OpClass::Branch;
+    case Opcode::SOVM:
+    case Opcode::ROVM:
+    case Opcode::SSXM:
+    case Opcode::RSXM:
+      return OpClass::Mode;
+    case Opcode::RPT:
+    case Opcode::NOP:
+    case Opcode::HALT:
+      return OpClass::Control;
+    default:
+      return OpClass::AccAlu;
+  }
+}
 
-  OpInfoTable() {
+bool builtinTakesAr(Opcode op) {
+  switch (op) {
+    case Opcode::LARK:
+    case Opcode::LAR:
+    case Opcode::SAR:
+    case Opcode::ADRK:
+    case Opcode::SBRK:
+    case Opcode::BANZ:
+      return true;
+    default:
+      return false;
+  }
+}
+
+std::atomic<const IsaTable*>& activeSlot() {
+  static std::atomic<const IsaTable*> slot{nullptr};
+  return slot;
+}
+
+}  // namespace
+
+bool opInfoParseFlags(int numOperands, const std::string& flags, OpInfo* out) {
+  *out = OpInfo{};
+  out->numOperands = numOperands;
+  for (char f : flags) {
+    switch (f) {
+      case 'a': out->aIsMem = true; break;
+      case 'b': out->bIsMem = true; break;
+      case 'B': out->isBranch = true; break;
+      case 'c': out->readsAcc = true; break;
+      case 'C': out->writesAcc = true; break;
+      case 't': out->readsT = true; break;
+      case 'T': out->writesT = true; break;
+      case 'p': out->readsP = true; break;
+      case 'P': out->writesP = true; break;
+      case 'm': out->readsMem = true; break;
+      case 'M': out->writesMem = true; break;
+      case '-': break;  // explicit "no flags" placeholder
+      default: return false;
+    }
+  }
+  return true;
+}
+
+std::string opInfoFlags(const OpInfo& info) {
+  std::string s;
+  if (info.aIsMem) s += 'a';
+  if (info.bIsMem) s += 'b';
+  if (info.isBranch) s += 'B';
+  if (info.readsAcc) s += 'c';
+  if (info.writesAcc) s += 'C';
+  if (info.readsT) s += 't';
+  if (info.writesT) s += 'T';
+  if (info.readsP) s += 'p';
+  if (info.writesP) s += 'P';
+  if (info.readsMem) s += 'm';
+  if (info.writesMem) s += 'M';
+  return s.empty() ? "-" : s;
+}
+
+uint8_t configFeatureMask(const TargetConfig& cfg) {
+  uint8_t m = 0;
+  if (cfg.hasMac) m |= kFeatMac;
+  if (cfg.hasDualMul) m |= kFeatDualMul;
+  if (cfg.hasSat) m |= kFeatSat;
+  if (cfg.hasRpt) m |= kFeatRpt;
+  if (cfg.hasDmov) m |= kFeatDmov;
+  return m;
+}
+
+const IsaTable& builtinIsaTable() {
+  static const IsaTable table = [] {
+    IsaTable t;
+    t.name = "tdsp";
     auto set = [&](Opcode op, int nOps, const char* flags) {
-      OpInfo& i = at(op);
-      i.numOperands = nOps;
-      for (const char* f = flags; *f; ++f) {
-        switch (*f) {
-          case 'a': i.aIsMem = true; break;
-          case 'b': i.bIsMem = true; break;
-          case 'B': i.isBranch = true; break;
-          case 'c': i.readsAcc = true; break;
-          case 'C': i.writesAcc = true; break;
-          case 't': i.readsT = true; break;
-          case 'T': i.writesT = true; break;
-          case 'p': i.readsP = true; break;
-          case 'P': i.writesP = true; break;
-          case 'm': i.readsMem = true; break;
-          case 'M': i.writesMem = true; break;
-        }
-      }
+      opInfoParseFlags(nOps, flags, &t.info[static_cast<size_t>(op)]);
     };
     set(Opcode::LAC, 1, "amC");
     set(Opcode::LACK, 1, "C");
@@ -91,22 +217,38 @@ struct OpInfoTable {
     set(Opcode::RSXM, 0, "");
     set(Opcode::NOP, 0, "");
     set(Opcode::HALT, 0, "");
-  }
-};
+    for (int i = 0; i < kNumOpcodes; ++i) {
+      Opcode op = static_cast<Opcode>(i);
+      t.names[i] = kOpcodeNames[i];
+      t.cls[i] = builtinClassOf(op);
+      t.takesAr[i] = builtinTakesAr(op);
+      t.needs[i] = builtinNeeds(op);
+      t.decodeCycles[i] = t.info[i].isBranch ? 2 : 1;
+    }
+    return t;
+  }();
+  return table;
+}
 
-const OpInfoTable kOpInfo;
+const IsaTable& activeIsaTable() {
+  const IsaTable* t = activeSlot().load(std::memory_order_acquire);
+  return t ? *t : builtinIsaTable();
+}
 
-}  // namespace
+const IsaTable* setActiveIsaTable(const IsaTable* t) {
+  return activeSlot().exchange(t, std::memory_order_acq_rel);
+}
 
 const char* opcodeName(Opcode op) {
   int i = static_cast<int>(op);
   if (i < 0 || i >= kNumOpcodes) return "?";
-  return kOpcodeNames[i];
+  return activeIsaTable().names[i].c_str();
 }
 
 bool opcodeFromName(const std::string& name, Opcode& out) {
+  const IsaTable& t = activeIsaTable();
   for (int i = 0; i < kNumOpcodes; ++i) {
-    if (name == kOpcodeNames[i]) {
+    if (name == t.names[i]) {
       out = static_cast<Opcode>(i);
       return true;
     }
@@ -115,95 +257,20 @@ bool opcodeFromName(const std::string& name, Opcode& out) {
 }
 
 bool opcodeAvailable(Opcode op, const TargetConfig& cfg) {
-  switch (op) {
-    case Opcode::LT:
-    case Opcode::MPY:
-    case Opcode::MPYK:
-    case Opcode::PAC:
-    case Opcode::APAC:
-    case Opcode::SPAC:
-    case Opcode::SPL:
-    case Opcode::LTA:
-    case Opcode::LTP:
-      return cfg.hasMac;
-    case Opcode::LTD:
-      return cfg.hasMac && cfg.hasDmov;
-    case Opcode::MPYXY:
-    case Opcode::MACXY:
-      return cfg.hasDualMul;
-    case Opcode::SOVM:
-    case Opcode::ROVM:
-      return cfg.hasSat;
-    case Opcode::RPT:
-      return cfg.hasRpt;
-    case Opcode::DMOV:
-      return cfg.hasDmov;
-    default:
-      return true;
-  }
+  return (activeIsaTable().needs[static_cast<size_t>(op)] &
+          ~configFeatureMask(cfg)) == 0;
 }
 
 bool opTakesArIndex(Opcode op) {
-  switch (op) {
-    case Opcode::LARK:
-    case Opcode::LAR:
-    case Opcode::SAR:
-    case Opcode::ADRK:
-    case Opcode::SBRK:
-    case Opcode::BANZ:
-      return true;
-    default:
-      return false;
-  }
+  return activeIsaTable().takesAr[static_cast<size_t>(op)];
 }
 
 const OpInfo& opInfo(Opcode op) {
-  return kOpInfo.t[static_cast<size_t>(op)];
+  return activeIsaTable().info[static_cast<size_t>(op)];
 }
 
 OpClass opClassOf(Opcode op) {
-  switch (op) {
-    case Opcode::LT:
-    case Opcode::MPY:
-    case Opcode::MPYK:
-    case Opcode::PAC:
-    case Opcode::APAC:
-    case Opcode::SPAC:
-    case Opcode::SPL:
-    case Opcode::LTA:
-    case Opcode::LTP:
-    case Opcode::LTD:
-    case Opcode::MPYXY:
-    case Opcode::MACXY:
-      return OpClass::Mac;
-    case Opcode::LAC:
-    case Opcode::SACL:
-    case Opcode::SACH:
-    case Opcode::DMOV:
-      return OpClass::LoadStore;
-    case Opcode::LARK:
-    case Opcode::LAR:
-    case Opcode::SAR:
-    case Opcode::ADRK:
-    case Opcode::SBRK:
-      return OpClass::Agu;
-    case Opcode::B:
-    case Opcode::BZ:
-    case Opcode::BGEZ:
-    case Opcode::BANZ:
-      return OpClass::Branch;
-    case Opcode::SOVM:
-    case Opcode::ROVM:
-    case Opcode::SSXM:
-    case Opcode::RSXM:
-      return OpClass::Mode;
-    case Opcode::RPT:
-    case Opcode::NOP:
-    case Opcode::HALT:
-      return OpClass::Control;
-    default:
-      return OpClass::AccAlu;
-  }
+  return activeIsaTable().cls[static_cast<size_t>(op)];
 }
 
 const char* opClassName(OpClass c) {

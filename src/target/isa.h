@@ -6,6 +6,7 @@
 // minimization pass manages.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <string>
 #include <utility>
@@ -172,6 +173,19 @@ struct OpInfo {
 
 const OpInfo& opInfo(Opcode op);
 
+/// Parse an OpInfo from its compact flag string ("amC", "aMc", ...; "-" =
+/// no flags). Each char sets one field: a/b = operand-is-mem, B = branch,
+/// c/C = reads/writes ACC, t/T = T register, p/P = P register, m/M = data
+/// memory. Returns false on an unknown flag char (out is left
+/// partially filled). Inverse of opInfoFlags(); shared by the built-in
+/// table builder and the target-description parser so the two can never
+/// disagree on flag semantics.
+bool opInfoParseFlags(int numOperands, const std::string& flags, OpInfo* out);
+
+/// Canonical flag rendering of an OpInfo ("-" when no flag is set).
+/// opInfoParseFlags(n, opInfoFlags(i)) reproduces `i` exactly.
+std::string opInfoFlags(const OpInfo& info);
+
 /// Structural parameters of a tdsp core variant. RECORD's retargeting story
 /// (§2) is exactly this: the same generator drives many ASIP variants that
 /// differ in datapath features (MAC unit, dual multiplier, saturation,
@@ -201,6 +215,63 @@ struct TargetConfig {
   /// "tdsp[mac,sat,rpt,dmov banks=1 ars=8]".
   std::string describe() const;
 };
+
+// ---------------------------------------------------------------------------
+// ISA tables
+// ---------------------------------------------------------------------------
+// Every per-opcode fact above (name, OpInfo, class, AR-index flag, feature
+// availability, decode-time cycle hint) is one row of an IsaTable. The
+// hand-written built-in table is the default; src/isd/gen can build an
+// equivalent table from a textual target description and install it here,
+// swapping the tables under the assembler, encoder, optimizer and the
+// simulator's decode-once lowering in one move (proven bit-identical by
+// tests/isdgen_test.cpp).
+
+/// Datapath feature bits, the availability vocabulary of opcodeAvailable():
+/// an opcode is implemented iff its requirement mask is a subset of the
+/// config's feature mask.
+inline constexpr uint8_t kFeatMac = 1 << 0;
+inline constexpr uint8_t kFeatDualMul = 1 << 1;
+inline constexpr uint8_t kFeatSat = 1 << 2;
+inline constexpr uint8_t kFeatRpt = 1 << 3;
+inline constexpr uint8_t kFeatDmov = 1 << 4;
+inline constexpr uint8_t kFeatAll =
+    kFeatMac | kFeatDualMul | kFeatSat | kFeatRpt | kFeatDmov;
+
+/// The kFeat* bits a config's datapath provides.
+uint8_t configFeatureMask(const TargetConfig& cfg);
+
+/// One complete set of per-opcode tables. Plain value type: generated
+/// tables are built field-by-field and compared against the built-in one.
+struct IsaTable {
+  std::string name = "tdsp";
+  std::array<std::string, kNumOpcodes> names;
+  std::array<OpInfo, kNumOpcodes> info;
+  std::array<OpClass, kNumOpcodes> cls{};
+  std::array<bool, kNumOpcodes> takesAr{};
+  /// Feature-requirement masks (kFeat* bits) behind opcodeAvailable().
+  std::array<uint8_t, kNumOpcodes> needs{};
+  /// Decode-time cycle hints consumed by Machine::decodeOne (branches cost
+  /// 2, everything else 1 on the built-in core; MPYXY/MACXY bank-conflict
+  /// cycles stay dynamic in the simulator).
+  std::array<uint8_t, kNumOpcodes> decodeCycles{};
+};
+
+/// The hand-written tdsp table (always available, never mutated).
+const IsaTable& builtinIsaTable();
+
+/// The table opcodeName/opcodeFromName/opcodeAvailable/opTakesArIndex/
+/// opInfo/opClassOf and the simulator decode currently route through; the
+/// built-in table unless one was installed.
+const IsaTable& activeIsaTable();
+
+/// Install `t` as the active table (null restores the built-in). The
+/// pointed-to table must outlive its installation; the slot is atomic, but
+/// swapping tables while other threads compile is the caller's hazard --
+/// intended use is process start-up (the generated-tables build) or
+/// single-threaded tools (recordc --isd). Returns the previously installed
+/// table (null = built-in).
+const IsaTable* setActiveIsaTable(const IsaTable* t);
 
 /// A compiled (or assembled) program for one tdsp variant: instructions plus
 /// the data-memory layout the code was generated against.

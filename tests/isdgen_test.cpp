@@ -1,0 +1,586 @@
+// The generated-vs-hand-written equivalence proof for the target-description
+// compiler (src/isd/gen.h), plus its property tests:
+//
+//   * src/target/tdsp.isd is exactly deriveTdspDesc().str(), parses back to
+//     itself (fixed point), and its rule set / IsaTable are bit-identical to
+//     the hand-written buildTdspRules() / builtinIsaTable() on every sweep
+//     configuration.
+//   * Compiles through the generated tables match the hand-written-table
+//     compiles bit-for-bit -- assembly listing, encoded words, data layout,
+//     simulated cycles, profiler attribution -- across the full 9-config x
+//     fast/slow sweep, the DSPStone kernels, the committed difftest corpus,
+//     and a seeded oracle run (CrossCheckOpts::isdPath).
+//   * Well-formedness properties of every generated rule set, and robustness
+//     of the description pipeline: 50 seeded mutations of tdsp.isd either
+//     compile or produce located diagnostics -- never a crash.
+//   * The ISE bridge: rules generated from a netlist extraction drive the
+//     full RecordCompiler pipeline and the result runs correctly.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <fstream>
+#include <map>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "codegen/pipeline.h"
+#include "dfl/frontend.h"
+#include "difftest/corpus.h"
+#include "difftest/difftest.h"
+#include "dspstone/harness.h"
+#include "dspstone/kernels.h"
+#include "ir/program.h"
+#include "isd/gen.h"
+#include "ise/bridge.h"
+#include "ise/extract.h"
+#include "netlist/parser.h"
+#include "sim/machine.h"
+#include "sim/profile.h"
+#include "support/diag.h"
+#include "target/encode.h"
+#include "target/isa.h"
+#include "target/isd.h"
+#include "target/tdsp.h"
+
+namespace record {
+namespace {
+
+std::string readFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in.good()) << "cannot open " << path;
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+// ---------------------------------------------------------------------------
+// Satellite: golden-file round trips
+// ---------------------------------------------------------------------------
+
+TEST(IsdGolden, CheckedInDescMatchesDerived) {
+  // The committed description, the build-time-embedded copy, and the
+  // description re-derived from the hand-written tables are one text.
+  const std::string onDisk = readFile(RECORD_TDSP_ISD);
+  EXPECT_EQ(onDisk, isdgen::tdspIsdText());
+  EXPECT_EQ(onDisk, isdgen::deriveTdspDesc().str());
+}
+
+TEST(IsdGolden, DescRoundTripFixedPoint) {
+  const std::string text = isdgen::tdspIsdText();
+  DiagEngine diag;
+  auto desc = isdgen::parseTargetDesc(text, diag);
+  ASSERT_TRUE(desc.has_value()) << diag.str();
+  EXPECT_TRUE(isdgen::validateDesc(*desc, diag)) << diag.str();
+  // parse -> str is a fixed point of the canonical text.
+  EXPECT_EQ(desc->str(), text);
+  // ... and reparsing the rendering changes nothing either.
+  DiagEngine diag2;
+  auto again = isdgen::parseTargetDesc(desc->str(), diag2);
+  ASSERT_TRUE(again.has_value()) << diag2.str();
+  EXPECT_EQ(again->str(), desc->str());
+}
+
+TEST(IsdGolden, DefaultRulesMatchGoldenFile) {
+  const std::string golden =
+      readFile(std::string(RECORD_GOLDEN_DIR) + "/tdsp_default_rules.isd");
+  // Hand-written and generated default-config rule sets both render to the
+  // committed golden text.
+  EXPECT_EQ(buildTdspRules(TargetConfig{}).str(), golden);
+  EXPECT_EQ(isdgen::generatedTdspRules(TargetConfig{}).str(), golden);
+  // The golden text itself round-trips through the ISD parser.
+  DiagEngine diag;
+  auto rs = parseIsd(golden, diag);
+  ASSERT_TRUE(rs.has_value()) << diag.str();
+  EXPECT_EQ(rs->str(), golden);
+}
+
+// ---------------------------------------------------------------------------
+// Tentpole: generated tables == hand-written tables
+// ---------------------------------------------------------------------------
+
+TEST(IsdGen, IsaTableMatchesBuiltin) {
+  const IsaTable& b = builtinIsaTable();
+  const IsaTable& g = isdgen::generatedTdspIsaTable();
+  EXPECT_EQ(g.name, b.name);
+  for (int i = 0; i < kNumOpcodes; ++i) {
+    auto op = static_cast<size_t>(i);
+    SCOPED_TRACE("opcode " + b.names[op]);
+    EXPECT_EQ(g.names[op], b.names[op]);
+    EXPECT_EQ(g.cls[op], b.cls[op]);
+    EXPECT_EQ(g.takesAr[op], b.takesAr[op]);
+    EXPECT_EQ(g.needs[op], b.needs[op]);
+    EXPECT_EQ(g.decodeCycles[op], b.decodeCycles[op]);
+    EXPECT_EQ(g.info[op].numOperands, b.info[op].numOperands);
+    EXPECT_EQ(opInfoFlags(g.info[op]), opInfoFlags(b.info[op]));
+  }
+}
+
+TEST(IsdGen, OpcodeAvailabilityMatchesAcrossSweep) {
+  const IsaTable& b = builtinIsaTable();
+  const IsaTable& g = isdgen::generatedTdspIsaTable();
+  for (const auto& pt : difftest::defaultSweep()) {
+    uint8_t have = configFeatureMask(pt.cfg);
+    for (int i = 0; i < kNumOpcodes; ++i) {
+      auto op = static_cast<size_t>(i);
+      EXPECT_EQ((g.needs[op] & ~have) == 0, (b.needs[op] & ~have) == 0)
+          << pt.name << " " << b.names[op];
+    }
+  }
+}
+
+TEST(IsdGen, RulesMatchBuiltinAcrossSweep) {
+  for (const auto& pt : difftest::defaultSweep()) {
+    SCOPED_TRACE(pt.name);
+    EXPECT_EQ(isdgen::generatedTdspRules(pt.cfg).str(),
+              buildTdspRules(pt.cfg).str());
+  }
+}
+
+// One compile's externally observable result: accept/reject, the full
+// source-annotated listing, the data layout, and the encoded image.
+struct CompileOutcome {
+  bool accepted = false;
+  std::string reject;
+  std::string listing;
+  std::vector<std::pair<std::string, int>> symbolAddr;
+  std::vector<std::pair<int, int16_t>> dataInit;
+  bool encoded = false;
+  std::vector<uint64_t> words;
+};
+
+CompileOutcome outcomeOf(const RecordCompiler& rc, const Program& prog) {
+  CompileOutcome o;
+  try {
+    TargetProgram tp = rc.compile(prog).prog;
+    o.accepted = true;
+    o.listing = tp.listing(true);
+    o.symbolAddr = tp.symbolAddr;
+    o.dataInit = tp.dataInit;
+    std::string err;
+    if (auto img = encode(tp, &err)) {
+      o.encoded = true;
+      o.words = img->words;
+    } else {
+      o.reject = err;
+    }
+  } catch (const std::runtime_error& e) {
+    o.reject = e.what();
+  }
+  return o;
+}
+
+void expectSameOutcome(const CompileOutcome& hand, const CompileOutcome& gen,
+                       const std::string& what) {
+  ASSERT_EQ(hand.accepted, gen.accepted)
+      << what << ": hand " << (hand.accepted ? "accepted" : hand.reject)
+      << " / generated " << (gen.accepted ? "accepted" : gen.reject);
+  if (!hand.accepted) return;
+  EXPECT_EQ(hand.listing, gen.listing) << what;
+  EXPECT_EQ(hand.symbolAddr, gen.symbolAddr) << what;
+  EXPECT_EQ(hand.dataInit, gen.dataInit) << what;
+  ASSERT_EQ(hand.encoded, gen.encoded) << what;
+  EXPECT_EQ(hand.words, gen.words) << what;
+}
+
+// The headline sweep: every DSPStone kernel, every sweep configuration,
+// fast and slow compile modes; generated-rule compiles must be bit-identical
+// to hand-written-table compiles.
+TEST(IsdGen, KernelCompilesBitIdenticalAcrossSweep) {
+  const isdgen::TargetDesc& desc = isdgen::generatedTdspDesc();
+  std::vector<Program> progs;
+  for (const auto& k : dspstoneKernels()) progs.push_back(dfl::parseDflOrDie(k.dfl));
+  for (const auto& pt : difftest::defaultSweep()) {
+    for (bool fast : {false, true}) {
+      CodegenOptions opt = difftest::oracleOptions(fast);
+      RecordCompiler hand(pt.cfg, opt);
+      RecordCompiler gen(isdgen::rulesFor(desc, pt.cfg), opt);
+      for (size_t i = 0; i < progs.size(); ++i) {
+        std::string what = pt.name + (fast ? "/fast/" : "/slow/") +
+                           dspstoneKernels()[i].name;
+        expectSameOutcome(outcomeOf(hand, progs[i]), outcomeOf(gen, progs[i]),
+                          what);
+      }
+    }
+  }
+}
+
+// Simulated cycles and profiler attribution: compile the kernels through
+// both rule sources and require identical measurements and identical
+// per-line / per-class cycle attribution.
+TEST(IsdGen, SimCyclesAndProfileMatch) {
+  const isdgen::TargetDesc& desc = isdgen::generatedTdspDesc();
+  TargetConfig cfgs[] = {TargetConfig{}, [] {
+                           TargetConfig c;
+                           c.hasDualMul = true;
+                           c.memBanks = 2;
+                           return c;
+                         }()};
+  for (const auto& cfg : cfgs) {
+    RecordCompiler hand(cfg, difftest::oracleOptions(true));
+    RecordCompiler gen(isdgen::rulesFor(desc, cfg), difftest::oracleOptions(true));
+    for (const auto& k : dspstoneKernels()) {
+      SCOPED_TRACE(k.name);
+      Program prog = dfl::parseDflOrDie(k.dfl);
+      TargetProgram tpHand = hand.compile(prog).prog;
+      TargetProgram tpGen = gen.compile(prog).prog;
+      Stimulus stim = defaultStimulus(prog, 7, k.ticks);
+      Profile profHand(tpHand), profGen(tpGen);
+      Measurement mHand = runAndCompare(tpHand, prog, stim, &profHand);
+      Measurement mGen = runAndCompare(tpGen, prog, stim, &profGen);
+      EXPECT_TRUE(mHand.ok) << mHand.error;
+      EXPECT_TRUE(mGen.ok) << mGen.error;
+      EXPECT_EQ(mHand.cycles, mGen.cycles);
+      EXPECT_EQ(mHand.instructions, mGen.instructions);
+      EXPECT_EQ(mHand.sizeWords, mGen.sizeWords);
+      EXPECT_EQ(profHand.totalCycles(), profGen.totalCycles());
+      EXPECT_EQ(profHand.lineCycles(), profGen.lineCycles());
+      for (int c = 0; c < kNumOpClasses; ++c) {
+        EXPECT_EQ(profHand.classCycles(static_cast<OpClass>(c)),
+                  profGen.classCycles(static_cast<OpClass>(c)))
+            << opClassName(static_cast<OpClass>(c));
+      }
+      EXPECT_EQ(profHand.text(10), profGen.text(10));
+    }
+  }
+}
+
+// The committed difftest corpus through the same bit-identity gate.
+TEST(IsdGen, CorpusCompilesBitIdenticalAcrossSweep) {
+  const isdgen::TargetDesc& desc = isdgen::generatedTdspDesc();
+  auto files = difftest::listCorpusFiles(RECORD_CORPUS_DIR);
+  ASSERT_FALSE(files.empty());
+  for (const auto& path : files) {
+    difftest::CorpusEntry entry;
+    std::string err;
+    ASSERT_TRUE(difftest::loadCorpusFile(path, &entry, &err)) << err;
+    DiagEngine diag;
+    auto prog = dfl::parseDfl(entry.source, diag);
+    ASSERT_TRUE(prog.has_value()) << path << "\n" << diag.str();
+    for (const auto& pt : difftest::defaultSweep()) {
+      for (bool fast : {false, true}) {
+        CodegenOptions opt = difftest::oracleOptions(fast);
+        RecordCompiler hand(pt.cfg, opt);
+        RecordCompiler gen(isdgen::rulesFor(desc, pt.cfg), opt);
+        expectSameOutcome(outcomeOf(hand, *prog), outcomeOf(gen, *prog),
+                          entry.name + "/" + pt.name + (fast ? "/fast" : "/slow"));
+      }
+    }
+  }
+}
+
+// Seeded oracle run with the generated-table shadow compile enabled: the
+// difftest hook (CrossCheckOpts::isdPath) must report zero divergences.
+TEST(IsdGen, SeededDifftestShadowCompileAgrees) {
+  difftest::CrossCheckOpts opts;
+  opts.isdPath = RECORD_TDSP_ISD;
+  difftest::OracleStats stats;
+  auto sweep = difftest::defaultSweep();
+  for (uint64_t seed = 1; seed <= 10; ++seed) {
+    auto spec = difftest::generateProgram(seed);
+    auto reps = difftest::crossCheck(spec, sweep, &stats, opts);
+    for (const auto& r : reps) ADD_FAILURE() << r.str();
+  }
+  EXPECT_EQ(stats.divergences, 0);
+  EXPECT_GT(stats.runs, 0);
+}
+
+// Installing the generated table must leave simulator behavior untouched:
+// same decode cycle hints, same run, with the installation fully reversible.
+TEST(IsdGen, InstalledTableKeepsSimBitIdentical) {
+  const Kernel& k = kernelByName("fir");
+  Program prog = dfl::parseDflOrDie(k.dfl);
+  RecordCompiler rc((TargetConfig()));
+  TargetProgram tp = rc.compile(prog).prog;
+
+  auto runOnce = [&tp]() {
+    Machine m(tp);
+    return m.run();
+  };
+  RunResult before = runOnce();
+
+  const IsaTable* prev = setActiveIsaTable(&isdgen::generatedTdspIsaTable());
+  EXPECT_EQ(&activeIsaTable(), &isdgen::generatedTdspIsaTable());
+  RunResult with = runOnce();
+  setActiveIsaTable(prev);
+
+  EXPECT_EQ(with.status, before.status);
+  EXPECT_EQ(with.cycles, before.cycles);
+  EXPECT_EQ(with.instructions, before.instructions);
+}
+
+// ---------------------------------------------------------------------------
+// Satellite: property tests over generated rule sets
+// ---------------------------------------------------------------------------
+
+TEST(IsdProps, CheckedInDescValidates) {
+  DiagEngine diag;
+  auto desc = isdgen::parseTargetDesc(isdgen::tdspIsdText(), diag);
+  ASSERT_TRUE(desc.has_value()) << diag.str();
+  EXPECT_TRUE(isdgen::validateDesc(*desc, diag)) << diag.str();
+  EXPECT_EQ(diag.errorCount(), 0);
+  auto table = isdgen::buildIsaTable(*desc, diag);
+  EXPECT_TRUE(table.has_value()) << diag.str();
+}
+
+TEST(IsdProps, GeneratedRuleSetsAreWellFormed) {
+  for (const auto& pt : difftest::defaultSweep()) {
+    RuleSet rs = isdgen::generatedTdspRules(pt.cfg);
+    ASSERT_FALSE(rs.rules.empty()) << pt.name;
+    std::set<std::string> names;
+    std::set<Nonterm> lhsSeen;
+    for (const auto& r : rs.rules) {
+      SCOPED_TRACE(pt.name + "/" + r.name);
+      EXPECT_TRUE(names.insert(r.name).second) << "duplicate rule name";
+      // Slot references stay inside the pattern's slot count.
+      int slots = RuleSet::numSlots(r);
+      for (const auto& e : r.emit) {
+        for (const auto* o : {&e.a, &e.b}) {
+          if (o->kind == OperTemplate::Kind::Slot) {
+            EXPECT_GE(o->slot, 0);
+            EXPECT_LT(o->slot, slots);
+          }
+        }
+      }
+      // Costs are sane; chain rules never convert a nonterminal to itself.
+      EXPECT_GE(r.size, 0);
+      EXPECT_GE(r.cycles, 0);
+      if (r.isChain()) {
+        EXPECT_NE(r.lhs, r.pat.nt);
+      }
+      lhsSeen.insert(r.lhs);
+    }
+    // The start symbol is producible and the core storage classes are used.
+    EXPECT_TRUE(lhsSeen.count(Nonterm::Stmt)) << pt.name;
+    EXPECT_TRUE(lhsSeen.count(Nonterm::Acc)) << pt.name;
+    // Every generated rule set round-trips through the ISD text form.
+    DiagEngine diag;
+    auto back = parseIsd(rs.str(), diag);
+    ASSERT_TRUE(back.has_value()) << pt.name << "\n" << diag.str();
+    EXPECT_EQ(back->str(), rs.str()) << pt.name;
+  }
+}
+
+// Run the whole description pipeline on arbitrary text: it must either
+// succeed end-to-end or report diagnostics -- never crash, never return
+// success with errors pending.
+void runDescPipeline(const std::string& text) {
+  DiagEngine diag;
+  auto desc = isdgen::parseTargetDesc(text, diag);
+  if (!desc.has_value()) {
+    EXPECT_GT(diag.errorCount(), 0) << "parse failed without diagnostics";
+    return;
+  }
+  if (!isdgen::validateDesc(*desc, diag)) {
+    EXPECT_GT(diag.errorCount(), 0) << "validate failed without diagnostics";
+    return;
+  }
+  // A validated description must compile all the way to tables and rules.
+  DiagEngine tdiag;
+  auto table = isdgen::buildIsaTable(*desc, tdiag);
+  EXPECT_TRUE(table.has_value()) << tdiag.str();
+  for (const auto& pt : difftest::defaultSweep()) {
+    RuleSet rs = isdgen::rulesFor(*desc, pt.cfg);
+    for (const auto& r : rs.rules) {
+      int slots = RuleSet::numSlots(r);
+      for (const auto& e : r.emit) {
+        for (const auto* o : {&e.a, &e.b}) {
+          if (o->kind == OperTemplate::Kind::Slot) {
+            EXPECT_GE(o->slot, 0);
+            EXPECT_LT(o->slot, slots);
+          }
+        }
+      }
+    }
+  }
+}
+
+TEST(IsdProps, SeededMutationsNeverCrash) {
+  std::vector<std::string> baseLines;
+  {
+    std::istringstream in(isdgen::tdspIsdText());
+    std::string line;
+    while (std::getline(in, line)) baseLines.push_back(line);
+  }
+  ASSERT_GT(baseLines.size(), 10u);
+
+  for (uint64_t seed = 1; seed <= 50; ++seed) {
+    uint64_t s = seed * 0x9e3779b97f4a7c15ull;
+    auto rnd = [&s](uint64_t n) {
+      s ^= s << 13;
+      s ^= s >> 7;
+      s ^= s << 17;
+      return n ? s % n : 0;
+    };
+    std::vector<std::string> lines = baseLines;
+    int edits = 1 + static_cast<int>(rnd(3));
+    for (int e = 0; e < edits && !lines.empty(); ++e) {
+      size_t i = rnd(lines.size());
+      switch (rnd(6)) {
+        case 0:  // delete a line
+          lines.erase(lines.begin() + static_cast<long>(i));
+          break;
+        case 1:  // duplicate a line (dup insn/rule diagnostics)
+          lines.insert(lines.begin() + static_cast<long>(i), lines[i]);
+          break;
+        case 2:  // truncate mid-line (clause cut off)
+          if (!lines[i].empty()) lines[i].resize(rnd(lines[i].size()));
+          break;
+        case 3: {  // replace one word with garbage
+          std::istringstream ws(lines[i]);
+          std::vector<std::string> words;
+          std::string w;
+          while (ws >> w) words.push_back(w);
+          if (!words.empty()) {
+            words[rnd(words.size())] = "bogus";
+            std::string joined;
+            for (const auto& ww : words)
+              joined += (joined.empty() ? "" : " ") + ww;
+            lines[i] = joined;
+          }
+          break;
+        }
+        case 4: {  // swap two lines (reorder clauses)
+          size_t j = rnd(lines.size());
+          std::swap(lines[i], lines[j]);
+          break;
+        }
+        case 5:  // inject a garbage clause
+          lines.insert(lines.begin() + static_cast<long>(i),
+                       "zzz quux 12 ; nonsense");
+          break;
+      }
+    }
+    std::string text;
+    for (const auto& l : lines) text += l + "\n";
+    SCOPED_TRACE("mutation seed " + std::to_string(seed));
+    runDescPipeline(text);
+  }
+}
+
+// Each malformed description produces a located diagnostic naming the
+// problem, not a crash and not a silent success.
+void expectRejects(const std::string& text, const std::string& needle,
+                   bool wantLocated = true) {
+  DiagEngine diag;
+  auto desc = isdgen::parseTargetDesc(text, diag);
+  bool ok = desc.has_value() && isdgen::validateDesc(*desc, diag);
+  EXPECT_FALSE(ok) << "description unexpectedly valid:\n" << text;
+  ASSERT_GT(diag.errorCount(), 0);
+  EXPECT_NE(diag.str().find(needle), std::string::npos)
+      << "diagnostics lack '" << needle << "':\n" << diag.str();
+  if (wantLocated) {
+    bool located = false;
+    for (const auto& d : diag.all()) located |= d.loc.line > 0;
+    EXPECT_TRUE(located) << diag.str();
+  }
+}
+
+constexpr const char* kToyDesc = R"(target toy
+insn LAC class load-store operands 1 flags aCm cycles 1
+insn SACL class load-store operands 1 flags acM cycles 1
+rule store stmt <- (store mem acc) emit SACL $0 cost 1,1
+rule load acc <- mem emit LAC $0 cost 1,1
+)";
+
+TEST(IsdProps, ToyDescIsValid) {
+  DiagEngine diag;
+  auto desc = isdgen::parseTargetDesc(kToyDesc, diag);
+  ASSERT_TRUE(desc.has_value()) << diag.str();
+  EXPECT_TRUE(isdgen::validateDesc(*desc, diag)) << diag.str();
+}
+
+TEST(IsdProps, MalformedDescriptionsDiagnoseWithLocations) {
+  // No target clause.
+  expectRejects("insn LAC class load-store operands 1 flags aCm cycles 1\n",
+                "target");
+  // Unknown opcode in an insn clause.
+  expectRejects(std::string(kToyDesc) +
+                    "insn FROB class acc-alu operands 0 flags - cycles 1\n",
+                "FROB");
+  // Unknown opcode class.
+  expectRejects(std::string(kToyDesc) +
+                    "insn ADD class warp-core operands 1 flags acCm cycles 1\n",
+                "warp-core");
+  // Unknown feature name (the requires list stops at it, so it's empty).
+  expectRejects(
+      std::string(kToyDesc) +
+          "insn ADD class acc-alu operands 1 flags acCm requires warp cycles 1\n",
+      "requires");
+  // Duplicate insn clause.
+  expectRejects(std::string(kToyDesc) +
+                    "insn LAC class load-store operands 1 flags aCm cycles 1\n",
+                "duplicate insn");
+  // Out-of-range operand and cycle counts.
+  expectRejects(std::string(kToyDesc) +
+                    "insn ADD class acc-alu operands 5 flags acCm cycles 1\n",
+                "operand count");
+  expectRejects(std::string(kToyDesc) +
+                    "insn ADD class acc-alu operands 1 flags acCm cycles 0\n",
+                "cycle count");
+  // A rule emitting an opcode with no insn clause.
+  expectRejects(std::string(kToyDesc) +
+                    "rule add acc <- (add acc mem) emit ADD $1 cost 1,1\n",
+                "no insn clause");
+  // Emit slot out of the pattern's range (caught by the ISD rule parser).
+  expectRejects(std::string(kToyDesc) +
+                    "rule bad acc <- mem emit LAC $3 cost 1,1\n",
+                "$3");
+  // Chain rule converting a nonterminal to itself.
+  expectRejects(std::string(kToyDesc) + "rule self acc <- acc emit - cost 0,0\n",
+                "chain");
+  // A lhs nonterminal unreachable from the start symbol.
+  expectRejects(std::string(kToyDesc) + "rule orphan imm16 <- imm8 emit - cost 0,0\n",
+                "unreachable");
+  // A zero-cost chain cycle would let the matcher convert forever. The
+  // cycle is a whole-grammar property, so this diagnostic is unlocated.
+  expectRejects(std::string(kToyDesc) +
+                    "rule l0 acc <- mem emit - cost 0,0\n"
+                    "rule s0 mem <- acc emit - cost 0,0\n",
+                "chain-rule cycle", /*wantLocated=*/false);
+  // Garbage clause text.
+  expectRejects(std::string(kToyDesc) + "zzz quux 12\n", "unknown directive");
+}
+
+// ---------------------------------------------------------------------------
+// Satellite: the ISE bridge retargets the full pipeline
+// ---------------------------------------------------------------------------
+
+TEST(IsdBridge, ExtractionRulesDriveFullCompiler) {
+  auto nl = nl::parseNetlistOrDie(tdspDatapathNetlist(TargetConfig{}));
+  ise::GeneratedCompiler gc(nl, ise::extractInstructionSet(nl));
+  ASSERT_TRUE(gc.usable()) << gc.describe();
+
+  TargetConfig cfg;
+  RuleSet rs = isdgen::rulesFromExtraction(gc.rules(), cfg);
+  ASSERT_FALSE(rs.rules.empty());
+
+  // The generated grammar round-trips as ISD text like any other rule set.
+  DiagEngine diag;
+  auto back = parseIsd(rs.str(), diag);
+  ASSERT_TRUE(back.has_value()) << diag.str();
+  EXPECT_EQ(back->str(), rs.str());
+
+  // And it drives the full RecordCompiler pipeline (selection, regalloc,
+  // layout), not just the straight-line GeneratedCompiler.
+  Program prog = dfl::parseDflOrDie(R"(
+    program bridge_demo;
+    input a : fix;
+    input b : fix;
+    input c : fix;
+    output y : fix;
+    output z : fix;
+    begin
+      y := (a + b) - 3;
+      z := (a - b) + (c + 5);
+    end
+  )");
+  RecordCompiler rc(std::move(rs), CodegenOptions{});
+  TargetProgram tp = rc.compile(prog).prog;
+  Measurement m = runAndCompare(tp, prog, defaultStimulus(prog, 3, 2));
+  EXPECT_TRUE(m.ok) << m.error;
+}
+
+}  // namespace
+}  // namespace record

@@ -3,8 +3,11 @@
 // with its instruction bits, matches the pattern's own semantics.
 #include <gtest/gtest.h>
 
+#include <set>
+
 #include "dfl/frontend.h"
 #include "ir/interp.h"
+#include "isd/gen.h"
 #include "ise/bridge.h"
 #include "ise/extract.h"
 #include "netlist/parser.h"
@@ -272,6 +275,60 @@ TEST(Bridge, UnrollsLoops) {
   ASSERT_TRUE(gp.has_value()) << err;
   auto outs = runGenerated(nl, *gp, {{"a", 11}}, {"y"});
   EXPECT_EQ(outs.at("y"), 55);
+}
+
+TEST(Bridge, ExtractedOperandKindsAndLatencies) {
+  auto nl = nl::parseNetlistOrDie(tdspDatapathNetlist(TargetConfig{}));
+  GeneratedCompiler gc(nl, extractInstructionSet(nl));
+  ASSERT_TRUE(gc.usable());
+
+  // Operand kinds: every memory-operand rule carries the memory's
+  // read/write-address field, every immediate rule the ALU immediate field.
+  std::set<GenRuleKind> kinds;
+  for (const GenRule& r : gc.rules()) {
+    kinds.insert(r.kind);
+    switch (r.kind) {
+      case GenRuleKind::LoadMem:
+      case GenRuleKind::AddMem:
+      case GenRuleKind::SubMem:
+      case GenRuleKind::AndMem:
+      case GenRuleKind::StoreAcc:
+        EXPECT_EQ(r.operandField, "maddr") << genRuleKindName(r.kind);
+        break;
+      case GenRuleKind::LoadImm:
+      case GenRuleKind::AddImm:
+      case GenRuleKind::SubImm:
+      case GenRuleKind::AndImm:
+        EXPECT_EQ(r.operandField, "imm") << genRuleKindName(r.kind);
+        break;
+    }
+  }
+  // The datapath supplies at least the minimum viable set plus immediates.
+  EXPECT_TRUE(kinds.count(GenRuleKind::LoadMem));
+  EXPECT_TRUE(kinds.count(GenRuleKind::StoreAcc));
+  EXPECT_TRUE(kinds.count(GenRuleKind::AddMem));
+  EXPECT_TRUE(kinds.count(GenRuleKind::SubMem));
+  EXPECT_TRUE(kinds.count(GenRuleKind::AddImm));
+
+  // Latencies through the full-compiler bridge: every extracted pattern is
+  // one netlist microinstruction, so every generated BURS rule must cost
+  // exactly one word and one cycle and emit a single instruction whose
+  // operand comes from the pattern's only slot (the spill temp aside).
+  RuleSet rs = isdgen::rulesFromExtraction(gc.rules(), TargetConfig{});
+  ASSERT_FALSE(rs.rules.empty());
+  for (const Rule& r : rs.rules) {
+    SCOPED_TRACE(r.name);
+    EXPECT_EQ(r.size, 1);
+    EXPECT_EQ(r.cycles, 1);
+    ASSERT_EQ(r.emit.size(), 1u);
+    const OperTemplate& a = r.emit[0].a;
+    if (a.kind == OperTemplate::Kind::Slot) {
+      EXPECT_EQ(a.slot, 0);
+      EXPECT_EQ(RuleSet::numSlots(r), 1);
+    } else {
+      EXPECT_EQ(a.kind, OperTemplate::Kind::Temp);  // the spill rule
+    }
+  }
 }
 
 }  // namespace
